@@ -1,0 +1,33 @@
+// Figure 5: varying the set of source CFDs.
+//
+// Fixed |Y| = 25, |F| = 10, |Ec| = 4; |Sigma| ranges over 200..2000 for
+// var% = 40 and var% = 50 (LHS = 9, per-CFD LHS size uniform in [3, 9]).
+//
+//   Fig. 5(a): runtime vs |Sigma| — the paper reports near-linear growth
+//              (< 7 s at |Sigma| = 2000 on 2008 hardware) and little
+//              sensitivity to var%.
+//   Fig. 5(b): cover cardinality vs |Sigma| — covers grow with |Sigma|
+//              but stay below it (see the cover_cfds counter).
+
+#include "bench/bench_util.h"
+
+namespace cfdprop_bench {
+namespace {
+
+void BM_Fig5_PropagationCover(benchmark::State& state) {
+  WorkloadParams params;
+  params.num_cfds = static_cast<size_t>(state.range(0));
+  params.var_pct = static_cast<uint32_t>(state.range(1));
+  RunCoverBenchmark(state, params);
+}
+
+BENCHMARK(BM_Fig5_PropagationCover)
+    ->ArgNames({"sigma", "var_pct"})
+    ->ArgsProduct({{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000},
+                   {40, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfdprop_bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Figure 6: varying the number of projection attributes |Y|.
+//
+// Fixed |Sigma| = 2000, |F| = 10, |Ec| = 4; |Y| ranges over 5..50 for
+// var% = 40 and 50.
+//
+//   Fig. 6(a): runtime vs |Y| — flat-ish until |Y| ~ 30, then rapid
+//              growth (more source CFDs survive the projection, and RBR
+//              dominates); var% matters once |Y| is large, because
+//              constants block transitivity in RBR.
+//   Fig. 6(b): the number of CFDs propagated grows with |Y| and with
+//              var%, yet stays below |Sigma| even at |Y| = 50.
+
+#include "bench/bench_util.h"
+
+namespace cfdprop_bench {
+namespace {
+
+void BM_Fig6_PropagationCover(benchmark::State& state) {
+  WorkloadParams params;
+  params.num_projection = static_cast<size_t>(state.range(0));
+  params.var_pct = static_cast<uint32_t>(state.range(1));
+  RunCoverBenchmark(state, params);
+}
+
+BENCHMARK(BM_Fig6_PropagationCover)
+    ->ArgNames({"Y", "var_pct"})
+    ->ArgsProduct({{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}, {40, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfdprop_bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Figure 7: varying the selection condition |F|.
+//
+// Fixed |Sigma| = 2000, |Y| = 25, |Ec| = 4; |F| ranges over 1..10 for
+// var% = 40 and 50.
+//
+//   Fig. 7(a): runtime DECREASES as |F| grows — domain constraints
+//              interact with source CFDs, making them trivial or merging
+//              them (line 9 of Fig. 2), so RBR sees a smaller Sigma_V
+//              (watch the sigma_v counter shrink).
+//   Fig. 7(b): cover cardinality goes up (more domain constraints
+//              propagated) and then down (the interaction takes a
+//              larger toll).
+
+#include "bench/bench_util.h"
+
+namespace cfdprop_bench {
+namespace {
+
+void BM_Fig7_PropagationCover(benchmark::State& state) {
+  WorkloadParams params;
+  params.num_selections = static_cast<size_t>(state.range(0));
+  params.var_pct = static_cast<uint32_t>(state.range(1));
+  RunCoverBenchmark(state, params);
+}
+
+BENCHMARK(BM_Fig7_PropagationCover)
+    ->ArgNames({"F", "var_pct"})
+    ->ArgsProduct({{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, {40, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfdprop_bench
+
+BENCHMARK_MAIN();

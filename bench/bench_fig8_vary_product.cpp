@@ -1,0 +1,32 @@
+// Figure 8: varying the Cartesian product |Ec|.
+//
+// Fixed |Sigma| = 2000, |Y| = 25, |F| = 10; |Ec| ranges over 2..11 for
+// var% = 40 and 50.
+//
+//   Fig. 8(a): runtime decreases as |Ec| grows (a fixed |Y| covers an
+//              ever smaller fraction of the column space, so most source
+//              CFDs are dropped), and flattens beyond |Ec| ~ 6.
+//   Fig. 8(b): cover cardinality shrinks with |Ec| and is insensitive
+//              to var% (the |Ec| effect dominates).
+
+#include "bench/bench_util.h"
+
+namespace cfdprop_bench {
+namespace {
+
+void BM_Fig8_PropagationCover(benchmark::State& state) {
+  WorkloadParams params;
+  params.num_atoms = static_cast<size_t>(state.range(0));
+  params.var_pct = static_cast<uint32_t>(state.range(1));
+  RunCoverBenchmark(state, params);
+}
+
+BENCHMARK(BM_Fig8_PropagationCover)
+    ->ArgNames({"Ec", "var_pct"})
+    ->ArgsProduct({{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, {40, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfdprop_bench
+
+BENCHMARK_MAIN();

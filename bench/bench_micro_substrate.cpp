@@ -1,0 +1,213 @@
+// Microbenchmarks for the substrates everything else is built on:
+// CFD implication (the O(n^2) primitive of [8]), MinCover, consistency,
+// the chase, the emptiness test, view evaluation and CFD validation on
+// concrete data.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/cfd/implication.h"
+#include "src/cfd/mincover.h"
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+#include "src/gen/generators.h"
+#include "src/propagation/emptiness.h"
+
+namespace cfdprop_bench {
+namespace {
+
+using namespace cfdprop;
+
+struct SingleRelation {
+  Catalog catalog;
+  std::vector<CFD> sigma;
+  size_t arity;
+};
+
+SingleRelation MakeSingleRelation(size_t num_cfds, uint64_t seed) {
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 1;
+  schema_options.min_arity = 12;
+  schema_options.max_arity = 12;
+  SingleRelation out{GenerateSchema(schema_options, seed), {}, 12};
+
+  CFDGenOptions cfd_options;
+  cfd_options.count = num_cfds;
+  cfd_options.min_lhs = 1;
+  cfd_options.max_lhs = 4;
+  cfd_options.var_pct = 50;
+  out.sigma = GenerateCFDs(out.catalog, cfd_options, seed + 1);
+  return out;
+}
+
+void BM_Implication(benchmark::State& state) {
+  SingleRelation w = MakeSingleRelation(state.range(0), 3);
+  CFD phi = CFD::FD(0, {0, 1}, 2).value();
+  for (auto _ : state) {
+    auto r = Implies(w.sigma, phi, w.arity);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_Implication)
+    ->ArgName("sigma")
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Consistency(benchmark::State& state) {
+  SingleRelation w = MakeSingleRelation(state.range(0), 5);
+  for (auto _ : state) {
+    auto r = IsSatisfiable(w.sigma, w.arity);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_Consistency)
+    ->ArgName("sigma")
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MinCover(benchmark::State& state) {
+  SingleRelation w = MakeSingleRelation(state.range(0), 7);
+  size_t cover = 0;
+  for (auto _ : state) {
+    auto r = MinCover(w.sigma, w.arity);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    cover = r->size();
+    benchmark::DoNotOptimize(r->data());
+  }
+  state.counters["cover_cfds"] = static_cast<double>(cover);
+}
+BENCHMARK(BM_MinCover)
+    ->ArgName("sigma")
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Emptiness(benchmark::State& state) {
+  SchemaGenOptions schema_options;
+  Catalog catalog = GenerateSchema(schema_options, 9);
+  CFDGenOptions cfd_options;
+  cfd_options.count = state.range(0);
+  std::vector<CFD> sigma = GenerateCFDs(catalog, cfd_options, 10);
+  ViewGenOptions view_options;
+  auto view = GenerateSPCView(catalog, view_options, 11);
+  if (!view.ok()) std::abort();
+
+  for (auto _ : state) {
+    auto r = IsAlwaysEmpty(catalog, *view, sigma);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*r);
+  }
+}
+BENCHMARK(BM_Emptiness)
+    ->ArgName("sigma")
+    ->Arg(200)
+    ->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ViewEvaluation(benchmark::State& state) {
+  Catalog catalog;
+  auto r1 = catalog.AddRelation("R", {"A", "B", "C"});
+  auto r2 = catalog.AddRelation("S", {"D", "E"});
+  if (!r1.ok() || !r2.ok()) std::abort();
+  Database db(catalog);
+  Rng rng(13);
+  const size_t n = state.range(0);
+  for (size_t i = 0; i < n; ++i) {
+    (void)db.Insert(*r1, {catalog.pool().InternInt(rng.Below(n)),
+                          catalog.pool().InternInt(rng.Below(50)),
+                          catalog.pool().InternInt(rng.Below(n / 2 + 1))});
+    (void)db.Insert(*r2, {catalog.pool().InternInt(rng.Below(n / 2 + 1)),
+                          catalog.pool().InternInt(rng.Below(50))});
+  }
+  SPCViewBuilder b(catalog);
+  size_t ra = b.AddAtom(*r1);
+  size_t sa = b.AddAtom(*r2);
+  (void)b.SelectEq(ra, "C", sa, "D");
+  (void)b.Project(ra, "A");
+  (void)b.Project(ra, "B");
+  (void)b.Project(sa, "E");
+  auto view = b.Build();
+  if (!view.ok()) std::abort();
+
+  size_t rows_out = 0;
+  for (auto _ : state) {
+    EvalOptions options;
+    options.max_rows = 1u << 26;
+    auto rows = Evaluate(db, *view, options);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      return;
+    }
+    rows_out = rows->size();
+    benchmark::DoNotOptimize(rows->data());
+  }
+  state.counters["rows"] = static_cast<double>(rows_out);
+}
+BENCHMARK(BM_ViewEvaluation)
+    ->ArgName("rows")
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ValidateCFD(benchmark::State& state) {
+  Catalog catalog;
+  auto rel = catalog.AddRelation("R", {"A", "B", "C", "D"});
+  if (!rel.ok()) std::abort();
+  Rng rng(17);
+  std::vector<Tuple> rows;
+  const size_t n = state.range(0);
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({catalog.pool().InternInt(rng.Below(n / 4 + 1)),
+                    catalog.pool().InternInt(rng.Below(8)),
+                    catalog.pool().InternInt(rng.Below(n)),
+                    catalog.pool().InternInt(rng.Below(16))});
+  }
+  CFD cfd = CFD::Make(0, {0, 1},
+                      {PatternValue::Wildcard(),
+                       PatternValue::Constant(catalog.pool().InternInt(3))},
+                      3, PatternValue::Wildcard())
+                .value();
+  for (auto _ : state) {
+    auto v = FindViolations(rows, cfd, 4);
+    if (!v.ok()) {
+      state.SkipWithError(v.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(v->data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ValidateCFD)
+    ->ArgName("rows")
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cfdprop_bench
+
+BENCHMARK_MAIN();

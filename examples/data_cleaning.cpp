@@ -1,0 +1,119 @@
+// Data cleaning (application (3) of Section 1): CFDs were proposed for
+// detecting inconsistencies. Given target-side CFDs, propagation
+// analysis splits them into those guaranteed by the sources (no need to
+// validate against the view) and those that must be checked on the data.
+// For the latter, FindViolations pinpoints the offending tuples.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+#include "src/propagation/propagation.h"
+#include "src/schema/schema.h"
+
+using namespace cfdprop;
+
+namespace {
+
+void Check(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Get(Result<T> r) {
+  Check(r.ok() ? Status::OK() : r.status());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  Get(catalog.AddRelation("Stores", {"store_id", "city", "zip", "manager"}));
+  Get(catalog.AddRelation("Sales", {"store", "sku", "price", "qty"}));
+
+  auto wc = PatternValue::Wildcard();
+
+  // Source-side constraints the upstream systems enforce.
+  std::vector<CFD> sigma = {
+      Get(CFD::FD(0, {0}, 1)),  // store_id -> city
+      Get(CFD::FD(0, {0}, 2)),  // store_id -> zip
+      Get(CFD::FD(0, {0}, 3)),  // store_id -> manager
+  };
+
+  // Reporting view: sales joined with store locations.
+  SPCViewBuilder b(catalog);
+  size_t stores = b.AddAtom(RelationId{0});
+  size_t sales = Get(b.AddAtom("Sales"));
+  Check(b.SelectEq(sales, "store", stores, "store_id"));
+  Check(b.Project(sales, "store", "store"));   // 0
+  Check(b.Project(stores, "city", "city"));    // 1
+  Check(b.Project(stores, "zip", "zip"));      // 2
+  Check(b.Project(sales, "sku", "sku"));       // 3
+  Check(b.Project(sales, "price", "price"));   // 4
+  SPCView view = Get(b.Build());
+
+  // Target-side cleaning rules an analyst declared on the view.
+  struct Rule {
+    const char* label;
+    CFD cfd;
+  };
+  std::vector<Rule> rules = {
+      {"store -> city", Get(CFD::Make(kViewSchemaId, {0}, {wc}, 1, wc))},
+      {"store -> zip", Get(CFD::Make(kViewSchemaId, {0}, {wc}, 2, wc))},
+      {"zip -> city", Get(CFD::Make(kViewSchemaId, {2}, {wc}, 1, wc))},
+      {"store, sku -> price",
+       Get(CFD::Make(kViewSchemaId, {0, 3}, {wc, wc}, 4, wc))},
+  };
+
+  std::printf("Classifying cleaning rules via propagation analysis:\n");
+  std::vector<const Rule*> must_check;
+  for (const Rule& r : rules) {
+    bool propagated = Get(IsPropagated(catalog, view, sigma, r.cfd));
+    std::printf("  %-22s : %s\n", r.label,
+                propagated ? "guaranteed by sources (skip validation)"
+                           : "must be validated on the view");
+    if (!propagated) must_check.push_back(&r);
+  }
+
+  // Materialize the view on dirty data and validate only the rules that
+  // propagation could not discharge.
+  Database db(catalog);
+  Check(db.InsertText("Stores", {"s1", "Edinburgh", "EH1", "May"}));
+  Check(db.InsertText("Stores", {"s2", "Glasgow", "G1", "Rob"}));
+  Check(db.InsertText("Stores", {"s3", "Leith", "EH1", "Ann"}));  // EH1 reused!
+  Check(db.InsertText("Sales", {"s1", "tea", "3", "10"}));
+  Check(db.InsertText("Sales", {"s1", "tea", "4", "2"}));  // price clash
+  Check(db.InsertText("Sales", {"s2", "mug", "6", "1"}));
+  Check(db.InsertText("Sales", {"s3", "tea", "3", "5"}));
+
+  std::vector<Tuple> rows = Get(Evaluate(db, view));
+  std::printf("\nView has %zu rows; validating the %zu residual rules:\n",
+              rows.size(), must_check.size());
+  for (const Rule* r : must_check) {
+    std::vector<Violation> violations =
+        Get(FindViolations(rows, r->cfd, view.OutputArity()));
+    std::printf("  %-22s : %zu violation(s)\n", r->label, violations.size());
+    for (const Violation& v : violations) {
+      auto render = [&](size_t i) {
+        std::string s;
+        for (Value val : rows[i]) {
+          s += catalog.pool().Text(val);
+          s += " ";
+        }
+        return s;
+      };
+      std::printf("      rows %zu/%zu: %s | %s\n", v.first, v.second,
+                  render(v.first).c_str(), render(v.second).c_str());
+    }
+  }
+  std::printf("\nThe propagated rules (store -> city/zip) needed no "
+              "validation at all:\nthe source key on Stores guarantees "
+              "them on every possible view state.\n");
+  return 0;
+}

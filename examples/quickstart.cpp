@@ -1,0 +1,141 @@
+// Quickstart: the paper's running example (Example 1.1) end to end.
+//
+// Three customer sources (UK / US / NL) are integrated by an SPCU view
+// that appends a country code. We ask which dependencies survive the
+// integration: the source FDs do NOT hold on the view as plain FDs, but
+// they DO hold as conditional functional dependencies (CFDs).
+//
+// Build & run:  cmake --build build && ./build/examples/example_quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/cfd/cfd.h"
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+#include "src/propagation/propagation.h"
+#include "src/schema/schema.h"
+
+using namespace cfdprop;
+
+namespace {
+
+void Check(const Status& s) {
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Get(Result<T> r) {
+  Check(r.ok() ? Status::OK() : r.status());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int main() {
+  // ---- 1. Source schemas: R1 (UK), R2 (US), R3 (NL) ------------------
+  Catalog catalog;
+  std::vector<std::string> attrs = {"AC",    "phn",  "name",
+                                    "street", "city", "zip"};
+  for (const char* name : {"R1", "R2", "R3"}) {
+    Get(catalog.AddRelation(name, attrs));
+  }
+  enum : AttrIndex { kAC = 0, kPhn, kName, kStreet, kCity, kZip, kCC };
+
+  // ---- 2. Source dependencies ----------------------------------------
+  // f1: R1(zip -> street)   f2: R1(AC -> city)   f3: R3(AC -> city)
+  // cfd1: R1([AC=20] -> [city=LDN])  cfd2: R3([AC=20] -> [city=Amsterdam])
+  auto konst = [&](const char* s) {
+    return PatternValue::Constant(catalog.pool().Intern(s));
+  };
+  std::vector<CFD> sigma = {
+      Get(CFD::FD(0, {kZip}, kStreet)),
+      Get(CFD::FD(0, {kAC}, kCity)),
+      Get(CFD::FD(2, {kAC}, kCity)),
+      Get(CFD::Make(0, {kAC}, {konst("20")}, kCity, konst("LDN"))),
+      Get(CFD::Make(2, {kAC}, {konst("20")}, kCity, konst("Amsterdam"))),
+  };
+  std::printf("Source dependencies:\n");
+  for (const CFD& c : sigma) {
+    std::printf("  %s\n", c.ToString(catalog).c_str());
+  }
+
+  // ---- 3. The integration view V = Q1 union Q2 union Q3 --------------
+  SPCUView view;
+  const char* country_codes[3] = {"44", "01", "31"};
+  for (int i = 0; i < 3; ++i) {
+    SPCViewBuilder b(catalog);
+    size_t atom = b.AddAtom(static_cast<RelationId>(i));
+    for (const std::string& a : attrs) Check(b.Project(atom, a));
+    Check(b.ProjectConstant("CC", country_codes[i]));
+    view.disjuncts.push_back(Get(b.Build()));
+  }
+  std::printf("\nView:\n%s\n", view.ToString(catalog).c_str());
+
+  // ---- 4. Propagation analysis ---------------------------------------
+  auto wc = PatternValue::Wildcard();
+  struct Query {
+    const char* label;
+    CFD cfd;
+  };
+  std::vector<Query> queries = {
+      {"f1 as plain view FD   (zip -> street)",
+       Get(CFD::Make(kViewSchemaId, {kZip}, {wc}, kStreet, wc))},
+      {"phi1  ([CC=44, zip] -> street)",
+       Get(CFD::Make(kViewSchemaId, {kCC, kZip}, {konst("44"), wc},
+                     kStreet, wc))},
+      {"plain (AC -> city)",
+       Get(CFD::Make(kViewSchemaId, {kAC}, {wc}, kCity, wc))},
+      {"phi2  ([CC=44, AC] -> city)",
+       Get(CFD::Make(kViewSchemaId, {kCC, kAC}, {konst("44"), wc}, kCity,
+                     wc))},
+      {"phi3  ([CC=31, AC] -> city)",
+       Get(CFD::Make(kViewSchemaId, {kCC, kAC}, {konst("31"), wc}, kCity,
+                     wc))},
+      {"phi4  ([CC=44, AC=20] -> city=LDN)",
+       Get(CFD::Make(kViewSchemaId, {kCC, kAC}, {konst("44"), konst("20")},
+                     kCity, konst("LDN")))},
+      {"phi6  (CC, AC, phn -> street)",
+       Get(CFD::Make(kViewSchemaId, {kCC, kAC, kPhn}, {wc, wc, wc},
+                     kStreet, wc))},
+  };
+  std::printf("\nPropagation analysis (Sigma |=V phi?):\n");
+  for (const Query& q : queries) {
+    bool propagated = Get(IsPropagated(catalog, view, sigma, q.cfd));
+    std::printf("  %-40s : %s\n", q.label,
+                propagated ? "PROPAGATED" : "not propagated");
+  }
+
+  // ---- 5. Sanity-check on the Fig. 1 data -----------------------------
+  Database db(catalog);
+  Check(db.InsertText("R1", {"20", "1234567", "Mike", "Portland", "LDN",
+                             "W1B 1JL"}));
+  Check(db.InsertText("R1", {"20", "3456789", "Rick", "Portland", "LDN",
+                             "W1B 1JL"}));
+  Check(db.InsertText("R2", {"610", "3456789", "Joe", "Copley", "Darby",
+                             "19082"}));
+  Check(db.InsertText("R2", {"610", "1234567", "Mary", "Walnut", "Darby",
+                             "19082"}));
+  Check(db.InsertText("R3", {"20", "3456789", "Marx", "Kruise",
+                             "Amsterdam", "1096"}));
+  Check(db.InsertText("R3", {"36", "1234567", "Bart", "Grote", "Almere",
+                             "1316"}));
+
+  std::vector<Tuple> rows = Get(Evaluate(db, view));
+  std::printf("\nMaterialized view has %zu tuples; checking queries:\n",
+              rows.size());
+  for (const Query& q : queries) {
+    bool holds = Get(Satisfies(rows, q.cfd, 7));
+    std::printf("  %-40s : %s on this instance\n", q.label,
+                holds ? "holds" : "VIOLATED");
+  }
+  std::printf("\nNote how every PROPAGATED dependency holds on the data, "
+              "while the\nnon-propagated plain FDs are violated by it — "
+              "exactly Fig. 1 of the paper.\n");
+  return 0;
+}

@@ -1,0 +1,258 @@
+#include "src/algebra/view.h"
+
+namespace cfdprop {
+
+std::string OperatorProfile::Label() const {
+  std::string out;
+  if (selection) out += 'S';
+  if (projection) out += 'P';
+  if (product) out += 'C';
+  if (has_union) out += 'U';
+  if (out.empty()) out = "I";
+  return out;
+}
+
+Status SPCView::Validate(const Catalog& catalog) const {
+  if (atoms.empty()) {
+    return Status::InvalidArgument("SPC view has no relation atoms");
+  }
+  for (RelationId r : atoms) {
+    if (r >= catalog.num_relations()) {
+      return Status::InvalidArgument("unknown relation atom");
+    }
+  }
+  const size_t u = NumEcColumns(catalog);
+  for (const Selection& s : selections) {
+    if (s.left >= u) return Status::InvalidArgument("selection column oob");
+    if (s.kind == Selection::Kind::kColumnEq) {
+      if (s.right >= u) {
+        return Status::InvalidArgument("selection column oob");
+      }
+    } else if (s.value == kNoValue) {
+      return Status::InvalidArgument("constant selection without value");
+    }
+  }
+  if (output.empty()) {
+    return Status::InvalidArgument("SPC view has empty output");
+  }
+  for (const OutputColumn& o : output) {
+    if (o.is_constant) {
+      if (o.value == kNoValue) {
+        return Status::InvalidArgument("constant output without value");
+      }
+    } else if (o.ec_column >= u) {
+      return Status::InvalidArgument("output column oob");
+    }
+  }
+  return Status::OK();
+}
+
+size_t SPCView::NumEcColumns(const Catalog& catalog) const {
+  size_t u = 0;
+  for (RelationId r : atoms) u += catalog.relation(r).arity();
+  return u;
+}
+
+ColumnId SPCView::AtomBase(const Catalog& catalog, size_t atom) const {
+  size_t base = 0;
+  for (size_t j = 0; j < atom; ++j) {
+    base += catalog.relation(atoms[j]).arity();
+  }
+  return static_cast<ColumnId>(base);
+}
+
+std::pair<size_t, AttrIndex> SPCView::Locate(const Catalog& catalog,
+                                             ColumnId col) const {
+  size_t base = 0;
+  for (size_t j = 0; j < atoms.size(); ++j) {
+    size_t arity = catalog.relation(atoms[j]).arity();
+    if (col < base + arity) {
+      return {j, static_cast<AttrIndex>(col - base)};
+    }
+    base += arity;
+  }
+  return {atoms.size(), kNoAttr};  // out of range
+}
+
+const Domain* SPCView::EcColumnDomain(const Catalog& catalog,
+                                      ColumnId col) const {
+  auto [atom, attr] = Locate(catalog, col);
+  if (atom >= atoms.size()) return nullptr;
+  return &catalog.relation(atoms[atom]).attr(attr).domain;
+}
+
+const Domain* SPCView::OutputDomain(const Catalog& catalog, size_t i) const {
+  const OutputColumn& o = output[i];
+  if (o.is_constant) return nullptr;
+  return EcColumnDomain(catalog, o.ec_column);
+}
+
+OperatorProfile SPCView::Profile(const Catalog& catalog) const {
+  OperatorProfile p;
+  p.selection = !selections.empty();
+  bool has_const_col = false;
+  size_t projected = 0;
+  for (const OutputColumn& o : output) {
+    if (o.is_constant) {
+      has_const_col = true;
+    } else {
+      ++projected;
+    }
+  }
+  // Proper projection: not all Ec columns appear in the output.
+  p.projection = projected < NumEcColumns(catalog);
+  p.product = atoms.size() > 1 || has_const_col;
+  return p;
+}
+
+std::string SPCView::ToString(const Catalog& catalog) const {
+  std::string out = "pi[";
+  for (size_t i = 0; i < output.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += output[i].name;
+    if (output[i].is_constant) {
+      out += "=" + catalog.pool().Text(output[i].value);
+    }
+  }
+  out += "] sigma[";
+  auto col_name = [&](ColumnId c) {
+    auto [atom, attr] = Locate(catalog, c);
+    const RelationSchema& rel = catalog.relation(atoms[atom]);
+    return rel.name() + "#" + std::to_string(atom) + "." +
+           rel.attr(attr).name;
+  };
+  for (size_t i = 0; i < selections.size(); ++i) {
+    if (i > 0) out += " and ";
+    const Selection& s = selections[i];
+    out += col_name(s.left);
+    out += " = ";
+    if (s.kind == Selection::Kind::kColumnEq) {
+      out += col_name(s.right);
+    } else {
+      out += "'" + catalog.pool().Text(s.value) + "'";
+    }
+  }
+  out += "] (";
+  for (size_t j = 0; j < atoms.size(); ++j) {
+    if (j > 0) out += " x ";
+    out += catalog.relation(atoms[j]).name();
+  }
+  out += ")";
+  return out;
+}
+
+Status SPCUView::Validate(const Catalog& catalog) const {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("SPCU view has no disjuncts");
+  }
+  const size_t arity = disjuncts.front().OutputArity();
+  for (const SPCView& v : disjuncts) {
+    CFDPROP_RETURN_NOT_OK(v.Validate(catalog));
+    if (v.OutputArity() != arity) {
+      return Status::InvalidArgument("SPCU disjuncts not union-compatible");
+    }
+  }
+  return Status::OK();
+}
+
+OperatorProfile SPCUView::Profile(const Catalog& catalog) const {
+  OperatorProfile p;
+  for (const SPCView& v : disjuncts) {
+    OperatorProfile q = v.Profile(catalog);
+    p.selection |= q.selection;
+    p.projection |= q.projection;
+    p.product |= q.product;
+  }
+  p.has_union = disjuncts.size() > 1;
+  return p;
+}
+
+std::string SPCUView::ToString(const Catalog& catalog) const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += "\n  union\n";
+    out += disjuncts[i].ToString(catalog);
+  }
+  return out;
+}
+
+size_t SPCViewBuilder::AddAtom(RelationId relation) {
+  atom_bases_.push_back(num_columns_);
+  num_columns_ += catalog_.relation(relation).arity();
+  view_.atoms.push_back(relation);
+  return view_.atoms.size() - 1;
+}
+
+Result<size_t> SPCViewBuilder::AddAtom(std::string_view relation_name) {
+  RelationId r = catalog_.FindRelation(relation_name);
+  if (r == kNoRelation) {
+    return Status::NotFound("unknown relation: " + std::string(relation_name));
+  }
+  return AddAtom(r);
+}
+
+Result<ColumnId> SPCViewBuilder::ResolveColumn(size_t atom,
+                                               std::string_view attr) const {
+  if (atom >= view_.atoms.size()) {
+    return Status::InvalidArgument("atom index out of range");
+  }
+  const RelationSchema& rel = catalog_.relation(view_.atoms[atom]);
+  AttrIndex i = rel.FindAttr(attr);
+  if (i == kNoAttr) {
+    return Status::NotFound("unknown attribute " + std::string(attr) +
+                            " in relation " + rel.name());
+  }
+  return static_cast<ColumnId>(atom_bases_[atom] + i);
+}
+
+Status SPCViewBuilder::SelectEq(size_t atom_a, std::string_view attr_a,
+                                size_t atom_b, std::string_view attr_b) {
+  CFDPROP_ASSIGN_OR_RETURN(ColumnId a, ResolveColumn(atom_a, attr_a));
+  CFDPROP_ASSIGN_OR_RETURN(ColumnId b, ResolveColumn(atom_b, attr_b));
+  view_.selections.push_back(Selection::ColumnEq(a, b));
+  return Status::OK();
+}
+
+Status SPCViewBuilder::SelectConst(size_t atom, std::string_view attr,
+                                   std::string_view constant) {
+  CFDPROP_ASSIGN_OR_RETURN(ColumnId a, ResolveColumn(atom, attr));
+  Value v = catalog_.pool().Intern(constant);
+  view_.selections.push_back(Selection::ConstantEq(a, v));
+  return Status::OK();
+}
+
+Status SPCViewBuilder::Project(size_t atom, std::string_view attr,
+                               std::string name) {
+  CFDPROP_ASSIGN_OR_RETURN(ColumnId c, ResolveColumn(atom, attr));
+  if (name.empty()) {
+    const RelationSchema& rel = catalog_.relation(view_.atoms[atom]);
+    name = rel.name() + std::to_string(atom) + "." + std::string(attr);
+  }
+  view_.output.push_back(OutputColumn::Projected(std::move(name), c));
+  return Status::OK();
+}
+
+Status SPCViewBuilder::ProjectConstant(std::string name,
+                                       std::string_view constant) {
+  Value v = catalog_.pool().Intern(constant);
+  view_.output.push_back(OutputColumn::Constant(std::move(name), v));
+  return Status::OK();
+}
+
+Result<SPCView> SPCViewBuilder::Build() {
+  if (view_.output.empty()) {
+    // No projection operator: emit every Ec column.
+    for (size_t j = 0; j < view_.atoms.size(); ++j) {
+      const RelationSchema& rel = catalog_.relation(view_.atoms[j]);
+      for (AttrIndex i = 0; i < rel.arity(); ++i) {
+        view_.output.push_back(OutputColumn::Projected(
+            rel.name() + std::to_string(j) + "." + rel.attr(i).name,
+            static_cast<ColumnId>(atom_bases_[j] + i)));
+      }
+    }
+  }
+  CFDPROP_RETURN_NOT_OK(view_.Validate(catalog_));
+  return view_;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,188 @@
+// SPC and SPCU views in normal form (Section 2.2).
+//
+// An SPC query over R = (S1, ..., Sm) is represented in the normal form
+//
+//     pi_Y ( Rc  x  sigma_F ( R1 x ... x Rn ) )
+//
+// where Rc is a one-tuple constant relation, each Rj is a renamed copy of
+// a relation of the catalog, and F is a conjunction of equality atoms
+// A = B and A = 'a'. The columns of Ec = R1 x ... x Rn form a dense
+// column space 0..U-1 (atom-major, attribute-minor); selections and the
+// projection list refer to those column ids. An SPCU view is a union of
+// union-compatible SPC views.
+//
+// Fragments (S, P, C, SP, SC, PC, SPC) are recovered from the structure:
+// S = nonempty F, P = proper projection, C = product (more than one atom
+// or a nonempty Rc, which is itself a product with a constant relation).
+
+#ifndef CFDPROP_ALGEBRA_VIEW_H_
+#define CFDPROP_ALGEBRA_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/value.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+/// Index into the Ec column space of an SPC view.
+using ColumnId = uint32_t;
+
+/// One conjunct of the selection condition F.
+struct Selection {
+  enum class Kind : uint8_t {
+    kColumnEq,   // A = B
+    kConstantEq, // A = 'a'
+  };
+  Kind kind;
+  ColumnId left;
+  ColumnId right = 0;     // kColumnEq only
+  Value value = kNoValue; // kConstantEq only
+
+  static Selection ColumnEq(ColumnId a, ColumnId b) {
+    return Selection{Kind::kColumnEq, a, b, kNoValue};
+  }
+  static Selection ConstantEq(ColumnId a, Value v) {
+    return Selection{Kind::kConstantEq, a, 0, v};
+  }
+};
+
+/// One output column of the view schema RV: either a projected Ec column
+/// or a constant column contributed by Rc.
+struct OutputColumn {
+  std::string name;
+  bool is_constant = false;
+  ColumnId ec_column = 0;  // when !is_constant
+  Value value = kNoValue;  // when is_constant
+
+  static OutputColumn Projected(std::string name, ColumnId col) {
+    OutputColumn o;
+    o.name = std::move(name);
+    o.ec_column = col;
+    return o;
+  }
+  static OutputColumn Constant(std::string name, Value v) {
+    OutputColumn o;
+    o.name = std::move(name);
+    o.is_constant = true;
+    o.value = v;
+    return o;
+  }
+};
+
+/// Which RA operators a view uses.
+struct OperatorProfile {
+  bool selection = false;
+  bool projection = false;
+  bool product = false;
+  bool has_union = false;
+
+  /// "S", "PC", "SPC", "SPCU", ... ("I" for the bare identity view).
+  std::string Label() const;
+};
+
+/// An SPC view in normal form. Construct via SPCViewBuilder (or fill the
+/// fields directly and call Validate).
+class SPCView {
+ public:
+  SPCView() = default;
+
+  std::vector<RelationId> atoms;
+  std::vector<Selection> selections;
+  std::vector<OutputColumn> output;
+
+  /// Structural validation against the catalog.
+  Status Validate(const Catalog& catalog) const;
+
+  /// --- Ec column-space geometry -------------------------------------
+
+  /// Total number of Ec columns (sum of atom arities).
+  size_t NumEcColumns(const Catalog& catalog) const;
+
+  /// First Ec column of atom j.
+  ColumnId AtomBase(const Catalog& catalog, size_t atom) const;
+
+  /// Maps an Ec column back to (atom index, attribute index).
+  std::pair<size_t, AttrIndex> Locate(const Catalog& catalog,
+                                      ColumnId col) const;
+
+  /// Domain of an Ec column (the underlying source attribute's domain).
+  const Domain* EcColumnDomain(const Catalog& catalog, ColumnId col) const;
+
+  /// Domain of output column i (null/infinite for constant columns).
+  const Domain* OutputDomain(const Catalog& catalog, size_t i) const;
+
+  /// --- Introspection --------------------------------------------------
+
+  size_t OutputArity() const { return output.size(); }
+
+  OperatorProfile Profile(const Catalog& catalog) const;
+
+  /// Human-readable rendering of the normal form.
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// An SPCU view: union of union-compatible SPC views.
+class SPCUView {
+ public:
+  SPCUView() = default;
+  explicit SPCUView(SPCView v) { disjuncts.push_back(std::move(v)); }
+
+  std::vector<SPCView> disjuncts;
+
+  /// Validates each disjunct and union-compatibility (equal output arity).
+  Status Validate(const Catalog& catalog) const;
+
+  size_t OutputArity() const {
+    return disjuncts.empty() ? 0 : disjuncts.front().OutputArity();
+  }
+
+  OperatorProfile Profile(const Catalog& catalog) const;
+
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Incremental construction of SPC views with (atom, attribute)-level
+/// addressing; resolves names and computes column ids.
+class SPCViewBuilder {
+ public:
+  /// The catalog is non-const because constants in selections and output
+  /// columns are interned into its value pool.
+  explicit SPCViewBuilder(Catalog& catalog) : catalog_(catalog) {}
+
+  /// Adds a renamed copy of `relation` to the product; returns its atom
+  /// index.
+  size_t AddAtom(RelationId relation);
+  Result<size_t> AddAtom(std::string_view relation_name);
+
+  /// Selection conjunct: column of atom a = column of atom b.
+  Status SelectEq(size_t atom_a, std::string_view attr_a, size_t atom_b,
+                  std::string_view attr_b);
+  /// Selection conjunct: column = interned constant.
+  Status SelectConst(size_t atom, std::string_view attr,
+                     std::string_view constant);
+
+  /// Appends a projected output column (default name "Rj.attr").
+  Status Project(size_t atom, std::string_view attr, std::string name = "");
+  /// Appends a constant output column (the Rc part of the normal form).
+  Status ProjectConstant(std::string name, std::string_view constant);
+
+  /// Finishes the view. If no output column was added, all Ec columns are
+  /// projected in order (views without the projection operator).
+  Result<SPCView> Build();
+
+ private:
+  Result<ColumnId> ResolveColumn(size_t atom, std::string_view attr) const;
+
+  Catalog& catalog_;
+  SPCView view_;
+  std::vector<size_t> atom_bases_;
+  size_t num_columns_ = 0;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_ALGEBRA_VIEW_H_

@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generation for the workload
+// generators (src/gen). A small xoshiro256** implementation so generated
+// workloads are reproducible across platforms and standard-library
+// versions (std::mt19937 distributions are not portable).
+
+#ifndef CFDPROP_BASE_RNG_H_
+#define CFDPROP_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace cfdprop {
+
+/// xoshiro256** PRNG with splitmix64 seeding.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Below(uint64_t n) { return Uniform(0, n - 1); }
+
+  /// Bernoulli draw: true with probability pct/100.
+  bool Percent(uint32_t pct) { return Uniform(1, 100) <= pct; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_BASE_RNG_H_

@@ -1,0 +1,132 @@
+// Status / Result<T>: lightweight error propagation in the style of
+// Arrow/RocksDB. Library code returns Status (or Result<T>) instead of
+// throwing; exceptions are reserved for programming errors (assertions).
+
+#ifndef CFDPROP_BASE_STATUS_H_
+#define CFDPROP_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cfdprop {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (schema mismatch, bad pattern, ...)
+  kNotFound,          // lookup failure (unknown attribute/relation)
+  kInconsistent,      // a set of CFDs (+ view) admits no nonempty instance
+  kResourceExhausted, // configured budget exceeded (e.g. instantiations)
+  kUnsupported,       // operation outside the implemented fragment
+  kInternal,          // invariant violation: a bug in the library
+};
+
+/// Returns a short human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+// Propagates a non-OK Status out of the current function.
+#define CFDPROP_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::cfdprop::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define CFDPROP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#define CFDPROP_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  CFDPROP_ASSIGN_OR_RETURN_IMPL(                                          \
+      CFDPROP_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define CFDPROP_CONCAT_INNER_(a, b) a##b
+#define CFDPROP_CONCAT_(a, b) CFDPROP_CONCAT_INNER_(a, b)
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_BASE_STATUS_H_

@@ -1,0 +1,19 @@
+#include "src/base/value.h"
+
+namespace cfdprop {
+
+Value ValuePool::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  Value id = static_cast<Value>(texts_.size());
+  texts_.emplace_back(text);
+  index_.emplace(texts_.back(), id);
+  return id;
+}
+
+Value ValuePool::Find(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  return it == index_.end() ? kNoValue : it->second;
+}
+
+}  // namespace cfdprop

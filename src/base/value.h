@@ -1,0 +1,61 @@
+// Interned constant values.
+//
+// Every constant appearing in data, pattern tuples, selection conditions or
+// domains is interned once in a ValuePool and referred to by a 32-bit Value
+// id afterwards. Value equality is id equality, which keeps the inner loops
+// of the chase and of RBR free of string comparisons.
+
+#ifndef CFDPROP_BASE_VALUE_H_
+#define CFDPROP_BASE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cfdprop {
+
+/// An interned constant. Valid ids are indices into the owning ValuePool.
+using Value = uint32_t;
+
+/// Sentinel for "no value".
+inline constexpr Value kNoValue = UINT32_MAX;
+
+/// An append-only intern table mapping strings <-> Value ids.
+///
+/// A ValuePool is owned by a Catalog (see src/schema/schema.h); all objects
+/// derived from one catalog share its pool, so their Values are comparable.
+/// Not thread-safe for concurrent interning.
+class ValuePool {
+ public:
+  ValuePool() = default;
+
+  // Movable but not copyable: Values are indices into this specific pool.
+  ValuePool(const ValuePool&) = delete;
+  ValuePool& operator=(const ValuePool&) = delete;
+  ValuePool(ValuePool&&) = default;
+  ValuePool& operator=(ValuePool&&) = default;
+
+  /// Interns `text`, returning its id (existing id if already present).
+  Value Intern(std::string_view text);
+
+  /// Convenience: interns the decimal representation of `n`.
+  Value InternInt(int64_t n) { return Intern(std::to_string(n)); }
+
+  /// Looks up an id without interning; kNoValue when absent.
+  Value Find(std::string_view text) const;
+
+  /// The text of an interned value. Precondition: v < size().
+  const std::string& Text(Value v) const { return texts_[v]; }
+
+  size_t size() const { return texts_.size(); }
+
+ private:
+  std::vector<std::string> texts_;
+  std::unordered_map<std::string, Value> index_;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_BASE_VALUE_H_

@@ -1,0 +1,145 @@
+#include "src/cfd/implication.h"
+
+namespace cfdprop {
+
+namespace {
+
+/// Adds a row of `arity` fresh variable cells for `relation`.
+std::vector<CellId> AddTemplateRow(SymbolicInstance& inst, size_t arity,
+                                   RelationId relation,
+                                   const AttrDomains& domains) {
+  std::vector<CellId> cells;
+  cells.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    const Domain* d = i < domains.size() ? domains[i] : nullptr;
+    cells.push_back(inst.NewCell(d));
+  }
+  inst.AddRow(relation, cells);
+  return cells;
+}
+
+/// Chases a fork and reports whether phi holds on it. `t1`/`t2` are the
+/// template rows' cells; for special-x phi only t1 is used.
+Result<bool> HoldsOnFork(SymbolicInstance& fork,
+                         const std::vector<CFD>& sigma, const CFD& phi,
+                         const std::vector<CellId>& t1,
+                         const std::vector<CellId>& t2) {
+  CFDPROP_ASSIGN_OR_RETURN(ChaseOutcome outcome, Chase(fork, sigma));
+  if (outcome == ChaseOutcome::kContradiction) {
+    // The premise (a pair/tuple matching phi's LHS) is unsatisfiable
+    // under sigma, so phi holds vacuously on this branch.
+    return true;
+  }
+  if (phi.is_special_x()) {
+    return fork.EqualCells(t1[phi.lhs[0]], t1[phi.rhs]);
+  }
+  if (!fork.EqualCells(t1[phi.rhs], t2[phi.rhs])) return false;
+  if (phi.rhs_pat.is_constant()) {
+    auto c = fork.ConstOf(t1[phi.rhs]);
+    if (!c.has_value() || *c != phi.rhs_pat.value()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AttrDomains DomainsOf(const Catalog& catalog, RelationId relation) {
+  const RelationSchema& schema = catalog.relation(relation);
+  AttrDomains out(schema.arity(), nullptr);
+  for (size_t i = 0; i < schema.arity(); ++i) {
+    out[i] = &schema.attr(static_cast<AttrIndex>(i)).domain;
+  }
+  return out;
+}
+
+Result<bool> Implies(const std::vector<CFD>& sigma, const CFD& phi,
+                     size_t arity, const AttrDomains& domains,
+                     const ImplicationOptions& options) {
+  CFDPROP_RETURN_NOT_OK(phi.Validate(arity));
+  for (const CFD& c : sigma) {
+    CFDPROP_RETURN_NOT_OK(c.Validate(arity));
+    if (c.relation != phi.relation) {
+      return Status::InvalidArgument(
+          "implication requires all CFDs on the same relation");
+    }
+  }
+
+  // Build the template. For a normal phi = (X -> A, tp): two rows that
+  // agree on X and match tp[X]. For special-x phi (A = B): one generic
+  // row (CFDs are closed under sub-instances, so a single arbitrary tuple
+  // is the canonical counterexample).
+  SymbolicInstance base;
+  std::vector<CellId> t1 =
+      AddTemplateRow(base, arity, phi.relation, domains);
+  std::vector<CellId> t2;
+  if (!phi.is_special_x()) {
+    t2 = AddTemplateRow(base, arity, phi.relation, domains);
+    for (size_t i = 0; i < phi.lhs.size(); ++i) {
+      AttrIndex a = phi.lhs[i];
+      base.Union(t1[a], t2[a]);
+      if (phi.lhs_pats[i].is_constant()) {
+        base.BindConst(t1[a], phi.lhs_pats[i].value());
+      }
+    }
+    if (base.contradiction()) return true;  // LHS pattern unsatisfiable
+  }
+
+  if (!options.general_setting) {
+    SymbolicInstance fork = base;
+    return HoldsOnFork(fork, sigma, phi, t1, t2);
+  }
+
+  // General setting: phi is implied iff no instantiation of the
+  // finite-domain variables yields a counterexample. Branch-and-prune:
+  // chase first, branch on surviving unbound finite cells only.
+  CFDPROP_ASSIGN_OR_RETURN(
+      bool counterexample,
+      ExistsChaseBranch(
+          base, sigma,
+          [&](SymbolicInstance& leaf) {
+            // Leaf is already chased and contradiction-free; phi fails
+            // on it iff the RHS condition is not forced.
+            if (phi.is_special_x()) {
+              return !leaf.EqualCells(t1[phi.lhs[0]], t1[phi.rhs]);
+            }
+            if (!leaf.EqualCells(t1[phi.rhs], t2[phi.rhs])) return true;
+            if (phi.rhs_pat.is_constant()) {
+              auto c = leaf.ConstOf(t1[phi.rhs]);
+              if (!c.has_value() || *c != phi.rhs_pat.value()) return true;
+            }
+            return false;
+          },
+          options.instantiation));
+  return !counterexample;
+}
+
+Result<bool> IsSatisfiable(const std::vector<CFD>& sigma, size_t arity,
+                           const AttrDomains& domains,
+                           const ImplicationOptions& options) {
+  if (sigma.empty()) return true;
+  RelationId rel = sigma.front().relation;
+  for (const CFD& c : sigma) {
+    CFDPROP_RETURN_NOT_OK(c.Validate(arity));
+    if (c.relation != rel) {
+      return Status::InvalidArgument(
+          "satisfiability requires all CFDs on the same relation");
+    }
+  }
+
+  SymbolicInstance base;
+  AddTemplateRow(base, arity, rel, domains);
+
+  if (!options.general_setting) {
+    SymbolicInstance fork = base;
+    CFDPROP_ASSIGN_OR_RETURN(ChaseOutcome outcome, Chase(fork, sigma));
+    return outcome == ChaseOutcome::kFixpoint;
+  }
+
+  // Satisfiable iff some instantiation survives the chase: any
+  // contradiction-free leaf is a witness tuple.
+  return ExistsChaseBranch(
+      base, sigma, [](SymbolicInstance&) { return true; },
+      options.instantiation);
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,60 @@
+// Implication and consistency analysis for CFDs (reference [8] of the
+// paper: Fan, Geerts, Jia, Kementsietsidis, "Conditional functional
+// dependencies for capturing data inconsistencies", TODS).
+//
+// Sigma |= phi iff every instance satisfying Sigma satisfies phi. In the
+// infinite-domain setting this is decidable in PTIME via a chase of a
+// two-tuple template (CFD satisfaction is closed under sub-instances, so
+// a counterexample can always be shrunk to the two offending tuples). In
+// the general setting the problem is coNP-complete; we decide it by
+// enumerating instantiations of the finite-domain variables of the
+// template, exactly as the paper's appendix proofs do.
+//
+// These procedures are what MinCover (src/cfd/mincover.h) and the final
+// minimization step of PropCFD_SPC are built on.
+
+#ifndef CFDPROP_CFD_IMPLICATION_H_
+#define CFDPROP_CFD_IMPLICATION_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/chase/chase.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+struct ImplicationOptions {
+  /// When true, unbound finite-domain variables of the chase template are
+  /// instantiated exhaustively (general setting, coNP). When false they
+  /// are treated as infinite-domain variables (the setting of Section 4).
+  bool general_setting = false;
+  InstantiationOptions instantiation;
+};
+
+/// Per-attribute domains of the attribute space CFDs are defined on;
+/// entries may be null (infinite). An empty vector means all-infinite.
+using AttrDomains = std::vector<const Domain*>;
+
+/// The domains of a catalog relation, for building AttrDomains.
+AttrDomains DomainsOf(const Catalog& catalog, RelationId relation);
+
+/// Decides Sigma |= phi over an attribute space of `arity` attributes.
+/// All CFDs (sigma's and phi) must carry the same relation tag; rows of
+/// the internal template are tagged with it.
+Result<bool> Implies(const std::vector<CFD>& sigma, const CFD& phi,
+                     size_t arity, const AttrDomains& domains = {},
+                     const ImplicationOptions& options = {});
+
+/// The consistency (satisfiability) problem: is there a *nonempty*
+/// instance satisfying sigma? PTIME without finite domains, NP-complete
+/// with them ([8]; also the view-free case of the emptiness problem,
+/// Section 3.3).
+Result<bool> IsSatisfiable(const std::vector<CFD>& sigma, size_t arity,
+                           const AttrDomains& domains = {},
+                           const ImplicationOptions& options = {});
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_CFD_IMPLICATION_H_

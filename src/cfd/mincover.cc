@@ -1,0 +1,91 @@
+#include "src/cfd/mincover.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+
+namespace {
+
+/// phi with its i-th LHS attribute removed.
+CFD DropLhsAttr(const CFD& phi, size_t i) {
+  CFD out = phi;
+  out.lhs.erase(out.lhs.begin() + i);
+  out.lhs_pats.erase(out.lhs_pats.begin() + i);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<CFD>> MinCover(std::vector<CFD> sigma, size_t arity,
+                                  const AttrDomains& domains,
+                                  const MinCoverOptions& options) {
+  sigma = DedupeAndDropTrivial(std::move(sigma));
+
+  // Phase 1: remove redundant LHS attributes. phi' (with B dropped) is
+  // stronger than phi, so the replacement is sound iff sigma |= phi'.
+  for (size_t k = 0; k < sigma.size(); ++k) {
+    if (sigma[k].is_special_x()) continue;  // single-attribute LHS
+    for (size_t i = 0; i < sigma[k].lhs.size();) {
+      CFD candidate = DropLhsAttr(sigma[k], i);
+      if (candidate.IsTrivial()) {
+        ++i;
+        continue;
+      }
+      CFDPROP_ASSIGN_OR_RETURN(
+          bool implied,
+          Implies(sigma, candidate, arity, domains, options.implication));
+      if (implied) {
+        sigma[k] = std::move(candidate);
+        // Restart at position i: indices shifted left.
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Attribute removal can introduce duplicates (two CFDs minimizing to
+  // the same one).
+  sigma = DedupeAndDropTrivial(std::move(sigma));
+
+  // Phase 2: remove redundant CFDs.
+  return RemoveRedundantCFDs(std::move(sigma), arity, domains, options);
+}
+
+Result<bool> AreEquivalent(const std::vector<CFD>& a,
+                           const std::vector<CFD>& b, size_t arity,
+                           const AttrDomains& domains,
+                           const ImplicationOptions& options) {
+  for (const CFD& c : a) {
+    CFDPROP_ASSIGN_OR_RETURN(bool implied,
+                             Implies(b, c, arity, domains, options));
+    if (!implied) return false;
+  }
+  for (const CFD& c : b) {
+    CFDPROP_ASSIGN_OR_RETURN(bool implied,
+                             Implies(a, c, arity, domains, options));
+    if (!implied) return false;
+  }
+  return true;
+}
+
+Result<std::vector<CFD>> RemoveRedundantCFDs(std::vector<CFD> sigma,
+                                             size_t arity,
+                                             const AttrDomains& domains,
+                                             const MinCoverOptions& options) {
+  sigma = DedupeAndDropTrivial(std::move(sigma));
+  for (size_t k = 0; k < sigma.size();) {
+    CFD phi = std::move(sigma[k]);
+    sigma.erase(sigma.begin() + k);
+    CFDPROP_ASSIGN_OR_RETURN(
+        bool implied,
+        Implies(sigma, phi, arity, domains, options.implication));
+    if (!implied) {
+      sigma.insert(sigma.begin() + k, std::move(phi));
+      ++k;
+    }
+    // If implied: phi stays removed; k now points at the next CFD.
+  }
+  return sigma;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,17 @@
+#include "src/cfd/pattern.h"
+
+namespace cfdprop {
+
+std::string PatternValue::ToString(const ValuePool& pool) const {
+  switch (kind_) {
+    case PatternKind::kWildcard:
+      return "_";
+    case PatternKind::kSpecialX:
+      return "x";
+    case PatternKind::kConstant:
+      return pool.Text(value_);
+  }
+  return "?";
+}
+
+}  // namespace cfdprop

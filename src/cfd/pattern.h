@@ -1,0 +1,104 @@
+// Pattern values and the operators the paper defines on them.
+//
+// A pattern-tuple entry is one of
+//   * a constant 'a' from the attribute's domain,
+//   * the unnamed variable '_' drawing values from the domain, or
+//   * the special variable 'x' used only by view CFDs of the form
+//     R(A -> B, (x || x)) that encode a selection condition A = B.
+//
+// Three relations drive all reasoning (Section 2.1 and 4.2):
+//   * match   (written # in the paper text):  e1 # e2 iff e1 = e2 or one
+//     of them is '_';
+//   * order   (<=): e1 <= e2 iff e1 and e2 are the same constant, or
+//     e2 = '_' (so constants sit below '_');
+//   * min / oplus: the meet under <= used to build A-resolvents in RBR.
+
+#ifndef CFDPROP_CFD_PATTERN_H_
+#define CFDPROP_CFD_PATTERN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/base/value.h"
+
+namespace cfdprop {
+
+enum class PatternKind : uint8_t {
+  kWildcard = 0,  // '_'
+  kConstant = 1,  // 'a'
+  kSpecialX = 2,  // 'x' (view CFDs expressing A = B)
+};
+
+/// One entry of a pattern tuple.
+class PatternValue {
+ public:
+  /// Default-constructs the wildcard '_'.
+  PatternValue() : kind_(PatternKind::kWildcard), value_(kNoValue) {}
+
+  static PatternValue Wildcard() { return PatternValue(); }
+  static PatternValue Constant(Value v) {
+    PatternValue p;
+    p.kind_ = PatternKind::kConstant;
+    p.value_ = v;
+    return p;
+  }
+  static PatternValue SpecialX() {
+    PatternValue p;
+    p.kind_ = PatternKind::kSpecialX;
+    return p;
+  }
+
+  PatternKind kind() const { return kind_; }
+  bool is_wildcard() const { return kind_ == PatternKind::kWildcard; }
+  bool is_constant() const { return kind_ == PatternKind::kConstant; }
+  bool is_special_x() const { return kind_ == PatternKind::kSpecialX; }
+
+  /// The constant; only valid when is_constant().
+  Value value() const { return value_; }
+
+  /// Data-level match: v # p. A constant matches itself; '_' matches
+  /// every value. (SpecialX never matches at the data level; equality of
+  /// two columns is enforced separately.)
+  bool MatchesValue(Value v) const {
+    return is_wildcard() || (is_constant() && value_ == v);
+  }
+
+  /// Pattern-level match p1 # p2: equal, or either side is '_'.
+  static bool Matches(const PatternValue& p1, const PatternValue& p2) {
+    return p1.is_wildcard() || p2.is_wildcard() || p1 == p2;
+  }
+
+  /// Partial order p1 <= p2: same constant, or p2 = '_'.
+  static bool LessEq(const PatternValue& p1, const PatternValue& p2) {
+    if (p2.is_wildcard()) return true;
+    return p1 == p2;
+  }
+
+  /// min(p1, p2) under <=, i.e. the pattern-tuple oplus at one position:
+  /// defined iff p1 <= p2 or p2 <= p1 (then the smaller one), otherwise
+  /// nullopt (two distinct constants).
+  static std::optional<PatternValue> Min(const PatternValue& p1,
+                                         const PatternValue& p2) {
+    if (LessEq(p1, p2)) return p1;
+    if (LessEq(p2, p1)) return p2;
+    return std::nullopt;
+  }
+
+  bool operator==(const PatternValue& o) const {
+    return kind_ == o.kind_ && (kind_ != PatternKind::kConstant ||
+                                value_ == o.value_);
+  }
+  bool operator!=(const PatternValue& o) const { return !(*this == o); }
+
+  /// "_", "x", or the constant's text.
+  std::string ToString(const ValuePool& pool) const;
+
+ private:
+  PatternKind kind_;
+  Value value_ = kNoValue;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_CFD_PATTERN_H_

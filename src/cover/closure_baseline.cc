@@ -1,0 +1,128 @@
+#include "src/cover/closure_baseline.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+
+namespace {
+
+Status CheckPlainFDs(const std::vector<CFD>& fds, size_t arity) {
+  for (const CFD& c : fds) {
+    CFDPROP_RETURN_NOT_OK(c.Validate(arity));
+    if (!c.IsPlainFD()) {
+      return Status::Unsupported(
+          "closure baseline handles plain FDs only (its classical form)");
+    }
+  }
+  return Status::OK();
+}
+
+/// Closure of the attribute set encoded by `in` (bit per attribute).
+uint64_t CloseBits(const std::vector<CFD>& fds, uint64_t in) {
+  uint64_t closure = in;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const CFD& f : fds) {
+      uint64_t lhs_bits = 0;
+      for (AttrIndex a : f.lhs) lhs_bits |= (1ull << a);
+      if ((closure & lhs_bits) == lhs_bits &&
+          (closure & (1ull << f.rhs)) == 0) {
+        closure |= (1ull << f.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace
+
+Result<std::vector<AttrIndex>> AttributeClosure(
+    const std::vector<CFD>& fds, const std::vector<AttrIndex>& x,
+    size_t arity) {
+  CFDPROP_RETURN_NOT_OK(CheckPlainFDs(fds, arity));
+  if (arity > 63) {
+    return Status::Unsupported("attribute closure supports arity <= 63");
+  }
+  uint64_t bits = 0;
+  for (AttrIndex a : x) {
+    if (a >= arity) return Status::InvalidArgument("attribute out of range");
+    bits |= (1ull << a);
+  }
+  bits = CloseBits(fds, bits);
+  std::vector<AttrIndex> out;
+  for (AttrIndex a = 0; a < arity; ++a) {
+    if (bits & (1ull << a)) out.push_back(a);
+  }
+  return out;
+}
+
+Result<std::vector<CFD>> ClosureBasedProjectionCover(
+    const std::vector<CFD>& fds, const std::vector<AttrIndex>& y,
+    size_t arity, const ClosureBaselineOptions& options) {
+  CFDPROP_RETURN_NOT_OK(CheckPlainFDs(fds, arity));
+  if (arity > 63) {
+    return Status::Unsupported("closure baseline supports arity <= 63");
+  }
+  if (y.size() > options.max_projection_attrs) {
+    return Status::ResourceExhausted(
+        "projection set too large for the 2^|Y| closure enumeration");
+  }
+
+  const uint64_t y_bits = [&] {
+    uint64_t b = 0;
+    for (AttrIndex a : y) b |= (1ull << a);
+    return b;
+  }();
+
+  // Enumerate every subset X of Y, smallest first so that LHS-minimality
+  // can be checked against previously emitted FDs.
+  std::vector<uint64_t> subsets;
+  subsets.reserve(1ull << y.size());
+  for (uint64_t mask = 0; mask < (1ull << y.size()); ++mask) {
+    uint64_t x_bits = 0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      if (mask & (1ull << i)) x_bits |= (1ull << y[i]);
+    }
+    subsets.push_back(x_bits);
+  }
+  std::sort(subsets.begin(), subsets.end(),
+            [](uint64_t a, uint64_t b) {
+              int pa = __builtin_popcountll(a), pb = __builtin_popcountll(b);
+              return pa != pb ? pa < pb : a < b;
+            });
+
+  // emitted[A] collects LHS bitsets already emitted for RHS A.
+  std::vector<std::vector<uint64_t>> emitted(arity);
+  std::vector<CFD> out;
+  RelationId rel = fds.empty() ? kViewSchemaId : fds.front().relation;
+
+  for (uint64_t x_bits : subsets) {
+    uint64_t closure = CloseBits(fds, x_bits);
+    uint64_t new_in_y = (closure & y_bits) & ~x_bits;
+    for (AttrIndex a = 0; a < arity; ++a) {
+      if ((new_in_y & (1ull << a)) == 0) continue;
+      if (options.minimal_lhs_only) {
+        bool subsumed = false;
+        for (uint64_t prev : emitted[a]) {
+          if ((prev & x_bits) == prev) {  // a smaller LHS already works
+            subsumed = true;
+            break;
+          }
+        }
+        if (subsumed) continue;
+      }
+      emitted[a].push_back(x_bits);
+      std::vector<AttrIndex> lhs;
+      for (AttrIndex b = 0; b < arity; ++b) {
+        if (x_bits & (1ull << b)) lhs.push_back(b);
+      }
+      Result<CFD> fd = CFD::FD(rel, std::move(lhs), a);
+      if (fd.ok()) out.push_back(std::move(fd).value());
+    }
+  }
+  return out;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,46 @@
+// The textbook closure-based method for propagation covers of FDs via
+// projection views ([23, 26]; discussed in Sections 1 and 4.1).
+//
+// Given FDs F over U and a projection pi_Y, the method computes the
+// closure F+ — every FD X -> A with X subseteq U implied by F — and
+// projects it onto Y, keeping the FDs whose attributes all lie in Y.
+// This always costs O(2^|Y|) attribute-closure computations regardless
+// of the output size, which is the motivation for RBR (src/cover/rbr.h):
+// RBR is output-sensitive and polynomial in the common case.
+//
+// Implemented for plain FDs only (the classical setting of the baseline);
+// bench_ablation_rbr_vs_closure compares the two.
+
+#ifndef CFDPROP_COVER_CLOSURE_BASELINE_H_
+#define CFDPROP_COVER_CLOSURE_BASELINE_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+
+namespace cfdprop {
+
+struct ClosureBaselineOptions {
+  /// Hard cap on |Y|: the method enumerates all 2^|Y| LHS candidates.
+  size_t max_projection_attrs = 22;
+
+  /// Emit only FDs with subset-minimal LHS (still a cover; much smaller).
+  bool minimal_lhs_only = true;
+};
+
+/// Attribute-set closure X+ under plain FDs (the linear-time primitive of
+/// the baseline). `fds` must be plain FDs over `arity` attributes.
+Result<std::vector<AttrIndex>> AttributeClosure(
+    const std::vector<CFD>& fds, const std::vector<AttrIndex>& x,
+    size_t arity);
+
+/// The textbook propagation cover of `fds` via the projection onto `y`:
+/// all (LHS-minimal) FDs X -> A with X, A within `y` implied by `fds`.
+Result<std::vector<CFD>> ClosureBasedProjectionCover(
+    const std::vector<CFD>& fds, const std::vector<AttrIndex>& y,
+    size_t arity, const ClosureBaselineOptions& options = {});
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_COVER_CLOSURE_BASELINE_H_

@@ -1,0 +1,360 @@
+#include "src/cover/propcfd_spc.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "src/propagation/propagation.h"
+
+namespace cfdprop {
+
+namespace {
+
+/// Fig. 2 line 1: minimize the input per source relation.
+Result<std::vector<CFD>> MinCoverPerRelation(const Catalog& catalog,
+                                             std::vector<CFD> sigma,
+                                             const MinCoverOptions& options) {
+  std::unordered_map<RelationId, std::vector<CFD>> groups;
+  std::vector<RelationId> order;  // deterministic output order
+  for (CFD& c : sigma) {
+    if (groups.find(c.relation) == groups.end()) order.push_back(c.relation);
+    groups[c.relation].push_back(std::move(c));
+  }
+  std::vector<CFD> out;
+  for (RelationId r : order) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        std::vector<CFD> mc,
+        MinCover(std::move(groups[r]), catalog.relation(r).arity(),
+                 /*domains=*/{}, options));
+    for (CFD& c : mc) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+/// Fig. 2 lines 5-6: rename source CFDs onto the Ec column space, one
+/// copy per product atom using that relation.
+std::vector<CFD> RenameToEcColumns(const Catalog& catalog,
+                                   const SPCView& view,
+                                   const std::vector<CFD>& sigma) {
+  std::vector<CFD> out;
+  for (size_t j = 0; j < view.atoms.size(); ++j) {
+    ColumnId base = view.AtomBase(catalog, j);
+    for (const CFD& c : sigma) {
+      if (c.relation != view.atoms[j]) continue;
+      CFD renamed = c;
+      renamed.relation = kViewSchemaId;
+      for (AttrIndex& a : renamed.lhs) a += base;
+      renamed.rhs += base;
+      out.push_back(std::move(renamed));
+    }
+  }
+  return out;
+}
+
+/// Representative choice per Fig. 2 line 8: the class representative,
+/// preferring a column that is projected into the output.
+std::vector<ColumnId> ChooseReps(const Catalog& catalog, const SPCView& view,
+                                 const EqClasses& eq) {
+  const size_t u = view.NumEcColumns(catalog);
+  std::vector<bool> projected(u, false);
+  for (const OutputColumn& o : view.output) {
+    if (!o.is_constant) projected[o.ec_column] = true;
+  }
+  // Per class root: the smallest projected member if any, else the root.
+  std::vector<ColumnId> choice(u, kNoAttr);
+  for (ColumnId c = 0; c < u; ++c) {
+    ColumnId root = eq.Rep(c);
+    if (projected[c] && (choice[root] == kNoAttr || c < choice[root])) {
+      choice[root] = c;
+    }
+  }
+  std::vector<ColumnId> rep(u);
+  for (ColumnId c = 0; c < u; ++c) {
+    ColumnId root = eq.Rep(c);
+    rep[c] = choice[root] != kNoAttr ? choice[root] : root;
+  }
+  return rep;
+}
+
+/// Fig. 2 line 9 (Lemma 4.3) + key simplification: substitutes class
+/// representatives into a CFD and simplifies against class keys.
+/// Returns nullopt when the CFD becomes vacuous/trivial/redundant
+/// (implied by the Sigma_d CFDs emitted by EQ2CFD).
+std::optional<CFD> SubstituteAndSimplify(const CFD& c,
+                                         const std::vector<ColumnId>& rep,
+                                         const EqClasses& eq,
+                                         bool simplify_with_keys) {
+  std::vector<AttrIndex> lhs;
+  std::vector<PatternValue> pats;
+  lhs.reserve(c.lhs.size());
+  pats.reserve(c.lhs.size());
+  for (size_t i = 0; i < c.lhs.size(); ++i) {
+    ColumnId col = rep[c.lhs[i]];
+    const PatternValue& p = c.lhs_pats[i];
+    Value key = eq.Key(col);
+    if (simplify_with_keys && key != kNoValue) {
+      if (p.is_constant() && p.value() != key) {
+        // The column is always `key` on the view, so no view tuple
+        // matches this LHS: the CFD is vacuous (and implied by Sigma_d).
+        return std::nullopt;
+      }
+      // '_' or the key itself: the condition holds on every view tuple;
+      // drop the attribute (agreement on a constant column is automatic).
+      continue;
+    }
+    lhs.push_back(col);
+    pats.push_back(p);
+  }
+
+  ColumnId rhs = rep[c.rhs];
+  PatternValue rhs_pat = c.rhs_pat;
+  Value rhs_key = eq.Key(rhs);
+  if (simplify_with_keys && rhs_key != kNoValue) {
+    if (rhs_pat.is_wildcard() ||
+        (rhs_pat.is_constant() && rhs_pat.value() == rhs_key)) {
+      // RHS agreement/binding already guaranteed by the constant column.
+      return std::nullopt;
+    }
+    // Constant different from the key: the CFD asserts that no view
+    // tuple matches its LHS at all. Re-encode as a forbidden-pattern
+    // CFD over the LHS so the constraint survives the projection even
+    // when `rhs` itself is projected out.
+    bool unconditional = false;
+    std::optional<CFD> forbidden = EncodeForbiddenPattern(
+        kViewSchemaId, std::move(lhs), std::move(pats), rhs_pat.value(),
+        rhs_key, &unconditional);
+    // `unconditional` cannot hold here: ComputeEQ chased the tableau
+    // with sigma, so an all-wildcard LHS would have conflicted there.
+    return forbidden;
+  }
+
+  Result<CFD> made =
+      CFD::Make(kViewSchemaId, std::move(lhs), std::move(pats), rhs, rhs_pat);
+  if (!made.ok()) {
+    // Two LHS occurrences of one class carry incomparable constants: the
+    // LHS matches no view tuple (the class columns are equal), vacuous.
+    return std::nullopt;
+  }
+  if (made.value().IsTrivial()) return std::nullopt;
+  return std::move(made).value();
+}
+
+}  // namespace
+
+Result<PropCoverResult> PropagationCoverSPC(Catalog& catalog,
+                                            const SPCView& view,
+                                            std::vector<CFD> sigma,
+                                            const PropCoverOptions& options) {
+  CFDPROP_RETURN_NOT_OK(view.Validate(catalog));
+  for (const CFD& c : sigma) {
+    if (c.relation >= catalog.num_relations()) {
+      return Status::InvalidArgument("source CFD with unknown relation");
+    }
+    CFDPROP_RETURN_NOT_OK(c.Validate(catalog.relation(c.relation).arity()));
+  }
+
+  PropCoverResult result;
+
+  // Line 1: Sigma := MinCover(Sigma).
+  if (options.input_mincover) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        sigma, MinCoverPerRelation(catalog, std::move(sigma),
+                                   options.mincover));
+  }
+  result.input_cfds = sigma.size();
+
+  // Line 2: EQ := ComputeEQ(Es, Sigma).
+  CFDPROP_ASSIGN_OR_RETURN(EqClasses eq, ComputeEQ(catalog, view, sigma));
+
+  // Lines 3-4: inconsistency => the Lemma 4.5 pair.
+  if (eq.inconsistent) {
+    result.cover = MakeEmptyViewCover(catalog, view);
+    result.always_empty = true;
+    return result;
+  }
+
+  // Lines 5-6: Sigma_V := renamed copies per product atom.
+  std::vector<CFD> sigma_v = RenameToEcColumns(catalog, view, sigma);
+
+  // Lines 7-10: substitute representatives, apply domain constraints.
+  std::vector<ColumnId> rep = ChooseReps(catalog, view, eq);
+  {
+    std::vector<CFD> substituted;
+    substituted.reserve(sigma_v.size());
+    for (const CFD& c : sigma_v) {
+      std::optional<CFD> s =
+          SubstituteAndSimplify(c, rep, eq, options.simplify_with_keys);
+      if (s.has_value()) substituted.push_back(std::move(*s));
+    }
+    sigma_v = DedupeAndDropTrivial(std::move(substituted));
+  }
+
+  const size_t u = view.NumEcColumns(catalog);
+  if (!options.simplify_with_keys) {
+    // Keys were not folded into the CFDs; expose them to RBR as
+    // empty-LHS constant CFDs so resolution can use them.
+    for (ColumnId c = 0; c < u; ++c) {
+      if (rep[c] != c) continue;
+      Value key = eq.Key(c);
+      if (key == kNoValue) continue;
+      CFD k;
+      k.relation = kViewSchemaId;
+      k.rhs = c;
+      k.rhs_pat = PatternValue::Constant(key);
+      sigma_v.push_back(std::move(k));
+    }
+  }
+  result.sigma_v_size = sigma_v.size();
+
+  // Line 11: Sigma_c := RBR(Sigma_V, attr(Es) - Y). Only attributes that
+  // actually occur in Sigma_V need dropping: absent attributes generate
+  // no resolvents and nothing to remove.
+  std::vector<bool> keep(u, false);
+  for (const OutputColumn& o : view.output) {
+    if (!o.is_constant) keep[rep[o.ec_column]] = true;
+  }
+  std::vector<bool> mentioned(u, false);
+  for (const CFD& c : sigma_v) {
+    for (AttrIndex a : c.lhs) mentioned[a] = true;
+    mentioned[c.rhs] = true;
+  }
+  std::vector<AttrIndex> drop;
+  for (ColumnId c = 0; c < u; ++c) {
+    if (mentioned[c] && !keep[c]) drop.push_back(c);
+  }
+  CFDPROP_ASSIGN_OR_RETURN(RBRResult rbr,
+                           RBR(std::move(sigma_v), drop, u, options.rbr));
+  if (rbr.inconsistent) {
+    // Elimination derived an unconditional contradiction that the
+    // ComputeEQ chase missed: the view is always empty (Lemma 4.5).
+    result.cover = MakeEmptyViewCover(catalog, view);
+    result.always_empty = true;
+    return result;
+  }
+  result.truncated = rbr.truncated;
+  result.rbr_output_size = rbr.cover.size();
+
+  // Map Ec representatives to output column positions.
+  std::unordered_map<ColumnId, AttrIndex> rep_to_out;
+  for (size_t i = 0; i < view.output.size(); ++i) {
+    const OutputColumn& o = view.output[i];
+    if (o.is_constant) continue;
+    rep_to_out.emplace(rep[o.ec_column], static_cast<AttrIndex>(i));
+  }
+  std::vector<CFD> cover;
+  cover.reserve(rbr.cover.size());
+  for (const CFD& c : rbr.cover) {
+    std::vector<AttrIndex> lhs;
+    std::vector<PatternValue> pats;
+    bool ok = true;
+    for (size_t i = 0; i < c.lhs.size(); ++i) {
+      auto it = rep_to_out.find(c.lhs[i]);
+      if (it == rep_to_out.end()) {
+        ok = false;  // defensive; RBR leaves only kept columns
+        break;
+      }
+      lhs.push_back(it->second);
+      pats.push_back(c.lhs_pats[i]);
+    }
+    auto rit = rep_to_out.find(c.rhs);
+    if (!ok || rit == rep_to_out.end()) continue;
+    Result<CFD> made = CFD::Make(kViewSchemaId, std::move(lhs),
+                                 std::move(pats), rit->second, c.rhs_pat);
+    if (made.ok() && !made.value().IsTrivial()) {
+      cover.push_back(std::move(made).value());
+    }
+  }
+
+  // Line 12: Sigma_d := EQ2CFD(EQ).
+  std::vector<CFD> sigma_d = EQ2CFD(catalog, view, eq);
+  for (CFD& c : sigma_d) cover.push_back(std::move(c));
+
+  // Line 13: MinCover(Sigma_c ++ Sigma_d).
+  if (options.final_mincover) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        cover, MinCover(std::move(cover), view.OutputArity(), /*domains=*/{},
+                        options.mincover));
+  } else {
+    cover = DedupeAndDropTrivial(std::move(cover));
+  }
+  result.cover = std::move(cover);
+  return result;
+}
+
+Result<PropCoverResult> PropagationCoverSPCU(Catalog& catalog,
+                                             const SPCUView& view,
+                                             std::vector<CFD> sigma,
+                                             const PropCoverOptions& options) {
+  CFDPROP_RETURN_NOT_OK(view.Validate(catalog));
+  if (view.disjuncts.size() == 1) {
+    return PropagationCoverSPC(catalog, view.disjuncts[0], std::move(sigma),
+                               options);
+  }
+
+  // Candidates: the union of per-disjunct covers, each CFD additionally
+  // guarded by its disjunct's constant output columns. Within a disjunct
+  // those columns are constant, so MinCover strips conditions on them —
+  // but across the union they are exactly the discriminators that make a
+  // CFD propagatable (the CC = '44' of phi1 in Example 1.1).
+  PropCoverResult result;
+  std::vector<CFD> candidates;
+  size_t empty_disjuncts = 0;
+  for (const SPCView& disjunct : view.disjuncts) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        PropCoverResult r,
+        PropagationCoverSPC(catalog, disjunct, sigma, options));
+    result.truncated |= r.truncated;
+    if (r.always_empty) {
+      ++empty_disjuncts;
+      continue;  // an always-empty disjunct constrains nothing
+    }
+    std::vector<std::pair<AttrIndex, Value>> guards;
+    for (size_t i = 0; i < disjunct.output.size(); ++i) {
+      if (disjunct.output[i].is_constant) {
+        guards.emplace_back(static_cast<AttrIndex>(i),
+                            disjunct.output[i].value);
+      }
+    }
+    for (CFD& c : r.cover) {
+      if (!guards.empty() && !c.is_special_x()) {
+        std::vector<AttrIndex> lhs = c.lhs;
+        std::vector<PatternValue> pats = c.lhs_pats;
+        for (const auto& [attr, value] : guards) {
+          if (c.FindLhs(attr) == SIZE_MAX) {
+            lhs.push_back(attr);
+            pats.push_back(PatternValue::Constant(value));
+          }
+        }
+        Result<CFD> guarded = CFD::Make(kViewSchemaId, std::move(lhs),
+                                        std::move(pats), c.rhs, c.rhs_pat);
+        if (guarded.ok() && !guarded.value().IsTrivial()) {
+          candidates.push_back(std::move(guarded).value());
+        }
+      }
+      candidates.push_back(std::move(c));
+    }
+  }
+  if (empty_disjuncts == view.disjuncts.size()) {
+    result.cover = MakeEmptyViewCover(catalog, view.disjuncts[0]);
+    result.always_empty = true;
+    return result;
+  }
+  candidates = DedupeAndDropTrivial(std::move(candidates));
+
+  // Keep the candidates propagated via the whole union (the cross-
+  // disjunct pair checks are what per-disjunct covers cannot see).
+  std::vector<CFD> kept;
+  for (CFD& c : candidates) {
+    CFDPROP_ASSIGN_OR_RETURN(bool prop, IsPropagated(catalog, view, sigma, c));
+    if (prop) kept.push_back(std::move(c));
+  }
+  if (options.final_mincover) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        kept, MinCover(std::move(kept), view.OutputArity(), /*domains=*/{},
+                       options.mincover));
+  }
+  result.cover = std::move(kept);
+  return result;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,97 @@
+// PropCFD_SPC (Fig. 2): minimal propagation covers of CFDs via SPC views.
+//
+// Given source CFDs Sigma and an SPC view V = pi_Y(Rc x sigma_F(Ec)),
+// computes a minimal cover of CFDp(Sigma, V), the set of all view CFDs
+// propagated from Sigma via V, in the infinite-domain setting (the
+// setting of Section 4; finite-domain attributes are treated as
+// infinite, which keeps the output sound but possibly incomplete — the
+// generalization is the paper's future work).
+//
+// Pipeline, following Fig. 2 line by line:
+//   1. Sigma := MinCover(Sigma)                        (per source relation)
+//   2. EQ := ComputeEQ(Es, Sigma); "⊥" => Lemma 4.5 pair
+//   3. Sigma_V := renamed copies of Sigma per product atom
+//   4. substitute class representatives (Lemma 4.3) and simplify with
+//      class keys; keep only Y attributes in classes
+//   5. Sigma_c := RBR(Sigma_V, attr(Es) - Y)           (projection)
+//   6. Sigma_d := EQ2CFD(EQ)                           (domain constraints)
+//   7. return MinCover(Sigma_c ++ Sigma_d)
+//
+// A union extension (Section 7 "future work") is provided as
+// PropagationCoverSPCU: sound — every returned CFD is propagated — but
+// not guaranteed complete across disjuncts.
+
+#ifndef CFDPROP_COVER_PROPCFD_SPC_H_
+#define CFDPROP_COVER_PROPCFD_SPC_H_
+
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/cfd/mincover.h"
+#include "src/cover/compute_eq.h"
+#include "src/cover/rbr.h"
+
+namespace cfdprop {
+
+struct PropCoverOptions {
+  RBROptions rbr;
+  MinCoverOptions mincover;
+
+  /// Run the final MinCover (Fig. 2 line 13). Disable to inspect the raw
+  /// RBR + EQ2CFD output.
+  bool final_mincover = true;
+
+  /// Simplify Sigma_V with class keys before RBR: constants forced by F
+  /// make pattern conditions vacuous or CFDs redundant. This is the
+  /// interaction the paper credits for runtimes *decreasing* as |F|
+  /// grows (Fig. 7 discussion).
+  bool simplify_with_keys = true;
+
+  /// Run MinCover on the input Sigma (Fig. 2 line 1). Disable when the
+  /// caller already minimized.
+  bool input_mincover = true;
+};
+
+struct PropCoverResult {
+  /// The propagation cover, over the view's output columns, tagged
+  /// kViewSchemaId.
+  std::vector<CFD> cover;
+
+  /// True when ComputeEQ returned "⊥": the view is empty under every
+  /// Sigma-satisfying source and `cover` is the Lemma 4.5 pair.
+  bool always_empty = false;
+
+  /// True when RBR hit its budget (OnBudget::kTruncate): `cover` is a
+  /// sound subset of a propagation cover.
+  bool truncated = false;
+
+  // Introspection counters for the experimental study.
+  size_t input_cfds = 0;      // |Sigma| after input MinCover
+  size_t sigma_v_size = 0;    // |Sigma_V| handed to RBR
+  size_t rbr_output_size = 0; // |Sigma_c| before the final MinCover
+};
+
+/// Computes a minimal propagation cover of `sigma` via `view`.
+/// `sigma` holds CFDs tagged with source relation ids of `catalog`.
+/// The catalog is non-const only for interning the Lemma 4.5 constants.
+Result<PropCoverResult> PropagationCoverSPC(Catalog& catalog,
+                                            const SPCView& view,
+                                            std::vector<CFD> sigma,
+                                            const PropCoverOptions& options =
+                                                {});
+
+/// Union extension: a *sound* propagation cover via an SPCU view — each
+/// returned CFD is propagated via every disjunct — computed by filtering
+/// the per-disjunct covers through the propagation test. Completeness
+/// across disjuncts is not guaranteed (open problem, Section 7).
+Result<PropCoverResult> PropagationCoverSPCU(Catalog& catalog,
+                                             const SPCUView& view,
+                                             std::vector<CFD> sigma,
+                                             const PropCoverOptions& options =
+                                                 {});
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_COVER_PROPCFD_SPC_H_

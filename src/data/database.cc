@@ -1,0 +1,32 @@
+#include "src/data/database.h"
+
+namespace cfdprop {
+
+Database::Database(Catalog& catalog) : catalog_(catalog) {
+  relations_.reserve(catalog.num_relations());
+  for (RelationId i = 0; i < catalog.num_relations(); ++i) {
+    relations_.emplace_back(&catalog.relation(i), i);
+  }
+}
+
+Status Database::Insert(RelationId id, Tuple t) {
+  if (id >= relations_.size()) {
+    return Status::InvalidArgument("unknown relation id");
+  }
+  return relations_[id].Insert(std::move(t));
+}
+
+Status Database::InsertText(std::string_view relation_name,
+                            const std::vector<std::string>& texts) {
+  RelationId id = catalog_.FindRelation(relation_name);
+  if (id == kNoRelation) {
+    return Status::NotFound("unknown relation: " +
+                            std::string(relation_name));
+  }
+  Tuple t;
+  t.reserve(texts.size());
+  for (const std::string& s : texts) t.push_back(catalog_.pool().Intern(s));
+  return Insert(id, std::move(t));
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,42 @@
+// A database: one Relation instance per catalog relation.
+
+#ifndef CFDPROP_DATA_DATABASE_H_
+#define CFDPROP_DATA_DATABASE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/data/relation.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+/// Holds an instance of every relation of a catalog. The catalog is
+/// non-const so text inserts can intern new constants.
+class Database {
+ public:
+  explicit Database(Catalog& catalog);
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  Relation& relation(RelationId id) { return relations_[id]; }
+  const Relation& relation(RelationId id) const { return relations_[id]; }
+  size_t num_relations() const { return relations_.size(); }
+
+  /// Inserts a tuple of already-interned values.
+  Status Insert(RelationId id, Tuple t);
+
+  /// Convenience: interns `texts` and inserts into the named relation.
+  Status InsertText(std::string_view relation_name,
+                    const std::vector<std::string>& texts);
+
+ private:
+  Catalog& catalog_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_DATA_DATABASE_H_

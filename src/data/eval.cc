@@ -1,0 +1,89 @@
+#include "src/data/eval.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+
+namespace {
+
+/// Recursive product with selection pushdown: extends `current` (the
+/// concatenated tuple over atoms [0, depth)) one atom at a time, checking
+/// every selection whose columns are all materialized.
+struct ProductState {
+  const Database& db;
+  const SPCView& view;
+  const EvalOptions& options;
+  std::vector<ColumnId> atom_base;  // first column of each atom
+  std::vector<Value> current;       // Ec columns materialized so far
+  std::vector<Tuple> out;
+  uint64_t rows = 0;
+
+  bool SelectionsHold(size_t columns_ready) const {
+    for (const Selection& s : view.selections) {
+      if (s.left >= columns_ready) continue;
+      if (s.kind == Selection::Kind::kConstantEq) {
+        if (current[s.left] != s.value) return false;
+      } else {
+        if (s.right >= columns_ready) continue;
+        if (current[s.left] != current[s.right]) return false;
+      }
+    }
+    return true;
+  }
+
+  Status Recurse(size_t atom) {
+    if (atom == view.atoms.size()) {
+      Tuple t;
+      t.reserve(view.output.size());
+      for (const OutputColumn& o : view.output) {
+        t.push_back(o.is_constant ? o.value : current[o.ec_column]);
+      }
+      out.push_back(std::move(t));
+      return Status::OK();
+    }
+    const Relation& rel = db.relation(view.atoms[atom]);
+    const size_t before = current.size();
+    for (const Tuple& row : rel.tuples()) {
+      if (++rows > options.max_rows) {
+        return Status::ResourceExhausted("view evaluation row budget");
+      }
+      current.insert(current.end(), row.begin(), row.end());
+      if (SelectionsHold(current.size())) {
+        CFDPROP_RETURN_NOT_OK(Recurse(atom + 1));
+      }
+      current.resize(before);
+    }
+    return Status::OK();
+  }
+};
+
+void Dedupe(std::vector<Tuple>& rows) {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> Evaluate(const Database& db, const SPCView& view,
+                                    const EvalOptions& options) {
+  CFDPROP_RETURN_NOT_OK(view.Validate(db.catalog()));
+  ProductState state{db, view, options, {}, {}, {}, 0};
+  CFDPROP_RETURN_NOT_OK(state.Recurse(0));
+  Dedupe(state.out);
+  return std::move(state.out);
+}
+
+Result<std::vector<Tuple>> Evaluate(const Database& db, const SPCUView& view,
+                                    const EvalOptions& options) {
+  CFDPROP_RETURN_NOT_OK(view.Validate(db.catalog()));
+  std::vector<Tuple> all;
+  for (const SPCView& v : view.disjuncts) {
+    CFDPROP_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                             Evaluate(db, v, options));
+    for (Tuple& t : rows) all.push_back(std::move(t));
+  }
+  Dedupe(all);
+  return all;
+}
+
+}  // namespace cfdprop

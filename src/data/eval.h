@@ -1,0 +1,34 @@
+// Evaluation of SPC/SPCU views over concrete databases.
+//
+// Used by the examples (materializing Example 1.1's integration view)
+// and by the property tests: for random sources satisfying Sigma, every
+// CFD of a propagation cover must hold on the evaluated view.
+
+#ifndef CFDPROP_DATA_EVAL_H_
+#define CFDPROP_DATA_EVAL_H_
+
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/base/status.h"
+#include "src/data/database.h"
+
+namespace cfdprop {
+
+struct EvalOptions {
+  /// Cap on intermediate product size; the Cartesian product of n atoms
+  /// is exponential in n.
+  uint64_t max_rows = 1u << 22;
+};
+
+/// Evaluates an SPC view; set semantics (duplicates eliminated).
+Result<std::vector<Tuple>> Evaluate(const Database& db, const SPCView& view,
+                                    const EvalOptions& options = {});
+
+/// Evaluates an SPCU view (union of the disjuncts' results).
+Result<std::vector<Tuple>> Evaluate(const Database& db, const SPCUView& view,
+                                    const EvalOptions& options = {});
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_DATA_EVAL_H_

@@ -1,0 +1,27 @@
+#include "src/data/relation.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+
+Status Relation::Insert(Tuple t) {
+  if (t.size() != schema_->arity()) {
+    return Status::InvalidArgument("tuple arity mismatch for relation " +
+                                   schema_->name());
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Domain& d = schema_->attr(static_cast<AttrIndex>(i)).domain;
+    if (!d.Contains(t[i])) {
+      return Status::InvalidArgument(
+          "value outside the finite domain of attribute " +
+          schema_->attr(static_cast<AttrIndex>(i)).name);
+    }
+  }
+  if (std::find(tuples_.begin(), tuples_.end(), t) != tuples_.end()) {
+    return Status::OK();  // set semantics
+  }
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,41 @@
+// Concrete relations: bags of interned-value tuples over a schema.
+
+#ifndef CFDPROP_DATA_RELATION_H_
+#define CFDPROP_DATA_RELATION_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/value.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+/// A tuple of interned values; position i corresponds to attribute i.
+using Tuple = std::vector<Value>;
+
+/// An instance of one relation schema. Set semantics: duplicate inserts
+/// are ignored.
+class Relation {
+ public:
+  Relation(const RelationSchema* schema, RelationId id)
+      : schema_(schema), id_(id) {}
+
+  const RelationSchema& schema() const { return *schema_; }
+  RelationId id() const { return id_; }
+
+  /// Inserts a tuple; checks arity and finite-domain membership.
+  Status Insert(Tuple t);
+
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+ private:
+  const RelationSchema* schema_;
+  RelationId id_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_DATA_RELATION_H_

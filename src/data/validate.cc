@@ -1,0 +1,83 @@
+#include "src/data/validate.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cfdprop {
+
+Result<std::vector<Violation>> FindViolations(const std::vector<Tuple>& rows,
+                                              const CFD& cfd, size_t arity) {
+  CFDPROP_RETURN_NOT_OK(cfd.Validate(arity));
+  std::vector<Violation> out;
+
+  if (cfd.is_special_x()) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i][cfd.lhs[0]] != rows[i][cfd.rhs]) out.emplace_back(i, i);
+    }
+    return out;
+  }
+
+  // Group the tuples matching tp[X] by their X values; within a group
+  // every RHS value must be identical and match tp[A].
+  std::map<std::vector<Value>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Tuple& t = rows[i];
+    bool matches = true;
+    for (size_t k = 0; k < cfd.lhs.size(); ++k) {
+      if (!cfd.lhs_pats[k].MatchesValue(t[cfd.lhs[k]])) {
+        matches = false;
+        break;
+      }
+    }
+    if (!matches) continue;
+    std::vector<Value> key;
+    key.reserve(cfd.lhs.size());
+    for (AttrIndex a : cfd.lhs) key.push_back(t[a]);
+    groups[std::move(key)].push_back(i);
+  }
+
+  for (const auto& [key, members] : groups) {
+    // Single-tuple violations: constant RHS pattern mismatch.
+    if (cfd.rhs_pat.is_constant()) {
+      for (size_t i : members) {
+        if (rows[i][cfd.rhs] != cfd.rhs_pat.value()) out.emplace_back(i, i);
+      }
+    }
+    // Pair violations: disagreement on the RHS within the group.
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        if (rows[members[a]][cfd.rhs] != rows[members[b]][cfd.rhs]) {
+          out.emplace_back(members[a], members[b]);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<bool> Satisfies(const std::vector<Tuple>& rows, const CFD& cfd,
+                       size_t arity) {
+  CFDPROP_ASSIGN_OR_RETURN(std::vector<Violation> v,
+                           FindViolations(rows, cfd, arity));
+  return v.empty();
+}
+
+Result<bool> Satisfies(const Database& db, const CFD& cfd) {
+  if (cfd.relation >= db.num_relations()) {
+    return Status::InvalidArgument("CFD on unknown relation");
+  }
+  const Relation& rel = db.relation(cfd.relation);
+  return Satisfies(rel.tuples(), cfd, rel.schema().arity());
+}
+
+Result<bool> SatisfiesAll(const Database& db, const std::vector<CFD>& sigma) {
+  for (const CFD& c : sigma) {
+    CFDPROP_ASSIGN_OR_RETURN(bool ok, Satisfies(db, c));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace cfdprop

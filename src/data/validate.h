@@ -1,0 +1,43 @@
+// CFD satisfaction on concrete data (Definition 2.1 semantics) and
+// violation detection — the data-cleaning use of CFDs.
+//
+// D |= (X -> A, tp) iff for every ordered pair of tuples t1, t2
+// (including t1 = t2) with t1[X] = t2[X] matching tp[X], t1[A] = t2[A]
+// matches tp[A]. A pair (i, i) in a violation report is a single-tuple
+// violation: the tuple matches tp[X] but its A disagrees with a constant
+// tp[A]. D |= (A -> B, (x || x)) iff every tuple has t[A] = t[B].
+
+#ifndef CFDPROP_DATA_VALIDATE_H_
+#define CFDPROP_DATA_VALIDATE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/data/database.h"
+
+namespace cfdprop {
+
+/// A violating pair of tuple indices (i <= j; i == j for single-tuple
+/// constant violations).
+using Violation = std::pair<size_t, size_t>;
+
+/// All violations of `cfd` on a tuple set (a relation instance or a
+/// materialized view). `arity` is the tuple width the CFD is over.
+Result<std::vector<Violation>> FindViolations(const std::vector<Tuple>& rows,
+                                              const CFD& cfd, size_t arity);
+
+/// True iff the tuple set satisfies `cfd`.
+Result<bool> Satisfies(const std::vector<Tuple>& rows, const CFD& cfd,
+                       size_t arity);
+
+/// True iff the database satisfies a source CFD (on cfd.relation).
+Result<bool> Satisfies(const Database& db, const CFD& cfd);
+
+/// True iff the database satisfies every CFD of sigma.
+Result<bool> SatisfiesAll(const Database& db, const std::vector<CFD>& sigma);
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_DATA_VALIDATE_H_

@@ -1,0 +1,269 @@
+#include "src/gen/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "src/cfd/implication.h"
+#include "src/data/validate.h"
+
+namespace cfdprop {
+
+namespace {
+
+/// k distinct values drawn from [0, n).
+std::vector<uint32_t> SampleDistinct(Rng& rng, size_t k, size_t n) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector; fine at our sizes.
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + rng.Below(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Value RandomConstant(Catalog& catalog, Rng& rng, const Domain& domain,
+                     uint32_t lo, uint32_t hi) {
+  if (domain.finite()) {
+    const auto& vals = domain.values();
+    return vals[rng.Below(vals.size())];
+  }
+  return catalog.pool().InternInt(
+      static_cast<int64_t>(rng.Uniform(lo, hi)));
+}
+
+}  // namespace
+
+Catalog GenerateSchema(const SchemaGenOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  Catalog catalog;
+  for (size_t r = 0; r < options.num_relations; ++r) {
+    size_t arity = rng.Uniform(options.min_arity, options.max_arity);
+    std::vector<Attribute> attrs;
+    attrs.reserve(arity);
+    for (size_t a = 0; a < arity; ++a) {
+      std::string name = "A" + std::to_string(a);
+      if (options.finite_pct > 0 && rng.Percent(options.finite_pct)) {
+        std::vector<Value> values;
+        values.reserve(options.finite_domain_size);
+        for (size_t v = 0; v < options.finite_domain_size; ++v) {
+          values.push_back(
+              catalog.pool().Intern("d" + std::to_string(v)));
+        }
+        attrs.push_back(Attribute{std::move(name),
+                                  Domain::Finite("enum", std::move(values))});
+      } else {
+        attrs.push_back(Attribute{std::move(name), Domain::Infinite()});
+      }
+    }
+    auto added =
+        catalog.AddRelation("R" + std::to_string(r), std::move(attrs));
+    assert(added.ok());
+    (void)added;
+  }
+  return catalog;
+}
+
+std::vector<CFD> GenerateCFDs(Catalog& catalog, const CFDGenOptions& options,
+                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CFD> out;
+  out.reserve(options.count);
+  while (out.size() < options.count) {
+    RelationId rel =
+        static_cast<RelationId>(rng.Below(catalog.num_relations()));
+    const RelationSchema& schema = catalog.relation(rel);
+    size_t max_lhs = std::min(options.max_lhs, schema.arity() - 1);
+    size_t min_lhs = std::min(options.min_lhs, max_lhs);
+    size_t k = rng.Uniform(min_lhs, max_lhs);
+
+    // k LHS attributes plus a distinct RHS.
+    std::vector<uint32_t> picked = SampleDistinct(rng, k + 1, schema.arity());
+    AttrIndex rhs = picked.back();
+    picked.pop_back();
+
+    std::vector<AttrIndex> lhs(picked.begin(), picked.end());
+    std::vector<PatternValue> pats;
+    pats.reserve(k);
+    for (AttrIndex a : lhs) {
+      if (rng.Percent(options.var_pct)) {
+        pats.push_back(PatternValue::Wildcard());
+      } else {
+        pats.push_back(PatternValue::Constant(
+            RandomConstant(catalog, rng, schema.attr(a).domain,
+                           options.const_lo, options.const_hi)));
+      }
+    }
+    PatternValue rhs_pat =
+        rng.Percent(options.var_pct)
+            ? PatternValue::Wildcard()
+            : PatternValue::Constant(
+                  RandomConstant(catalog, rng, schema.attr(rhs).domain,
+                                 options.const_lo, options.const_hi));
+
+    // A constant RHS with an all-wildcard LHS forces the same constant
+    // on EVERY tuple; two such CFDs on one attribute make Sigma globally
+    // unsatisfiable, which would reduce every experiment to the trivial
+    // always-empty case. Anchor such CFDs with one LHS constant.
+    if (rhs_pat.is_constant() && !lhs.empty()) {
+      bool has_const = false;
+      for (const PatternValue& p : pats) has_const |= p.is_constant();
+      if (!has_const) {
+        size_t pos = rng.Below(pats.size());
+        pats[pos] = PatternValue::Constant(
+            RandomConstant(catalog, rng, schema.attr(lhs[pos]).domain,
+                           options.const_lo, options.const_hi));
+      }
+    }
+
+    Result<CFD> made =
+        CFD::Make(rel, std::move(lhs), std::move(pats), rhs, rhs_pat);
+    if (made.ok() && !made.value().IsTrivial()) {
+      out.push_back(std::move(made).value());
+    }
+  }
+  return out;
+}
+
+Result<SPCView> GenerateSPCView(Catalog& catalog,
+                                const ViewGenOptions& options,
+                                uint64_t seed) {
+  if (options.num_atoms == 0) {
+    return Status::InvalidArgument("view must have at least one atom");
+  }
+  Rng rng(seed);
+  SPCView view;
+  size_t u = 0;
+  for (size_t j = 0; j < options.num_atoms; ++j) {
+    RelationId rel =
+        static_cast<RelationId>(rng.Below(catalog.num_relations()));
+    view.atoms.push_back(rel);
+    u += catalog.relation(rel).arity();
+  }
+
+  // Distinct left columns: two constant selections on one column would
+  // almost surely conflict (constants range over [1, 100000]) and reduce
+  // the view to the degenerate always-empty case.
+  size_t num_selections = std::min(options.num_selections, u);
+  std::vector<uint32_t> sel_cols = SampleDistinct(rng, num_selections, u);
+  for (size_t f = 0; f < num_selections; ++f) {
+    ColumnId a = static_cast<ColumnId>(sel_cols[f]);
+    if (rng.Percent(options.const_selection_pct)) {
+      Value v = catalog.pool().InternInt(
+          static_cast<int64_t>(rng.Uniform(options.const_lo,
+                                           options.const_hi)));
+      view.selections.push_back(Selection::ConstantEq(a, v));
+    } else {
+      ColumnId b = static_cast<ColumnId>(rng.Below(u));
+      if (b == a) b = static_cast<ColumnId>((b + 1) % u);
+      view.selections.push_back(Selection::ColumnEq(a, b));
+    }
+  }
+
+  size_t y = std::min(options.num_projection, u);
+  if (y == 0) return Status::InvalidArgument("empty projection");
+  std::vector<uint32_t> cols = SampleDistinct(rng, y, u);
+  std::sort(cols.begin(), cols.end());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    view.output.push_back(OutputColumn::Projected(
+        "c" + std::to_string(i), static_cast<ColumnId>(cols[i])));
+  }
+  CFDPROP_RETURN_NOT_OK(view.Validate(catalog));
+  return view;
+}
+
+Result<Database> GenerateSatisfyingDatabase(Catalog& catalog,
+                                            const std::vector<CFD>& sigma,
+                                            const DataGenOptions& options,
+                                            uint64_t seed) {
+  // An unsatisfiable sigma can never be repaired into; fail fast with a
+  // clear status instead of burning repair rounds.
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    std::vector<CFD> on_r;
+    for (const CFD& c : sigma) {
+      if (c.relation == r) on_r.push_back(c);
+    }
+    CFDPROP_ASSIGN_OR_RETURN(
+        bool sat, IsSatisfiable(on_r, catalog.relation(r).arity()));
+    if (!sat) {
+      return Status::Inconsistent("sigma is unsatisfiable on relation " +
+                                  catalog.relation(r).name());
+    }
+  }
+
+  Rng rng(seed);
+  Database db(catalog);
+
+  // Random fill. Finite-domain attributes draw from their domain.
+  for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+    const RelationSchema& schema = catalog.relation(r);
+    for (size_t i = 0; i < options.rows_per_relation; ++i) {
+      Tuple t;
+      t.reserve(schema.arity());
+      for (AttrIndex a = 0; a < schema.arity(); ++a) {
+        const Domain& dom = schema.attr(a).domain;
+        if (dom.finite()) {
+          t.push_back(dom.values()[rng.Below(dom.values().size())]);
+        } else {
+          t.push_back(catalog.pool().InternInt(
+              static_cast<int64_t>(rng.Uniform(1, options.value_range))));
+        }
+      }
+      CFDPROP_RETURN_NOT_OK(db.Insert(r, std::move(t)));
+    }
+  }
+
+  // Repair rounds. Value repair rewrites violating RHS cells (pattern
+  // constant for single-tuple violations, the smaller value for pair
+  // disagreements — monotone, so pair rules cannot oscillate). A tuple
+  // whose LHS matches two CFDs that force different constants on the
+  // same attribute cannot be value-repaired at all; after half the round
+  // budget we switch to deleting violating tuples, which always
+  // converges (sigma is satisfiable and CFDs are closed under subsets).
+  for (size_t round = 0; round < options.max_repair_rounds; ++round) {
+    const bool delete_mode = round >= options.max_repair_rounds / 2;
+    bool changed = false;
+    for (RelationId r = 0; r < catalog.num_relations(); ++r) {
+      Relation& rel = db.relation(r);
+      std::vector<Tuple> rows = rel.tuples();
+      std::vector<bool> doomed(rows.size(), false);
+      for (const CFD& cfd : sigma) {
+        if (cfd.relation != r) continue;
+        CFDPROP_ASSIGN_OR_RETURN(
+            std::vector<Violation> violations,
+            FindViolations(rows, cfd, rel.schema().arity()));
+        for (const Violation& v : violations) {
+          changed = true;
+          if (delete_mode) {
+            doomed[v.second] = true;
+          } else if (v.first == v.second) {
+            rows[v.first][cfd.rhs] = cfd.rhs_pat.value();
+          } else {
+            Value m = std::min(rows[v.first][cfd.rhs],
+                               rows[v.second][cfd.rhs]);
+            rows[v.first][cfd.rhs] = m;
+            rows[v.second][cfd.rhs] = m;
+          }
+        }
+      }
+      // Rebuild the relation (set semantics may collapse duplicates).
+      Relation rebuilt(&catalog.relation(r), r);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (doomed[i]) continue;
+        CFDPROP_RETURN_NOT_OK(rebuilt.Insert(std::move(rows[i])));
+      }
+      rel = std::move(rebuilt);
+    }
+    if (!changed) {
+      CFDPROP_ASSIGN_OR_RETURN(bool ok, SatisfiesAll(db, sigma));
+      if (ok) return db;
+    }
+  }
+  return Status::Inconsistent(
+      "database repair did not converge; try another seed or fewer CFDs");
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,104 @@
+// Workload generators reproducing the paper's experimental setting
+// (Section 5): a schema generator ("at least 10 relations, each with 10
+// to 20 attributes"), a CFD generator (parameters m, per-CFD LHS size,
+// var%), and an SPC view generator (parameters |Y|, |F|, |Ec|, constants
+// drawn from [1, 100000]).
+//
+// All generators are deterministic in their seed (xoshiro256**), so the
+// benchmarks and property tests are reproducible.
+
+#ifndef CFDPROP_GEN_GENERATORS_H_
+#define CFDPROP_GEN_GENERATORS_H_
+
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/data/database.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+struct SchemaGenOptions {
+  size_t num_relations = 10;
+  size_t min_arity = 10;
+  size_t max_arity = 20;
+
+  /// Fraction (percent) of attributes given a finite domain — 0 for the
+  /// infinite-domain experiments of Section 5, nonzero for the
+  /// general-setting decision benchmarks (Table 1).
+  uint32_t finite_pct = 0;
+  size_t finite_domain_size = 4;
+};
+
+/// Generates a catalog R0(A0..), R1(..), ...
+Catalog GenerateSchema(const SchemaGenOptions& options, uint64_t seed);
+
+struct CFDGenOptions {
+  /// m: total number of CFDs (spread uniformly over the relations, so
+  /// the per-relation average n is m / num_relations).
+  size_t count = 200;
+
+  /// Per-CFD LHS size is uniform in [min_lhs, LHS] (the paper varies
+  /// LHS from 3 to 9 with "the number of attributes in each CFD ranged
+  /// from 3 to 9").
+  size_t min_lhs = 3;
+  size_t max_lhs = 9;
+
+  /// var%: the percentage of pattern entries filled with '_'; the rest
+  /// draw random constants.
+  uint32_t var_pct = 40;
+
+  /// Range of generated constants (interned as decimal strings).
+  uint32_t const_lo = 1;
+  uint32_t const_hi = 100000;
+};
+
+/// Generates `count` source CFDs over the catalog's relations. Constants
+/// on finite-domain attributes are drawn from the attribute's domain.
+std::vector<CFD> GenerateCFDs(Catalog& catalog, const CFDGenOptions& options,
+                              uint64_t seed);
+
+struct ViewGenOptions {
+  size_t num_projection = 25;  // |Y|
+  size_t num_selections = 10;  // |F|
+  size_t num_atoms = 4;        // |Ec|
+
+  /// Probability (percent) that a selection conjunct is A = 'a' rather
+  /// than A = B.
+  uint32_t const_selection_pct = 50;
+
+  uint32_t const_lo = 1;
+  uint32_t const_hi = 100000;
+};
+
+/// Generates an SPC view pi_Y(sigma_F(R_{i1} x ... x R_{i|Ec|})) over the
+/// catalog. |Y| is clamped to the number of Ec columns.
+Result<SPCView> GenerateSPCView(Catalog& catalog,
+                                const ViewGenOptions& options, uint64_t seed);
+
+struct DataGenOptions {
+  size_t rows_per_relation = 40;
+
+  /// Values drawn from [1, value_range]; a small range makes pattern
+  /// constants actually match so repairs exercise the CFD semantics.
+  uint32_t value_range = 8;
+
+  /// Rounds of violation repair before giving up.
+  size_t max_repair_rounds = 64;
+};
+
+/// Generates a random database over the catalog and repairs it until it
+/// satisfies `sigma` (chase-style: violating RHS values are overwritten
+/// by the group leader's value or the pattern constant). Fails with
+/// Inconsistent when repair does not converge within the round budget.
+Result<Database> GenerateSatisfyingDatabase(Catalog& catalog,
+                                            const std::vector<CFD>& sigma,
+                                            const DataGenOptions& options,
+                                            uint64_t seed);
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_GEN_GENERATORS_H_

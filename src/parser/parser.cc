@@ -1,0 +1,549 @@
+#include "src/parser/parser.h"
+
+#include <cctype>
+
+namespace cfdprop {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+enum class TokKind {
+  kWord,    // identifier, bare value, or number
+  kString,  // double-quoted value
+  kPunct,   // single punctuation character
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '"') {
+        CFDPROP_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        out.push_back(Token{TokKind::kWord,
+                            std::string(text_.substr(start, pos_ - start)),
+                            line_});
+        continue;
+      }
+      // '->' is two characters; everything else is single-char punct.
+      if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+        out.push_back(Token{TokKind::kPunct, "->", line_});
+        pos_ += 2;
+        continue;
+      }
+      static constexpr std::string_view kPunct = "()[]{},.;=:";
+      if (kPunct.find(c) != std::string_view::npos) {
+        out.push_back(Token{TokKind::kPunct, std::string(1, c), line_});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument("line " + std::to_string(line_) +
+                                     ": unexpected character '" +
+                                     std::string(1, c) + "'");
+    }
+    out.push_back(Token{TokKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  Result<Token> LexString() {
+    size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\n') ++line_;
+      value.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("line " + std::to_string(start_line) +
+                                     ": unterminated string");
+    }
+    ++pos_;  // closing quote
+    return Token{TokKind::kString, std::move(value), start_line};
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Spec> Parse() {
+    while (!AtEnd()) {
+      if (Accept(";")) continue;  // stray separators are harmless
+      CFDPROP_ASSIGN_OR_RETURN(Token head, ExpectWord("statement keyword"));
+      if (head.text == "relation") {
+        CFDPROP_RETURN_NOT_OK(ParseRelation());
+      } else if (head.text == "cfd" || head.text == "fd") {
+        CFDPROP_RETURN_NOT_OK(ParseCFD());
+      } else if (head.text == "eq") {
+        CFDPROP_RETURN_NOT_OK(ParseEq());
+      } else if (head.text == "view") {
+        CFDPROP_RETURN_NOT_OK(ParseView());
+      } else if (head.text == "insert") {
+        CFDPROP_RETURN_NOT_OK(ParseInsert());
+      } else {
+        return Error(head, "unknown statement '" + head.text + "'");
+      }
+    }
+    return std::move(spec_);
+  }
+
+ private:
+  // --- token helpers --------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  bool Accept(std::string_view punct) {
+    if (Peek().kind == TokKind::kPunct && Peek().text == punct) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptWord(std::string_view word) {
+    if (Peek().kind == TokKind::kWord && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view punct) {
+    if (!Accept(punct)) {
+      return Error(Peek(), "expected '" + std::string(punct) + "'");
+    }
+    return Status::OK();
+  }
+  Result<Token> ExpectWord(std::string_view what) {
+    if (Peek().kind != TokKind::kWord) {
+      return Error(Peek(), "expected " + std::string(what));
+    }
+    return tokens_[pos_++];
+  }
+  /// A value: bare word or quoted string.
+  Result<Token> ExpectValue() {
+    if (Peek().kind != TokKind::kWord && Peek().kind != TokKind::kString) {
+      return Error(Peek(), "expected a value");
+    }
+    return tokens_[pos_++];
+  }
+
+  Status Error(const Token& at, std::string message) const {
+    return Status::InvalidArgument("line " + std::to_string(at.line) + ": " +
+                                   std::move(message));
+  }
+
+  // --- statements -----------------------------------------------------
+
+  // relation NAME '(' attr [ '{' v (',' v)* '}' ] (',' attr...)* ')'
+  Status ParseRelation() {
+    CFDPROP_ASSIGN_OR_RETURN(Token name, ExpectWord("relation name"));
+    CFDPROP_RETURN_NOT_OK(Expect("("));
+    std::vector<Attribute> attrs;
+    do {
+      CFDPROP_ASSIGN_OR_RETURN(Token attr, ExpectWord("attribute name"));
+      if (Accept("{")) {
+        std::vector<Value> values;
+        do {
+          CFDPROP_ASSIGN_OR_RETURN(Token v, ExpectValue());
+          values.push_back(spec_.catalog.pool().Intern(v.text));
+        } while (Accept(","));
+        CFDPROP_RETURN_NOT_OK(Expect("}"));
+        attrs.push_back(Attribute{
+            attr.text, Domain::Finite("enum", std::move(values))});
+      } else {
+        attrs.push_back(Attribute{attr.text, Domain::Infinite()});
+      }
+    } while (Accept(","));
+    CFDPROP_RETURN_NOT_OK(Expect(")"));
+    CFDPROP_ASSIGN_OR_RETURN(
+        RelationId id,
+        spec_.catalog.AddRelation(name.text, std::move(attrs)));
+    (void)id;
+    return Status::OK();
+  }
+
+  /// Resolves a CFD target: a source relation or a declared view.
+  /// On success sets *view_name ("" for source relations) and the
+  /// callbacks used to resolve attribute names.
+  Status ResolveTarget(const Token& name, std::string* view_name,
+                       RelationId* relation, size_t* arity) {
+    RelationId rel = spec_.catalog.FindRelation(name.text);
+    if (rel != kNoRelation) {
+      *view_name = "";
+      *relation = rel;
+      *arity = spec_.catalog.relation(rel).arity();
+      return Status::OK();
+    }
+    auto it = spec_.views.find(name.text);
+    if (it != spec_.views.end()) {
+      *view_name = name.text;
+      *relation = kViewSchemaId;
+      *arity = it->second.OutputArity();
+      return Status::OK();
+    }
+    return Error(name, "unknown relation or view '" + name.text + "'");
+  }
+
+  Result<AttrIndex> ResolveAttr(const std::string& view_name,
+                                RelationId relation, const Token& attr) {
+    AttrIndex i;
+    if (relation == kViewSchemaId) {
+      i = spec_.FindViewColumn(view_name, attr.text);
+    } else {
+      i = spec_.catalog.relation(relation).FindAttr(attr.text);
+    }
+    if (i == kNoAttr) {
+      return Error(attr, "unknown attribute '" + attr.text + "'");
+    }
+    return i;
+  }
+
+  // cfd TARGET ':' '[' [attr [= value] (',' ...)*] ']' '->' attr [= value]
+  Status ParseCFD() {
+    CFDPROP_ASSIGN_OR_RETURN(Token target, ExpectWord("relation or view"));
+    std::string view_name;
+    RelationId relation;
+    size_t arity;
+    CFDPROP_RETURN_NOT_OK(
+        ResolveTarget(target, &view_name, &relation, &arity));
+    CFDPROP_RETURN_NOT_OK(Expect(":"));
+    CFDPROP_RETURN_NOT_OK(Expect("["));
+
+    std::vector<AttrIndex> lhs;
+    std::vector<PatternValue> pats;
+    if (!Accept("]")) {
+      do {
+        CFDPROP_ASSIGN_OR_RETURN(Token attr, ExpectWord("attribute"));
+        CFDPROP_ASSIGN_OR_RETURN(AttrIndex i,
+                                 ResolveAttr(view_name, relation, attr));
+        lhs.push_back(i);
+        if (Accept("=")) {
+          CFDPROP_ASSIGN_OR_RETURN(Token v, ExpectValue());
+          pats.push_back(
+              PatternValue::Constant(spec_.catalog.pool().Intern(v.text)));
+        } else {
+          pats.push_back(PatternValue::Wildcard());
+        }
+      } while (Accept(","));
+      CFDPROP_RETURN_NOT_OK(Expect("]"));
+    }
+    CFDPROP_RETURN_NOT_OK(Expect("->"));
+    CFDPROP_ASSIGN_OR_RETURN(Token rhs_attr, ExpectWord("RHS attribute"));
+    CFDPROP_ASSIGN_OR_RETURN(AttrIndex rhs,
+                             ResolveAttr(view_name, relation, rhs_attr));
+    PatternValue rhs_pat = PatternValue::Wildcard();
+    if (Accept("=")) {
+      CFDPROP_ASSIGN_OR_RETURN(Token v, ExpectValue());
+      rhs_pat = PatternValue::Constant(spec_.catalog.pool().Intern(v.text));
+    }
+
+    CFDPROP_ASSIGN_OR_RETURN(
+        CFD cfd, CFD::Make(relation, std::move(lhs), std::move(pats), rhs,
+                           rhs_pat));
+    CFDPROP_RETURN_NOT_OK(cfd.Validate(arity));
+    if (relation == kViewSchemaId) {
+      spec_.view_cfds.emplace_back(view_name, std::move(cfd));
+    } else {
+      spec_.source_cfds.push_back(std::move(cfd));
+    }
+    return Status::OK();
+  }
+
+  // eq TARGET ':' attr '=' attr          (the special-x CFD A = B)
+  Status ParseEq() {
+    CFDPROP_ASSIGN_OR_RETURN(Token target, ExpectWord("relation or view"));
+    std::string view_name;
+    RelationId relation;
+    size_t arity;
+    CFDPROP_RETURN_NOT_OK(
+        ResolveTarget(target, &view_name, &relation, &arity));
+    CFDPROP_RETURN_NOT_OK(Expect(":"));
+    CFDPROP_ASSIGN_OR_RETURN(Token a, ExpectWord("attribute"));
+    CFDPROP_RETURN_NOT_OK(Expect("="));
+    CFDPROP_ASSIGN_OR_RETURN(Token b, ExpectWord("attribute"));
+    CFDPROP_ASSIGN_OR_RETURN(AttrIndex ia, ResolveAttr(view_name, relation, a));
+    CFDPROP_ASSIGN_OR_RETURN(AttrIndex ib, ResolveAttr(view_name, relation, b));
+    CFD cfd = CFD::Equality(relation, ia, ib);
+    CFDPROP_RETURN_NOT_OK(cfd.Validate(arity));
+    if (relation == kViewSchemaId) {
+      spec_.view_cfds.emplace_back(view_name, std::move(cfd));
+    } else {
+      spec_.source_cfds.push_back(std::move(cfd));
+    }
+    return Status::OK();
+  }
+
+  // One SPC disjunct: [pi(...)] [sigma(...)] from(R1, R2, ...).
+  // pi/sigma/from may appear in any order; from is mandatory.
+  Result<SPCView> ParseDisjunct() {
+    struct PiEntry {
+      bool is_constant;
+      std::string name;
+      Value value = kNoValue;       // constant entries
+      size_t atom = 0;              // projected entries
+      std::string attr;
+    };
+    struct SigmaEntry {
+      size_t left_atom;
+      std::string left_attr;
+      bool is_constant;
+      Value value = kNoValue;
+      size_t right_atom = 0;
+      std::string right_attr;
+    };
+    std::vector<PiEntry> pi;
+    bool have_pi = false;
+    std::vector<SigmaEntry> sigma;
+    std::vector<std::string> from;
+
+    // col ref: <atom-index> '.' <attr>
+    auto parse_colref = [&](size_t* atom, std::string* attr) -> Status {
+      CFDPROP_ASSIGN_OR_RETURN(Token idx, ExpectWord("atom index"));
+      if (idx.text.empty() || idx.text.size() > 6) {
+        return Error(idx, "atom index out of range");
+      }
+      for (char c : idx.text) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Error(idx, "atom index must be a number (got '" +
+                                idx.text + "')");
+        }
+      }
+      *atom = std::stoul(idx.text);
+      CFDPROP_RETURN_NOT_OK(Expect("."));
+      CFDPROP_ASSIGN_OR_RETURN(Token a, ExpectWord("attribute"));
+      *attr = a.text;
+      return Status::OK();
+    };
+
+    while (true) {
+      if (AcceptWord("from")) {
+        CFDPROP_RETURN_NOT_OK(Expect("("));
+        do {
+          CFDPROP_ASSIGN_OR_RETURN(Token rel, ExpectWord("relation name"));
+          from.push_back(rel.text);
+        } while (Accept(","));
+        CFDPROP_RETURN_NOT_OK(Expect(")"));
+      } else if (AcceptWord("pi")) {
+        have_pi = true;
+        CFDPROP_RETURN_NOT_OK(Expect("("));
+        do {
+          PiEntry e;
+          if (Peek().kind == TokKind::kString) {
+            e.is_constant = true;
+            e.value = spec_.catalog.pool().Intern(tokens_[pos_++].text);
+          } else {
+            e.is_constant = false;
+            CFDPROP_RETURN_NOT_OK(parse_colref(&e.atom, &e.attr));
+          }
+          if (AcceptWord("as")) {
+            CFDPROP_ASSIGN_OR_RETURN(Token n, ExpectWord("column name"));
+            e.name = n.text;
+          } else if (!e.is_constant) {
+            e.name = e.attr;
+          } else {
+            return Error(Peek(), "constant columns need 'as <name>'");
+          }
+          pi.push_back(std::move(e));
+        } while (Accept(","));
+        CFDPROP_RETURN_NOT_OK(Expect(")"));
+      } else if (AcceptWord("sigma")) {
+        CFDPROP_RETURN_NOT_OK(Expect("("));
+        do {
+          SigmaEntry e;
+          CFDPROP_RETURN_NOT_OK(parse_colref(&e.left_atom, &e.left_attr));
+          CFDPROP_RETURN_NOT_OK(Expect("="));
+          if (Peek().kind == TokKind::kString) {
+            e.is_constant = true;
+            e.value = spec_.catalog.pool().Intern(tokens_[pos_++].text);
+          } else {
+            e.is_constant = false;
+            CFDPROP_RETURN_NOT_OK(
+                parse_colref(&e.right_atom, &e.right_attr));
+          }
+          sigma.push_back(std::move(e));
+        } while (Accept(","));
+        CFDPROP_RETURN_NOT_OK(Expect(")"));
+      } else {
+        break;
+      }
+    }
+    if (from.empty()) {
+      return Error(Peek(), "view disjunct needs from(...)");
+    }
+
+    SPCViewBuilder builder(spec_.catalog);
+    for (const std::string& rel : from) {
+      CFDPROP_ASSIGN_OR_RETURN(size_t atom, builder.AddAtom(rel));
+      (void)atom;
+    }
+    for (const SigmaEntry& e : sigma) {
+      if (e.left_atom >= from.size() ||
+          (!e.is_constant && e.right_atom >= from.size())) {
+        return Error(Peek(), "sigma atom index out of range");
+      }
+      if (e.is_constant) {
+        CFDPROP_RETURN_NOT_OK(builder.SelectConst(
+            e.left_atom, e.left_attr,
+            spec_.catalog.pool().Text(e.value)));
+      } else {
+        CFDPROP_RETURN_NOT_OK(builder.SelectEq(e.left_atom, e.left_attr,
+                                               e.right_atom, e.right_attr));
+      }
+    }
+    if (have_pi) {
+      for (const PiEntry& e : pi) {
+        if (e.is_constant) {
+          CFDPROP_RETURN_NOT_OK(builder.ProjectConstant(
+              e.name, spec_.catalog.pool().Text(e.value)));
+        } else {
+          if (e.atom >= from.size()) {
+            return Error(Peek(), "pi atom index out of range");
+          }
+          CFDPROP_RETURN_NOT_OK(builder.Project(e.atom, e.attr, e.name));
+        }
+      }
+    }
+    return builder.Build();
+  }
+
+  // view NAME '=' disjunct ('union' disjunct)*
+  Status ParseView() {
+    CFDPROP_ASSIGN_OR_RETURN(Token name, ExpectWord("view name"));
+    if (spec_.views.count(name.text) ||
+        spec_.catalog.FindRelation(name.text) != kNoRelation) {
+      return Error(name, "duplicate view/relation name '" + name.text + "'");
+    }
+    CFDPROP_RETURN_NOT_OK(Expect("="));
+    SPCUView view;
+    do {
+      CFDPROP_ASSIGN_OR_RETURN(SPCView disjunct, ParseDisjunct());
+      view.disjuncts.push_back(std::move(disjunct));
+    } while (AcceptWord("union"));
+    CFDPROP_RETURN_NOT_OK(view.Validate(spec_.catalog));
+    spec_.view_names.push_back(name.text);
+    spec_.views.emplace(name.text, std::move(view));
+    return Status::OK();
+  }
+
+  // insert NAME '(' value (',' value)* ')'
+  Status ParseInsert() {
+    CFDPROP_ASSIGN_OR_RETURN(Token name, ExpectWord("relation name"));
+    RelationId rel = spec_.catalog.FindRelation(name.text);
+    if (rel == kNoRelation) {
+      return Error(name, "unknown relation '" + name.text + "'");
+    }
+    CFDPROP_RETURN_NOT_OK(Expect("("));
+    Tuple t;
+    do {
+      CFDPROP_ASSIGN_OR_RETURN(Token v, ExpectValue());
+      t.push_back(spec_.catalog.pool().Intern(v.text));
+    } while (Accept(","));
+    CFDPROP_RETURN_NOT_OK(Expect(")"));
+    if (t.size() != spec_.catalog.relation(rel).arity()) {
+      return Error(name, "insert arity mismatch for '" + name.text + "'");
+    }
+    spec_.inserts.emplace_back(rel, std::move(t));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Spec spec_;
+};
+
+}  // namespace
+
+AttrIndex Spec::FindViewColumn(const std::string& view_name,
+                               std::string_view column) const {
+  auto it = views.find(view_name);
+  if (it == views.end() || it->second.disjuncts.empty()) return kNoAttr;
+  const SPCView& first = it->second.disjuncts.front();
+  for (size_t i = 0; i < first.output.size(); ++i) {
+    if (first.output[i].name == column) return static_cast<AttrIndex>(i);
+  }
+  return kNoAttr;
+}
+
+Result<Database> Spec::MakeDatabase() {
+  Database db(catalog);
+  for (const auto& [rel, tuple] : inserts) {
+    CFDPROP_RETURN_NOT_OK(db.Insert(rel, tuple));
+  }
+  return db;
+}
+
+Result<Spec> ParseSpec(std::string_view text) {
+  Lexer lexer(text);
+  CFDPROP_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+std::string FormatCFD(
+    const CFD& cfd, const ValuePool& pool, const std::string& target_name,
+    const std::function<std::string(AttrIndex)>& attr_name) {
+  if (cfd.is_special_x()) {
+    return "eq " + target_name + ": " + attr_name(cfd.lhs[0]) + " = " +
+           attr_name(cfd.rhs);
+  }
+  std::string out = "cfd " + target_name + ": [";
+  for (size_t i = 0; i < cfd.lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attr_name(cfd.lhs[i]);
+    if (cfd.lhs_pats[i].is_constant()) {
+      out += "=" + pool.Text(cfd.lhs_pats[i].value());
+    }
+  }
+  out += "] -> " + attr_name(cfd.rhs);
+  if (cfd.rhs_pat.is_constant()) {
+    out += "=" + pool.Text(cfd.rhs_pat.value());
+  }
+  return out;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,157 @@
+#include "src/propagation/propagation.h"
+
+#include "src/tableau/tableau.h"
+
+namespace cfdprop {
+
+namespace {
+
+/// Checks one chased fork of a two-copy instance against phi's RHS.
+/// `t1`/`t2` are the two summary rows.
+Result<bool> PairPasses(SymbolicInstance& fork, const std::vector<CFD>& sigma,
+                        const CFD& phi, const std::vector<CellId>& t1,
+                        const std::vector<CellId>& t2) {
+  CFDPROP_ASSIGN_OR_RETURN(ChaseOutcome outcome, Chase(fork, sigma));
+  if (outcome == ChaseOutcome::kContradiction) {
+    return true;  // no Sigma-satisfying source produces this pair
+  }
+  if (phi.is_special_x()) {
+    return fork.EqualCells(t1[phi.lhs[0]], t1[phi.rhs]);
+  }
+  if (!fork.EqualCells(t1[phi.rhs], t2[phi.rhs])) return false;
+  if (phi.rhs_pat.is_constant()) {
+    auto c = fork.ConstOf(t1[phi.rhs]);
+    if (!c.has_value() || *c != phi.rhs_pat.value()) return false;
+  }
+  return true;
+}
+
+/// Does a chased, fully-instantiated leaf violate phi's RHS condition?
+bool LeafViolates(SymbolicInstance& leaf, const CFD& phi,
+                  const std::vector<CellId>& t1,
+                  const std::vector<CellId>& t2) {
+  if (phi.is_special_x()) {
+    return !leaf.EqualCells(t1[phi.lhs[0]], t1[phi.rhs]);
+  }
+  if (!leaf.EqualCells(t1[phi.rhs], t2[phi.rhs])) return true;
+  if (phi.rhs_pat.is_constant()) {
+    auto c = leaf.ConstOf(t1[phi.rhs]);
+    if (!c.has_value() || *c != phi.rhs_pat.value()) return true;
+  }
+  return false;
+}
+
+/// Runs the pass/fail check over the finite-domain instantiation space
+/// (branch-and-prune in the general setting, a single chase otherwise).
+/// Returns true iff no instantiation violates phi.
+Result<bool> AllInstantiationsPass(const SymbolicInstance& base,
+                                   const std::vector<CFD>& sigma,
+                                   const CFD& phi,
+                                   const std::vector<CellId>& t1,
+                                   const std::vector<CellId>& t2,
+                                   const PropagationOptions& options) {
+  if (!options.general_setting) {
+    SymbolicInstance fork = base;
+    return PairPasses(fork, sigma, phi, t1, t2);
+  }
+  CFDPROP_ASSIGN_OR_RETURN(
+      bool counterexample,
+      ExistsChaseBranch(
+          base, sigma,
+          [&](SymbolicInstance& leaf) {
+            return LeafViolates(leaf, phi, t1, t2);
+          },
+          options.instantiation));
+  return !counterexample;
+}
+
+/// The single-copy check for special-x phi (A = B on the view): every
+/// view tuple of every disjunct must have equal A/B cells.
+Result<bool> CheckEqualityCFD(const Catalog& catalog, const SPCUView& view,
+                              const std::vector<CFD>& sigma, const CFD& phi,
+                              const PropagationOptions& options) {
+  for (const SPCView& disjunct : view.disjuncts) {
+    SymbolicInstance base;
+    CFDPROP_ASSIGN_OR_RETURN(ViewTableau t,
+                             BuildViewTableau(catalog, disjunct, base));
+    CFDPROP_ASSIGN_OR_RETURN(
+        bool pass, AllInstantiationsPass(base, sigma, phi, t.summary,
+                                         t.summary, options));
+    if (!pass) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PropagationOptions AutoOptions(const Catalog& catalog, const SPCUView& view) {
+  PropagationOptions options;
+  for (const SPCView& v : view.disjuncts) {
+    for (RelationId r : v.atoms) {
+      if (catalog.relation(r).HasFiniteDomainAttr()) {
+        options.general_setting = true;
+        return options;
+      }
+    }
+  }
+  return options;
+}
+
+Result<bool> IsPropagated(const Catalog& catalog, const SPCUView& view,
+                          const std::vector<CFD>& sigma, const CFD& phi,
+                          const PropagationOptions& options) {
+  CFDPROP_RETURN_NOT_OK(view.Validate(catalog));
+  CFDPROP_RETURN_NOT_OK(phi.Validate(view.OutputArity()));
+  if (phi.relation != kViewSchemaId) {
+    return Status::InvalidArgument("phi must be a view CFD (kViewSchemaId)");
+  }
+  for (const CFD& c : sigma) {
+    if (c.relation >= catalog.num_relations()) {
+      return Status::InvalidArgument("source CFD with unknown relation");
+    }
+    CFDPROP_RETURN_NOT_OK(
+        c.Validate(catalog.relation(c.relation).arity()));
+  }
+
+  if (phi.is_special_x()) {
+    return CheckEqualityCFD(catalog, view, sigma, phi, options);
+  }
+
+  // All k^2 ordered disjunct combinations (t1 from e_i, t2 from e_j);
+  // (i, j) and (j, i) are symmetric, so i <= j suffices.
+  const size_t k = view.disjuncts.size();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i; j < k; ++j) {
+      SymbolicInstance base;
+      CFDPROP_ASSIGN_OR_RETURN(
+          ViewTableau ti, BuildViewTableau(catalog, view.disjuncts[i], base));
+      CFDPROP_ASSIGN_OR_RETURN(
+          ViewTableau tj, BuildViewTableau(catalog, view.disjuncts[j], base));
+
+      // rho1/rho2: identify the copies on phi's LHS and bind pattern
+      // constants. Conflicts mark the instance contradictory, which
+      // PairPasses reads as "pair impossible".
+      for (size_t l = 0; l < phi.lhs.size(); ++l) {
+        AttrIndex a = phi.lhs[l];
+        base.Union(ti.summary[a], tj.summary[a]);
+        if (phi.lhs_pats[l].is_constant()) {
+          base.BindConst(ti.summary[a], phi.lhs_pats[l].value());
+        }
+      }
+
+      CFDPROP_ASSIGN_OR_RETURN(
+          bool pass, AllInstantiationsPass(base, sigma, phi, ti.summary,
+                                           tj.summary, options));
+      if (!pass) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsPropagated(const Catalog& catalog, const SPCView& view,
+                          const std::vector<CFD>& sigma, const CFD& phi,
+                          const PropagationOptions& options) {
+  return IsPropagated(catalog, SPCUView(view), sigma, phi, options);
+}
+
+}  // namespace cfdprop

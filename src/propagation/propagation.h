@@ -1,0 +1,61 @@
+// The dependency propagation problem (Section 3).
+//
+// Sigma |=_V phi: for every source instance D with D |= Sigma, the view
+// V(D) satisfies phi. Decided by the chase of Theorem 3.1's proof:
+//
+//   * build the tableaux of two (possibly identical) SPC disjuncts e_i,
+//     e_j of V into one symbolic instance — the rho1/rho2 copies;
+//   * identify the two summary tuples t1, t2 on phi's LHS columns and
+//     bind phi's LHS pattern constants (an "undefined rho" — a constant
+//     clash — means the pair is impossible and the combination passes);
+//   * chase with Sigma; a contradiction again means the pair is
+//     impossible; otherwise phi is propagated for this combination iff
+//     the chase forced t1[B] = t2[B] (and = tp[B] when constant);
+//   * an SPCU view requires all k^2 disjunct combinations to pass.
+//
+// Infinite-domain setting: one chase per combination => PTIME
+// (Theorems 3.1/3.5). General setting: finite-domain variables of the
+// instance are instantiated exhaustively => coNP (Theorems 3.2/3.3,
+// Corollary 3.6); the instantiation budget guards the exponential.
+
+#ifndef CFDPROP_PROPAGATION_PROPAGATION_H_
+#define CFDPROP_PROPAGATION_PROPAGATION_H_
+
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/chase/chase.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+struct PropagationOptions {
+  /// Instantiate finite-domain variables (the general setting). When
+  /// false, every variable is treated as infinite-domain — the classical
+  /// setting, and the only sound choice when the schema genuinely has no
+  /// finite-domain attributes.
+  bool general_setting = false;
+  InstantiationOptions instantiation;
+};
+
+/// Picks general_setting automatically: true iff some attribute of a
+/// relation used by `view` has a finite domain.
+PropagationOptions AutoOptions(const Catalog& catalog, const SPCUView& view);
+
+/// Decides Sigma |=_V phi. `sigma` holds CFDs tagged with source relation
+/// ids; `phi` is a view CFD tagged kViewSchemaId whose attribute indices
+/// are output column positions of `view`.
+Result<bool> IsPropagated(const Catalog& catalog, const SPCUView& view,
+                          const std::vector<CFD>& sigma, const CFD& phi,
+                          const PropagationOptions& options = {});
+
+/// Convenience overload for single-disjunct (SPC) views.
+Result<bool> IsPropagated(const Catalog& catalog, const SPCView& view,
+                          const std::vector<CFD>& sigma, const CFD& phi,
+                          const PropagationOptions& options = {});
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_PROPAGATION_PROPAGATION_H_

@@ -1,0 +1,136 @@
+#include "src/propagation/reductions.h"
+
+#include <string>
+
+namespace cfdprop {
+
+namespace {
+
+/// The truth value literal `lit` needs its variable to take for the
+/// clause to be satisfied through it: "1" for a positive literal, "0"
+/// for a negated one.
+const char* RequiredValue(const ThreeSat::Literal& lit) {
+  return lit.negated ? "0" : "1";
+}
+
+}  // namespace
+
+Result<Theorem32Instance> BuildTheorem32Reduction(const ThreeSat& formula) {
+  if (formula.num_vars == 0 || formula.clauses.empty()) {
+    return Status::InvalidArgument("formula needs variables and clauses");
+  }
+  for (const auto& clause : formula.clauses) {
+    for (const auto& lit : clause) {
+      if (lit.var == 0 || lit.var > formula.num_vars) {
+        return Status::InvalidArgument("literal variable out of range");
+      }
+    }
+  }
+
+  Theorem32Instance out;
+  Catalog& cat = out.catalog;
+
+  // R0(X, A, Z): A and Z boolean, X infinite (variable indices).
+  {
+    std::vector<Attribute> attrs;
+    attrs.push_back(Attribute{"X", Domain::Infinite("int")});
+    attrs.push_back(Attribute{"A", Domain::Boolean(cat.pool())});
+    attrs.push_back(Attribute{"Z", Domain::Boolean(cat.pool())});
+    CFDPROP_ASSIGN_OR_RETURN(RelationId r0,
+                             cat.AddRelation("R0", std::move(attrs)));
+    // phi0 = R0(X -> A): assignments are functional.
+    CFDPROP_ASSIGN_OR_RETURN(CFD phi0, CFD::FD(r0, {0}, 1));
+    out.sigma.push_back(std::move(phi0));
+  }
+
+  // Ri(A1, A2, Xi, Ai) per clause.
+  for (size_t i = 0; i < formula.clauses.size(); ++i) {
+    std::vector<Attribute> attrs;
+    attrs.push_back(Attribute{"A1", Domain::Boolean(cat.pool())});
+    attrs.push_back(Attribute{"A2", Domain::Boolean(cat.pool())});
+    attrs.push_back(Attribute{"Xi", Domain::Infinite("int")});
+    attrs.push_back(Attribute{"Ai", Domain::Boolean(cat.pool())});
+    CFDPROP_ASSIGN_OR_RETURN(
+        RelationId ri,
+        cat.AddRelation("R" + std::to_string(i + 1), std::move(attrs)));
+    // phi_i1 = Ri(A1 A2 -> Xi Ai) in normal form, phi_i2 = Ri(Xi -> Ai).
+    CFDPROP_ASSIGN_OR_RETURN(CFD k1, CFD::FD(ri, {0, 1}, 2));
+    CFDPROP_ASSIGN_OR_RETURN(CFD k2, CFD::FD(ri, {0, 1}, 3));
+    CFDPROP_ASSIGN_OR_RETURN(CFD k3, CFD::FD(ri, {2}, 3));
+    out.sigma.push_back(std::move(k1));
+    out.sigma.push_back(std::move(k2));
+    out.sigma.push_back(std::move(k3));
+  }
+
+  // The SC view e x e01 x e02 x e1 x ... x en (project-all).
+  SPCViewBuilder b(cat);
+  RelationId r0 = cat.FindRelation("R0");
+
+  // e: one free R0 atom — its X, A, Z become output columns 0, 1, 2.
+  b.AddAtom(r0);
+
+  // e01: sigma_{X=j}(R0) for j = 1..m, so every variable has a row.
+  for (uint32_t j = 1; j <= formula.num_vars; ++j) {
+    size_t atom = b.AddAtom(r0);
+    CFDPROP_RETURN_NOT_OK(b.SelectConst(atom, "X", std::to_string(j)));
+  }
+
+  // e02 and ei per clause.
+  for (size_t i = 0; i < formula.clauses.size(); ++i) {
+    RelationId ri = cat.FindRelation("R" + std::to_string(i + 1));
+    // e02: sigma_{R0.X = Ri.Xi and R0.A = Ri.Ai}(R0 x Ri) — the clause's
+    // chosen variable and its truth value must be consistent with the
+    // assignment rows.
+    size_t a0 = b.AddAtom(r0);
+    size_t ai = b.AddAtom(ri);
+    CFDPROP_RETURN_NOT_OK(b.SelectEq(a0, "X", ai, "Xi"));
+    CFDPROP_RETURN_NOT_OK(b.SelectEq(a0, "A", ai, "Ai"));
+
+    // ei: four pinned Ri rows enumerating the satisfying literal
+    // choices (the (1,1) row repeats literal 1, as in the proof).
+    const auto& clause = formula.clauses[i];
+    const ThreeSat::Literal picks[4] = {clause[0], clause[1], clause[2],
+                                        clause[0]};
+    const char* a1a2[4][2] = {{"0", "0"}, {"0", "1"}, {"1", "0"},
+                              {"1", "1"}};
+    for (int k = 0; k < 4; ++k) {
+      size_t atom = b.AddAtom(ri);
+      CFDPROP_RETURN_NOT_OK(b.SelectConst(atom, "A1", a1a2[k][0]));
+      CFDPROP_RETURN_NOT_OK(b.SelectConst(atom, "A2", a1a2[k][1]));
+      CFDPROP_RETURN_NOT_OK(
+          b.SelectConst(atom, "Xi", std::to_string(picks[k].var)));
+      CFDPROP_RETURN_NOT_OK(
+          b.SelectConst(atom, "Ai", RequiredValue(picks[k])));
+    }
+  }
+  CFDPROP_ASSIGN_OR_RETURN(out.view, b.Build());
+
+  // psi = V(X, A -> Z) over the e columns (outputs 0, 1, 2).
+  CFDPROP_ASSIGN_OR_RETURN(out.psi, CFD::FD(kViewSchemaId, {0, 1}, 2));
+  return out;
+}
+
+bool BruteForceSatisfiable(const ThreeSat& formula) {
+  for (uint64_t assignment = 0; assignment < (1ull << formula.num_vars);
+       ++assignment) {
+    bool all = true;
+    for (const auto& clause : formula.clauses) {
+      bool sat = false;
+      for (const auto& lit : clause) {
+        bool value = (assignment >> (lit.var - 1)) & 1;
+        if (value != lit.negated) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,70 @@
+// The Theorem 3.2 reduction: 3SAT to the complement of FD propagation
+// through SC views, in the general setting (appendix, proof of
+// Theorem 3.2). This is the construction that makes the propagation
+// problem coNP-hard once finite-domain attributes exist; we implement it
+// both as executable evidence for Table 1/2 and as a stress test for the
+// general-setting decision procedure.
+//
+// Given phi = C1 and ... and Cn over variables x1..xm (each clause three
+// literals), the reduction builds:
+//
+//   * R0(X, A, Z) with dom(A) = dom(Z) = {0,1} and the FD X -> A: a
+//     tuple (j, a, z) encodes "variable x_j is assigned a"; the FD makes
+//     assignments functional;
+//   * Ri(A1, A2, Xi, Ai) per clause with FDs (A1 A2 -> Xi Ai) and
+//     (Xi -> Ai): the four (A1, A2) combinations enumerate the (three)
+//     satisfying literal choices of clause Ci;
+//   * the SC view V = e x e01 x e02 x e1 x ... x en where e = R0,
+//     e01 forces rows X=1..X=m to exist, e02 joins each clause's chosen
+//     variable/assignment back to R0, and each ei pins Ri's four rows to
+//     the literals of Ci;
+//   * psi = V(X, A -> Z) over the columns of e.
+//
+// Then phi is satisfiable iff Sigma does NOT propagate psi via V: a
+// satisfying assignment lets the view contain two tuples that agree on
+// (X, A) but differ on Z.
+
+#ifndef CFDPROP_PROPAGATION_REDUCTIONS_H_
+#define CFDPROP_PROPAGATION_REDUCTIONS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+/// A 3SAT instance. Variables are 1-based; a literal is a variable index
+/// plus a negation flag.
+struct ThreeSat {
+  struct Literal {
+    uint32_t var;  // 1..num_vars
+    bool negated;
+  };
+  uint32_t num_vars = 0;
+  std::vector<std::array<Literal, 3>> clauses;
+};
+
+/// The reduction output: decide propagation of `psi` from `sigma` via
+/// `view` (general setting) to decide satisfiability of the formula.
+struct Theorem32Instance {
+  Catalog catalog;
+  SPCView view;
+  std::vector<CFD> sigma;
+  CFD psi;
+};
+
+/// Builds the Theorem 3.2 instance for `formula`.
+Result<Theorem32Instance> BuildTheorem32Reduction(const ThreeSat& formula);
+
+/// Reference oracle: brute-force satisfiability over the 2^num_vars
+/// assignments (for validating the reduction on small formulas).
+bool BruteForceSatisfiable(const ThreeSat& formula);
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_PROPAGATION_REDUCTIONS_H_

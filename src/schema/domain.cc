@@ -1,0 +1,12 @@
+#include "src/schema/domain.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+
+bool Domain::Contains(Value v) const {
+  if (!finite_) return true;
+  return std::find(values_.begin(), values_.end(), v) != values_.end();
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,64 @@
+// Attribute domains.
+//
+// The paper distinguishes the *infinite-domain setting* (every attribute
+// ranges over an infinite domain such as string or int) from the *general
+// setting* where some attributes have finite domains (bool, date, enums).
+// The distinction drives the complexity of every decision procedure
+// (Tables 1 and 2), so domains are first-class here.
+
+#ifndef CFDPROP_SCHEMA_DOMAIN_H_
+#define CFDPROP_SCHEMA_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/value.h"
+
+namespace cfdprop {
+
+/// A domain is either infinite or an explicit finite set of values.
+class Domain {
+ public:
+  /// An infinite domain (e.g. string, int). `name` is documentation only.
+  static Domain Infinite(std::string name = "string") {
+    Domain d;
+    d.name_ = std::move(name);
+    d.finite_ = false;
+    return d;
+  }
+
+  /// A finite domain with the given (interned) values.
+  /// Precondition: values non-empty and duplicate-free.
+  static Domain Finite(std::string name, std::vector<Value> values) {
+    Domain d;
+    d.name_ = std::move(name);
+    d.finite_ = true;
+    d.values_ = std::move(values);
+    return d;
+  }
+
+  /// Convenience: the two-valued {false,true}-style domain.
+  static Domain Boolean(ValuePool& pool) {
+    return Finite("bool", {pool.Intern("0"), pool.Intern("1")});
+  }
+
+  bool finite() const { return finite_; }
+  const std::string& name() const { return name_; }
+
+  /// Values of a finite domain; empty for infinite domains.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Membership test. Every value belongs to an infinite domain.
+  bool Contains(Value v) const;
+
+ private:
+  Domain() = default;
+
+  std::string name_;
+  bool finite_ = false;
+  std::vector<Value> values_;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_SCHEMA_DOMAIN_H_

@@ -1,0 +1,201 @@
+#include "src/cfd/cfd.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+class CFDTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R", {"A", "B", "C", "D"}).ok());
+    a_ = cat_.pool().Intern("a");
+    b_ = cat_.pool().Intern("b");
+  }
+
+  Catalog cat_;
+  Value a_, b_;
+};
+
+TEST_F(CFDTest, MakeSortsLhs) {
+  auto c = CFD::Make(0, {2, 0}, {PatternValue::Wildcard(),
+                                 PatternValue::Constant(a_)},
+                     3, PatternValue::Wildcard());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->lhs, (std::vector<AttrIndex>{0, 2}));
+  EXPECT_EQ(c->lhs_pats[0], PatternValue::Constant(a_));
+  EXPECT_EQ(c->lhs_pats[1], PatternValue::Wildcard());
+}
+
+TEST_F(CFDTest, MakeMergesDuplicateLhsViaMin) {
+  auto c = CFD::Make(0, {1, 1}, {PatternValue::Wildcard(),
+                                 PatternValue::Constant(a_)},
+                     3, PatternValue::Wildcard());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->lhs, (std::vector<AttrIndex>{1}));
+  EXPECT_EQ(c->lhs_pats[0], PatternValue::Constant(a_));
+}
+
+TEST_F(CFDTest, MakeRejectsIncomparableDuplicates) {
+  auto c = CFD::Make(0, {1, 1}, {PatternValue::Constant(a_),
+                                 PatternValue::Constant(b_)},
+                     3, PatternValue::Wildcard());
+  EXPECT_FALSE(c.ok());
+}
+
+TEST_F(CFDTest, MakeRejectsExplicitSpecialX) {
+  auto c = CFD::Make(0, {1}, {PatternValue::SpecialX()}, 2,
+                     PatternValue::Wildcard());
+  EXPECT_FALSE(c.ok());
+}
+
+TEST_F(CFDTest, PlainFDDetection) {
+  auto fd = CFD::FD(0, {0, 1}, 2);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(fd->IsPlainFD());
+  EXPECT_FALSE(fd->IsTrivial());
+
+  auto cfd = CFD::Make(0, {0}, {PatternValue::Constant(a_)}, 2,
+                       PatternValue::Wildcard());
+  ASSERT_TRUE(cfd.ok());
+  EXPECT_FALSE(cfd->IsPlainFD());
+
+  EXPECT_FALSE(CFD::Equality(0, 0, 1).IsPlainFD());
+}
+
+TEST_F(CFDTest, TrivialityRules) {
+  // A in X with equal patterns: trivial.
+  auto t1 = CFD::Make(0, {0, 1}, {PatternValue::Wildcard(),
+                                  PatternValue::Wildcard()},
+                      0, PatternValue::Wildcard());
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE(t1->IsTrivial());
+
+  // A in X, LHS constant, RHS '_': trivial.
+  auto t2 = CFD::Make(0, {0, 1}, {PatternValue::Constant(a_),
+                                  PatternValue::Wildcard()},
+                      0, PatternValue::Wildcard());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t2->IsTrivial());
+
+  // A in X, LHS '_', RHS constant: NOT trivial (forces A = a on the
+  // matching subset) — challenge (b) of Section 4.1.
+  auto n1 = CFD::Make(0, {0, 1}, {PatternValue::Wildcard(),
+                                  PatternValue::Wildcard()},
+                      0, PatternValue::Constant(a_));
+  ASSERT_TRUE(n1.ok());
+  EXPECT_FALSE(n1->IsTrivial());
+
+  // A in X with two distinct constants: NOT trivial (forbidden pattern).
+  auto n2 = CFD::Make(0, {0}, {PatternValue::Constant(a_)}, 0,
+                      PatternValue::Constant(b_));
+  ASSERT_TRUE(n2.ok());
+  EXPECT_FALSE(n2->IsTrivial());
+
+  // Equality CFDs: A = A is trivial, A = B is not.
+  EXPECT_TRUE(CFD::Equality(0, 2, 2).IsTrivial());
+  EXPECT_FALSE(CFD::Equality(0, 1, 2).IsTrivial());
+}
+
+TEST_F(CFDTest, ConstantColumnShape) {
+  // Canonical form of the paper's R(A -> A, ( || a)): empty LHS.
+  CFD c = CFD::ConstantColumn(0, 2, a_);
+  EXPECT_TRUE(c.lhs.empty());
+  EXPECT_EQ(c.rhs, 2u);
+  EXPECT_EQ(c.rhs_pat, PatternValue::Constant(a_));
+  EXPECT_FALSE(c.IsTrivial());
+}
+
+TEST_F(CFDTest, ConstantRhsCanonicalizationDropsWildcardLhs) {
+  // (XZ -> A, (a, _ || b)) == (X -> A, (a || b)): the wildcard Z adds
+  // nothing when the RHS is a constant (pairs include (t, t)).
+  auto c = CFD::Make(0, {0, 1}, {PatternValue::Constant(a_),
+                                 PatternValue::Wildcard()},
+                     2, PatternValue::Constant(b_));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->lhs, (std::vector<AttrIndex>{0}));
+  ASSERT_EQ(c->lhs_pats.size(), 1u);
+  EXPECT_EQ(c->lhs_pats[0], PatternValue::Constant(a_));
+
+  // With a wildcard RHS the LHS is untouched.
+  auto d = CFD::Make(0, {0, 1}, {PatternValue::Constant(a_),
+                                 PatternValue::Wildcard()},
+                     2, PatternValue::Wildcard());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->lhs.size(), 2u);
+}
+
+TEST_F(CFDTest, ValidateChecksRanges) {
+  auto c = CFD::FD(0, {0, 1}, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->Validate(4).ok());
+  EXPECT_FALSE(c->Validate(2).ok());  // rhs out of range
+}
+
+TEST_F(CFDTest, MentionsAndFindLhs) {
+  auto c = CFD::FD(0, {0, 2}, 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->Mentions(0));
+  EXPECT_TRUE(c->Mentions(2));
+  EXPECT_TRUE(c->Mentions(3));
+  EXPECT_FALSE(c->Mentions(1));
+  EXPECT_EQ(c->FindLhs(2), 1u);
+  EXPECT_EQ(c->FindLhs(1), SIZE_MAX);
+}
+
+TEST_F(CFDTest, EqualityAndHash) {
+  auto c1 = CFD::FD(0, {0, 1}, 2);
+  auto c2 = CFD::FD(0, {1, 0}, 2);  // same after sorting
+  auto c3 = CFD::FD(0, {0, 1}, 3);
+  ASSERT_TRUE(c1.ok() && c2.ok() && c3.ok());
+  EXPECT_EQ(*c1, *c2);
+  EXPECT_NE(*c1, *c3);
+  CFDHash h;
+  EXPECT_EQ(h(*c1), h(*c2));
+}
+
+TEST_F(CFDTest, GeneralFormNormalizes) {
+  GeneralCFD g;
+  g.relation = 0;
+  g.lhs = {0};
+  g.lhs_pats = {PatternValue::Constant(a_)};
+  g.rhs = {1, 2};
+  g.rhs_pats = {PatternValue::Wildcard(), PatternValue::Constant(b_)};
+  auto normalized = g.Normalize();
+  ASSERT_TRUE(normalized.ok());
+  ASSERT_EQ(normalized->size(), 2u);
+  EXPECT_EQ((*normalized)[0].rhs, 1u);
+  EXPECT_EQ((*normalized)[1].rhs, 2u);
+  EXPECT_EQ((*normalized)[1].rhs_pat, PatternValue::Constant(b_));
+}
+
+TEST_F(CFDTest, DedupeAndDropTrivial) {
+  auto fd = CFD::FD(0, {0}, 1);
+  auto triv = CFD::Make(0, {0}, {PatternValue::Wildcard()}, 0,
+                        PatternValue::Wildcard());
+  ASSERT_TRUE(fd.ok() && triv.ok());
+  std::vector<CFD> in = {*fd, *fd, *triv};
+  std::vector<CFD> out = DedupeAndDropTrivial(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], *fd);
+}
+
+TEST_F(CFDTest, ToStringRendersPaperStyle) {
+  auto c = CFD::Make(0, {0, 1}, {PatternValue::Constant(a_),
+                                 PatternValue::Wildcard()},
+                     2, PatternValue::Wildcard());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->ToString(cat_), "R([A, B] -> C, (a, _ || _))");
+}
+
+TEST_F(CFDTest, EmptyLhsIsSupported) {
+  CFD c;
+  c.relation = 0;
+  c.rhs = 1;
+  c.rhs_pat = PatternValue::Constant(a_);
+  EXPECT_TRUE(c.Validate(4).ok());
+  EXPECT_FALSE(c.IsTrivial());
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,189 @@
+#include "src/cover/closure_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/base/rng.h"
+#include "src/cfd/implication.h"
+#include "src/cfd/mincover.h"
+#include "src/cover/rbr.h"
+
+namespace cfdprop {
+namespace {
+
+constexpr size_t kArity = 6;
+
+CFD FD(std::vector<AttrIndex> lhs, AttrIndex rhs) {
+  return CFD::FD(0, std::move(lhs), rhs).value();
+}
+
+TEST(AttributeClosureTest, BasicClosure) {
+  std::vector<CFD> fds = {FD({0}, 1), FD({1}, 2), FD({3}, 4)};
+  auto c = AttributeClosure(fds, {0}, kArity);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (std::vector<AttrIndex>{0, 1, 2}));
+
+  auto c2 = AttributeClosure(fds, {3}, kArity);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, (std::vector<AttrIndex>{3, 4}));
+
+  auto c3 = AttributeClosure(fds, {5}, kArity);
+  ASSERT_TRUE(c3.ok());
+  EXPECT_EQ(*c3, (std::vector<AttrIndex>{5}));
+}
+
+TEST(AttributeClosureTest, MultiAttributeLhs) {
+  std::vector<CFD> fds = {FD({0, 1}, 2), FD({2}, 3)};
+  auto c = AttributeClosure(fds, {0}, kArity);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (std::vector<AttrIndex>{0}));  // needs both 0 and 1
+
+  auto c2 = AttributeClosure(fds, {0, 1}, kArity);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, (std::vector<AttrIndex>{0, 1, 2, 3}));
+}
+
+TEST(AttributeClosureTest, RejectsPatternCFDs) {
+  ValuePool pool;
+  CFD cfd = CFD::Make(0, {0}, {PatternValue::Constant(pool.Intern("a"))}, 1,
+                      PatternValue::Wildcard())
+                .value();
+  auto c = AttributeClosure({cfd}, {0}, kArity);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ClosureBaselineTest, ProjectionCoverMatchesRBRSemantics) {
+  // {A -> B, B -> C, C -> D}, project onto {A, D}: cover must give A -> D.
+  std::vector<CFD> fds = {FD({0}, 1), FD({1}, 2), FD({2}, 3)};
+  auto cover = ClosureBasedProjectionCover(fds, {0, 3}, kArity);
+  ASSERT_TRUE(cover.ok());
+  ASSERT_EQ(cover->size(), 1u);
+  EXPECT_EQ((*cover)[0], FD({0}, 3));
+}
+
+TEST(ClosureBaselineTest, MinimalLhsOnlySuppressesSupersets) {
+  std::vector<CFD> fds = {FD({0}, 2), FD({0, 1}, 3)};
+  auto cover = ClosureBasedProjectionCover(fds, {0, 1, 2, 3}, kArity);
+  ASSERT_TRUE(cover.ok());
+  // A -> C present; AB -> C suppressed (superset of A); AB -> D present.
+  bool has_a_c = false, has_ab_c = false, has_ab_d = false;
+  for (const CFD& c : *cover) {
+    if (c.rhs == 2 && c.lhs == std::vector<AttrIndex>{0}) has_a_c = true;
+    if (c.rhs == 2 && c.lhs == std::vector<AttrIndex>{0, 1}) has_ab_c = true;
+    if (c.rhs == 3 && c.lhs == std::vector<AttrIndex>{0, 1}) has_ab_d = true;
+  }
+  EXPECT_TRUE(has_a_c);
+  EXPECT_FALSE(has_ab_c);
+  EXPECT_TRUE(has_ab_d);
+}
+
+TEST(ClosureBaselineTest, ExponentialExampleProducesAllCombinations) {
+  // Example 4.1 with n = 3: the projected cover holds all 8 choices.
+  const size_t n = 3;
+  const size_t arity = 3 * n + 1;
+  std::vector<CFD> fds;
+  std::vector<AttrIndex> cs, y;
+  for (size_t i = 0; i < n; ++i) {
+    AttrIndex a = static_cast<AttrIndex>(i);
+    AttrIndex b = static_cast<AttrIndex>(n + i);
+    AttrIndex c = static_cast<AttrIndex>(2 * n + i);
+    fds.push_back(FD({a}, c));
+    fds.push_back(FD({b}, c));
+    cs.push_back(c);
+    y.push_back(a);
+    y.push_back(b);
+  }
+  fds.push_back(FD(cs, static_cast<AttrIndex>(3 * n)));
+  y.push_back(static_cast<AttrIndex>(3 * n));
+
+  auto cover = ClosureBasedProjectionCover(fds, y, arity);
+  ASSERT_TRUE(cover.ok());
+
+  size_t d_fds = 0;
+  for (const CFD& c : *cover) {
+    if (c.rhs == 3 * n) ++d_fds;
+  }
+  EXPECT_EQ(d_fds, 8u);
+}
+
+TEST(ClosureBaselineTest, AgreesWithImplicationOnRandomY) {
+  std::vector<CFD> fds = {FD({0}, 1), FD({1, 2}, 3), FD({3}, 4),
+                          FD({4}, 0)};
+  std::vector<AttrIndex> y = {0, 2, 4};
+  auto cover = ClosureBasedProjectionCover(fds, y, kArity);
+  ASSERT_TRUE(cover.ok());
+  // Soundness: each member implied by the source FDs.
+  for (const CFD& c : *cover) {
+    auto implied = Implies(fds, c, kArity);
+    ASSERT_TRUE(implied.ok());
+    EXPECT_TRUE(*implied);
+    // And mentions only Y attributes.
+    for (AttrIndex a : c.lhs) {
+      EXPECT_NE(std::find(y.begin(), y.end(), a), y.end());
+    }
+  }
+  // Completeness spot-check: 4 -> 0 survives projection.
+  auto implied = Implies(*cover, FD({4}, 0), kArity);
+  ASSERT_TRUE(implied.ok());
+  EXPECT_TRUE(*implied);
+}
+
+// Cross-validation: RBR and the closure method are independent
+// implementations of projected FD covers; on random workloads their
+// outputs must be logically equivalent.
+class BaselineAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselineAgreementTest, RBRAndClosureCoversAreEquivalent) {
+  Rng rng(GetParam());
+  const size_t arity = 10;
+  std::vector<CFD> fds;
+  const size_t num_fds = 4 + rng.Below(8);
+  for (size_t i = 0; i < num_fds; ++i) {
+    size_t k = 1 + rng.Below(2);
+    std::vector<AttrIndex> lhs;
+    for (size_t j = 0; j < k; ++j) {
+      lhs.push_back(static_cast<AttrIndex>(rng.Below(arity)));
+    }
+    AttrIndex rhs = static_cast<AttrIndex>(rng.Below(arity));
+    auto fd = CFD::FD(0, lhs, rhs);
+    if (fd.ok() && !fd.value().IsTrivial()) {
+      fds.push_back(std::move(fd).value());
+    }
+  }
+  std::vector<AttrIndex> y, drop;
+  for (AttrIndex a = 0; a < arity; ++a) {
+    (rng.Percent(60) ? y : drop).push_back(a);
+  }
+  if (y.empty()) return;
+
+  auto closure_cover = ClosureBasedProjectionCover(fds, y, arity);
+  auto rbr_cover = RBR(fds, drop, arity);
+  ASSERT_TRUE(closure_cover.ok()) << closure_cover.status();
+  ASSERT_TRUE(rbr_cover.ok()) << rbr_cover.status();
+  ASSERT_FALSE(rbr_cover->truncated);
+
+  auto equivalent =
+      AreEquivalent(*closure_cover, rbr_cover->cover, arity);
+  ASSERT_TRUE(equivalent.ok());
+  EXPECT_TRUE(*equivalent)
+      << "closure: " << closure_cover->size()
+      << " CFDs, RBR: " << rbr_cover->cover.size() << " CFDs";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineAgreementTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+TEST(ClosureBaselineTest, BudgetGuard) {
+  std::vector<AttrIndex> big_y;
+  for (AttrIndex i = 0; i < 30; ++i) big_y.push_back(i);
+  ClosureBaselineOptions options;
+  options.max_projection_attrs = 22;
+  auto cover = ClosureBasedProjectionCover({}, big_y, 40, options);
+  EXPECT_FALSE(cover.ok());
+  EXPECT_EQ(cover.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace cfdprop

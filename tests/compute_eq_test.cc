@@ -1,0 +1,152 @@
+#include "src/cover/compute_eq.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+class ComputeEQTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R", {"A", "B", "C"}).ok());
+    ASSERT_TRUE(cat_.AddRelation("S", {"D", "E"}).ok());
+  }
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+  Catalog cat_;
+};
+
+TEST_F(ComputeEQTest, SelectionsFormClasses) {
+  // sigma_{C=D and A='7'}(R x S): classes {A}=7, {B}, {C,D}, {E}.
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  size_t s = b.AddAtom(1);
+  ASSERT_TRUE(b.SelectEq(r, "C", s, "D").ok());
+  ASSERT_TRUE(b.SelectConst(r, "A", "7").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  auto eq = ComputeEQ(cat_, *v, {});
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(eq->inconsistent);
+  EXPECT_TRUE(eq->SameClass(2, 3));   // C = D
+  EXPECT_FALSE(eq->SameClass(0, 1));
+  EXPECT_EQ(eq->Key(0), cat_.pool().Find("7"));
+  EXPECT_EQ(eq->Key(1), kNoValue);
+  EXPECT_EQ(eq->Key(2), kNoValue);
+}
+
+TEST_F(ComputeEQTest, SourceCFDsContributeKeys) {
+  // sigma forces B = b on every tuple (all-wildcard LHS), so column B is
+  // keyed even without a selection on it.
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Wc()}, 1, Const("b")).value()};
+  auto eq = ComputeEQ(cat_, *v, sigma);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->Key(1), cat_.pool().Find("b"));
+}
+
+TEST_F(ComputeEQTest, InteractionPropagatesConstants) {
+  // Selection A='a'; sigma: ([A=a] -> B=b). Chasing derives key(B)=b.
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(r, "A", "a").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Const("a")}, 1, Const("b")).value()};
+  auto eq = ComputeEQ(cat_, *v, sigma);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->Key(1), cat_.pool().Find("b"));
+}
+
+TEST_F(ComputeEQTest, ConflictYieldsBottom) {
+  // Example 3.1 shape: CFD forces B=b1 everywhere, selection wants b2.
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(r, "B", "b2").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Wc()}, 1, Const("b1")).value()};
+  auto eq = ComputeEQ(cat_, *v, sigma);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq->inconsistent);
+}
+
+TEST_F(ComputeEQTest, EQ2CFDEmitsConstantsAndEqualities) {
+  // Output: A (keyed '7'), C and D (one unkeyed class), constant col K.
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  size_t s = b.AddAtom(1);
+  ASSERT_TRUE(b.SelectEq(r, "C", s, "D").ok());
+  ASSERT_TRUE(b.SelectConst(r, "A", "7").ok());
+  ASSERT_TRUE(b.Project(r, "A").ok());
+  ASSERT_TRUE(b.Project(r, "C").ok());
+  ASSERT_TRUE(b.Project(s, "D").ok());
+  ASSERT_TRUE(b.ProjectConstant("K", "9").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  auto eq = ComputeEQ(cat_, *v, {});
+  ASSERT_TRUE(eq.ok());
+  std::vector<CFD> sigma_d = EQ2CFD(cat_, *v, *eq);
+
+  int constants = 0, equalities = 0;
+  for (const CFD& c : sigma_d) {
+    if (c.is_special_x()) {
+      ++equalities;
+      // The only equality is between output cols 1 (C) and 2 (D).
+      EXPECT_EQ(c.lhs[0], 1u);
+      EXPECT_EQ(c.rhs, 2u);
+    } else {
+      ASSERT_TRUE(c.rhs_pat.is_constant());
+      ++constants;
+    }
+  }
+  EXPECT_EQ(equalities, 1);
+  EXPECT_EQ(constants, 2);  // A='7' and K='9'
+}
+
+TEST_F(ComputeEQTest, EmptyViewCoverShapeAndDetection) {
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> pair = MakeEmptyViewCover(cat_, *v);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_TRUE(IsEmptyViewCover(pair));
+
+  // A normal cover is not an empty-view marker.
+  std::vector<CFD> normal = {
+      CFD::ConstantColumn(kViewSchemaId, 0, cat_.pool().Intern("0"))};
+  EXPECT_FALSE(IsEmptyViewCover(normal));
+}
+
+TEST_F(ComputeEQTest, DuplicateProjectionOfOneColumnIsEquality) {
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(r, "A", "a1").ok());
+  ASSERT_TRUE(b.Project(r, "A", "a2").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  auto eq = ComputeEQ(cat_, *v, {});
+  ASSERT_TRUE(eq.ok());
+  std::vector<CFD> sigma_d = EQ2CFD(cat_, *v, *eq);
+  ASSERT_EQ(sigma_d.size(), 1u);
+  EXPECT_TRUE(sigma_d[0].is_special_x());
+}
+
+}  // namespace
+}  // namespace cfdprop

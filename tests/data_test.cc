@@ -1,0 +1,308 @@
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+// Fig. 1 of the paper: UK/US/NL customer instances.
+class Fig1Test : public ::testing::Test {
+ protected:
+  static constexpr AttrIndex kAC = 0, kStreet = 3, kCity = 4, kZip = 5;
+
+  void SetUp() override {
+    std::vector<std::string> attrs = {"AC",    "phn",  "name",
+                                      "street", "city", "zip"};
+    for (const char* name : {"R1", "R2", "R3"}) {
+      ASSERT_TRUE(cat_.AddRelation(name, attrs).ok());
+    }
+    db_ = std::make_unique<Database>(cat_);
+    // D1 (UK).
+    ASSERT_TRUE(db_->InsertText(
+        "R1", {"20", "1234567", "Mike", "Portland", "LDN", "W1B 1JL"}).ok());
+    ASSERT_TRUE(db_->InsertText(
+        "R1", {"20", "3456789", "Rick", "Portland", "LDN", "W1B 1JL"}).ok());
+    // D2 (US).
+    ASSERT_TRUE(db_->InsertText(
+        "R2", {"610", "3456789", "Joe", "Copley", "Darby", "19082"}).ok());
+    ASSERT_TRUE(db_->InsertText(
+        "R2", {"610", "1234567", "Mary", "Walnut", "Darby", "19082"}).ok());
+    // D3 (NL).
+    ASSERT_TRUE(db_->InsertText(
+        "R3", {"20", "3456789", "Marx", "Kruise", "Amsterdam", "1096"}).ok());
+    ASSERT_TRUE(db_->InsertText(
+        "R3", {"36", "1234567", "Bart", "Grote", "Almere", "1316"}).ok());
+  }
+
+  SPCUView MakeUnionView() {
+    SPCUView u;
+    const char* ccs[3] = {"44", "01", "31"};
+    for (int i = 0; i < 3; ++i) {
+      SPCViewBuilder b(cat_);
+      size_t atom = b.AddAtom(static_cast<RelationId>(i));
+      const RelationSchema& schema = cat_.relation(static_cast<RelationId>(i));
+      for (AttrIndex k = 0; k < schema.arity(); ++k) {
+        EXPECT_TRUE(b.Project(atom, schema.attr(k).name).ok());
+      }
+      EXPECT_TRUE(b.ProjectConstant("CC", ccs[i]).ok());
+      auto v = b.Build();
+      EXPECT_TRUE(v.ok());
+      u.disjuncts.push_back(*v);
+    }
+    return u;
+  }
+
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+
+  Catalog cat_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(Fig1Test, SourceFDsHold) {
+  // f1: R1(zip -> street), f2: R1(AC -> city), f3: R3(AC -> city).
+  auto f1 = Satisfies(*db_, CFD::FD(0, {kZip}, kStreet).value());
+  auto f2 = Satisfies(*db_, CFD::FD(0, {kAC}, kCity).value());
+  auto f3 = Satisfies(*db_, CFD::FD(2, {kAC}, kCity).value());
+  ASSERT_TRUE(f1.ok() && f2.ok() && f3.ok());
+  EXPECT_TRUE(*f1);
+  EXPECT_TRUE(*f2);
+  EXPECT_TRUE(*f3);
+
+  // zip does not determine street in the US source.
+  auto us = Satisfies(*db_, CFD::FD(1, {kZip}, kStreet).value());
+  ASSERT_TRUE(us.ok());
+  EXPECT_FALSE(*us);
+}
+
+TEST_F(Fig1Test, ViewEvaluationProducesSixTuples) {
+  SPCUView u = MakeUnionView();
+  auto rows = Evaluate(*db_, u);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);
+  for (const Tuple& t : *rows) EXPECT_EQ(t.size(), 7u);
+}
+
+TEST_F(Fig1Test, ViewViolatesPlainFDButSatisfiesCFD) {
+  SPCUView u = MakeUnionView();
+  auto rows = Evaluate(*db_, u);
+  ASSERT_TRUE(rows.ok());
+  const size_t arity = 7;  // AC phn name street city zip CC
+
+  // f1 as a plain view FD is violated (t3, t4 from the US source).
+  CFD plain = CFD::FD(kViewSchemaId, {5}, 3).value();
+  auto sat = Satisfies(*rows, plain, arity);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+  auto viol = FindViolations(*rows, plain, arity);
+  ASSERT_TRUE(viol.ok());
+  EXPECT_FALSE(viol->empty());
+
+  // phi1: ([CC=44, zip] -> street) holds.
+  CFD phi1 = CFD::Make(kViewSchemaId, {6, 5}, {Const("44"), Wc()}, 3, Wc())
+                 .value();
+  sat = Satisfies(*rows, phi1, arity);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+
+  // phi2 / phi3 hold; plain AC -> city does not (t1 vs t5).
+  CFD phi2 = CFD::Make(kViewSchemaId, {6, 0}, {Const("44"), Wc()}, 4, Wc())
+                 .value();
+  CFD phi3 = CFD::Make(kViewSchemaId, {6, 0}, {Const("31"), Wc()}, 4, Wc())
+                 .value();
+  CFD plain_ac = CFD::FD(kViewSchemaId, {0}, 4).value();
+  EXPECT_TRUE(*Satisfies(*rows, phi2, arity));
+  EXPECT_TRUE(*Satisfies(*rows, phi3, arity));
+  EXPECT_FALSE(*Satisfies(*rows, plain_ac, arity));
+
+  // phi4 with pattern constants holds; without CC it is violated
+  // (Example 2.2).
+  CFD phi4 = CFD::Make(kViewSchemaId, {6, 0}, {Const("44"), Const("20")}, 4,
+                       Const("LDN"))
+                 .value();
+  CFD no_cc =
+      CFD::Make(kViewSchemaId, {0}, {Const("20")}, 4, Const("LDN")).value();
+  EXPECT_TRUE(*Satisfies(*rows, phi4, arity));
+  EXPECT_FALSE(*Satisfies(*rows, no_cc, arity));
+}
+
+TEST_F(Fig1Test, SingleTupleViolationsAreReported) {
+  // ([AC=20] -> city=LDN) on R3: Marx (AC 20, Amsterdam) violates alone.
+  CFD cfd = CFD::Make(2, {kAC}, {Const("20")}, kCity, Const("LDN")).value();
+  const Relation& r3 = db_->relation(2);
+  auto viol = FindViolations(r3.tuples(), cfd, r3.schema().arity());
+  ASSERT_TRUE(viol.ok());
+  ASSERT_EQ(viol->size(), 1u);
+  EXPECT_EQ((*viol)[0].first, (*viol)[0].second);  // single-tuple
+}
+
+TEST_F(Fig1Test, EqualityCFDValidation) {
+  std::vector<Tuple> rows = {{1, 1, 2}, {3, 4, 3}};
+  CFD eq01 = CFD::Equality(kViewSchemaId, 0, 1);
+  CFD eq02 = CFD::Equality(kViewSchemaId, 0, 2);
+  auto s1 = Satisfies(rows, eq01, 3);
+  auto s2 = Satisfies(rows, eq02, 3);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_FALSE(*s1);  // second row 3 != 4
+  EXPECT_FALSE(*s2);  // first row 1 != 2
+  std::vector<Tuple> good = {{1, 1, 1}, {2, 2, 2}};
+  EXPECT_TRUE(*Satisfies(good, eq01, 3));
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R", {"A", "B"}).ok());
+    ASSERT_TRUE(cat_.AddRelation("S", {"C", "D"}).ok());
+    db_ = std::make_unique<Database>(cat_);
+  }
+  Catalog cat_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EvalTest, SelectionAndProjection) {
+  ASSERT_TRUE(db_->InsertText("R", {"1", "x"}).ok());
+  ASSERT_TRUE(db_->InsertText("R", {"2", "y"}).ok());
+  ASSERT_TRUE(db_->InsertText("R", {"1", "z"}).ok());
+
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "A", "1").ok());
+  ASSERT_TRUE(b.Project(a, "B").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  auto rows = Evaluate(*db_, *v);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // x and z
+}
+
+TEST_F(EvalTest, JoinViaSelection) {
+  ASSERT_TRUE(db_->InsertText("R", {"1", "k1"}).ok());
+  ASSERT_TRUE(db_->InsertText("R", {"2", "k2"}).ok());
+  ASSERT_TRUE(db_->InsertText("S", {"k1", "v1"}).ok());
+  ASSERT_TRUE(db_->InsertText("S", {"k3", "v3"}).ok());
+
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  size_t s = b.AddAtom(1);
+  ASSERT_TRUE(b.SelectEq(r, "B", s, "C").ok());
+  ASSERT_TRUE(b.Project(r, "A").ok());
+  ASSERT_TRUE(b.Project(s, "D").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  auto rows = Evaluate(*db_, *v);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(cat_.pool().Text((*rows)[0][0]), "1");
+  EXPECT_EQ(cat_.pool().Text((*rows)[0][1]), "v1");
+}
+
+TEST_F(EvalTest, SetSemanticsDedupe) {
+  ASSERT_TRUE(db_->InsertText("R", {"1", "x"}).ok());
+  ASSERT_TRUE(db_->InsertText("R", {"2", "x"}).ok());
+
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(a, "B").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  auto rows = Evaluate(*db_, *v);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(EvalTest, UnionMergesDisjuncts) {
+  ASSERT_TRUE(db_->InsertText("R", {"1", "x"}).ok());
+  ASSERT_TRUE(db_->InsertText("S", {"1", "x"}).ok());
+
+  auto make = [&](RelationId rel) {
+    SPCViewBuilder b(cat_);
+    size_t a = b.AddAtom(rel);
+    EXPECT_TRUE(
+        b.Project(a, cat_.relation(rel).attr(0).name).ok());
+    EXPECT_TRUE(
+        b.Project(a, cat_.relation(rel).attr(1).name).ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  SPCUView u;
+  u.disjuncts = {make(0), make(1)};
+  auto rows = Evaluate(*db_, u);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);  // identical tuples merge under union
+}
+
+TEST_F(EvalTest, RowBudgetGuard) {
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db_->InsertText("R", {std::to_string(i), "x"}).ok());
+    ASSERT_TRUE(db_->InsertText("S", {std::to_string(i), "y"}).ok());
+  }
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  b.AddAtom(1);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  EvalOptions tight;
+  tight.max_rows = 100;
+  auto rows = Evaluate(*db_, *v, tight);
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EvalTest, ConstantOutputColumns) {
+  ASSERT_TRUE(db_->InsertText("R", {"1", "x"}).ok());
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(a, "A").ok());
+  ASSERT_TRUE(b.ProjectConstant("CC", "44").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  auto rows = Evaluate(*db_, *v);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(cat_.pool().Text((*rows)[0][1]), "44");
+}
+
+TEST_F(EvalTest, SelfJoinUsesIndependentAtomCopies) {
+  // sigma_{0.B = 1.A}(R x R): a tuple can join with a different copy.
+  ASSERT_TRUE(db_->InsertText("R", {"1", "2"}).ok());
+  ASSERT_TRUE(db_->InsertText("R", {"2", "3"}).ok());
+  SPCViewBuilder b(cat_);
+  size_t r0 = b.AddAtom(0);
+  size_t r1 = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectEq(r0, "B", r1, "A").ok());
+  ASSERT_TRUE(b.Project(r0, "A", "x").ok());
+  ASSERT_TRUE(b.Project(r1, "B", "y").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  auto rows = Evaluate(*db_, *v);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);  // (1,2) |> (2,3) => (1,3)
+  EXPECT_EQ(cat_.pool().Text((*rows)[0][0]), "1");
+  EXPECT_EQ(cat_.pool().Text((*rows)[0][1]), "3");
+}
+
+TEST_F(EvalTest, EmptySourceYieldsEmptyView) {
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  auto rows = Evaluate(*db_, *v);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(EvalTest, RelationRejectsBadTuples) {
+  auto bad_arity = db_->InsertText("R", {"1"});
+  EXPECT_FALSE(bad_arity.ok());
+  EXPECT_FALSE(db_->InsertText("Missing", {"1", "2"}).ok());
+}
+
+}  // namespace
+}  // namespace cfdprop

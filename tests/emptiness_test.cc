@@ -1,0 +1,182 @@
+#include "src/propagation/emptiness.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+class EmptinessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R", {"A", "B", "C"}).ok());
+  }
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+  Catalog cat_;
+};
+
+TEST_F(EmptinessTest, PlainViewIsNonEmpty) {
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  auto r = IsAlwaysEmpty(cat_, *v, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(EmptinessTest, Example31CFDPlusSelection) {
+  // phi = R(A -> B, (_ || b1)) and V = sigma_{B=b2}(R): always empty.
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "B", "b2").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Wc()}, 1, Const("b1")).value()};
+  auto r = IsAlwaysEmpty(cat_, *v, sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+
+  // With the matching constant the view can be non-empty.
+  SPCViewBuilder b2(cat_);
+  size_t a2 = b2.AddAtom(0);
+  ASSERT_TRUE(b2.SelectConst(a2, "B", "b1").ok());
+  auto v2 = b2.Build();
+  ASSERT_TRUE(v2.ok());
+  r = IsAlwaysEmpty(cat_, *v2, sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(EmptinessTest, ContradictorySelectionAlone) {
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "A", "1").ok());
+  ASSERT_TRUE(b.SelectConst(a, "A", "2").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  auto r = IsAlwaysEmpty(cat_, *v, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(EmptinessTest, SelectionChainForcesConflict) {
+  // A = B (selection), sigma forces A = a1 and B = a2 on all tuples.
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectEq(a, "A", a, "B").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {2}, {Wc()}, 0, Const("a1")).value(),
+      CFD::Make(0, {2}, {Wc()}, 1, Const("a2")).value()};
+  auto r = IsAlwaysEmpty(cat_, *v, sigma);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(EmptinessTest, UnionIsEmptyOnlyIfAllDisjunctsAre) {
+  SPCViewBuilder b1(cat_);
+  size_t a1 = b1.AddAtom(0);
+  ASSERT_TRUE(b1.SelectConst(a1, "A", "1").ok());
+  ASSERT_TRUE(b1.SelectConst(a1, "A", "2").ok());  // empty
+  auto v1 = b1.Build();
+  ASSERT_TRUE(v1.ok());
+
+  SPCViewBuilder b2(cat_);
+  b2.AddAtom(0);
+  auto v2 = b2.Build();
+  ASSERT_TRUE(v2.ok());
+
+  SPCUView u;
+  u.disjuncts = {*v1, *v2};
+  auto r = IsAlwaysEmpty(cat_, u, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+
+  SPCUView both_empty;
+  both_empty.disjuncts = {*v1, *v1};
+  r = IsAlwaysEmpty(cat_, both_empty, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(EmptinessTest, GeneralSettingFiniteDomainExhaustion) {
+  // dom(F) = {0,1}; sigma forbids both values via forbidden patterns:
+  // ([F=0] -> A=p) + ([F=0] -> A=q) kills F=0, same for F=1.
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"F", Domain::Boolean(cat_.pool())});
+  attrs.push_back(Attribute{"A", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("S", std::move(attrs)).ok());
+  RelationId s = cat_.FindRelation("S");
+
+  SPCViewBuilder b(cat_);
+  b.AddAtom(s);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(s, {0}, {Const("0")}, 1, Const("p")).value(),
+      CFD::Make(s, {0}, {Const("0")}, 1, Const("q")).value(),
+      CFD::Make(s, {0}, {Const("1")}, 1, Const("p")).value(),
+      CFD::Make(s, {0}, {Const("1")}, 1, Const("q")).value()};
+
+  // Infinite-domain reading: a fresh F value escapes all patterns.
+  auto r_inf = IsAlwaysEmpty(cat_, *v, sigma);
+  ASSERT_TRUE(r_inf.ok());
+  EXPECT_FALSE(*r_inf);
+
+  // General setting: F must be 0 or 1, both contradictory => empty.
+  EmptinessOptions general;
+  general.general_setting = true;
+  auto r_gen = IsAlwaysEmpty(cat_, *v, sigma, general);
+  ASSERT_TRUE(r_gen.ok());
+  EXPECT_TRUE(*r_gen);
+
+  // Removing one branch re-opens the view.
+  sigma.pop_back();
+  r_gen = IsAlwaysEmpty(cat_, *v, sigma, general);
+  ASSERT_TRUE(r_gen.ok());
+  EXPECT_FALSE(*r_gen);
+}
+
+TEST_F(EmptinessTest, InstantiationBudgetSurfaces) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 12; ++i) {
+    attrs.push_back(Attribute{"F" + std::to_string(i),
+                              Domain::Boolean(cat_.pool())});
+  }
+  ASSERT_TRUE(cat_.AddRelation("Wide", std::move(attrs)).ok());
+  RelationId w = cat_.FindRelation("Wide");
+
+  SPCViewBuilder b(cat_);
+  b.AddAtom(w);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  // Branch-and-prune reaches a witness leaf in ~13 nodes (one per
+  // variable), far under the naive 2^12 enumeration.
+  EmptinessOptions tight;
+  tight.general_setting = true;
+  tight.instantiation.max_instantiations = 16;
+  auto r = IsAlwaysEmpty(cat_, *v, {}, tight);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(*r);
+
+  // A budget below the branch depth still fails loudly rather than
+  // silently under-approximating.
+  EmptinessOptions too_tight;
+  too_tight.general_setting = true;
+  too_tight.instantiation.max_instantiations = 4;
+  auto r2 = IsAlwaysEmpty(cat_, *v, {}, too_tight);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace cfdprop

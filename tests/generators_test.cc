@@ -1,0 +1,185 @@
+#include "src/gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cfd/implication.h"
+#include "src/data/validate.h"
+
+namespace cfdprop {
+namespace {
+
+TEST(SchemaGenTest, RespectsBounds) {
+  SchemaGenOptions options;
+  options.num_relations = 12;
+  options.min_arity = 10;
+  options.max_arity = 20;
+  Catalog cat = GenerateSchema(options, 1);
+  EXPECT_EQ(cat.num_relations(), 12u);
+  for (RelationId r = 0; r < cat.num_relations(); ++r) {
+    EXPECT_GE(cat.relation(r).arity(), 10u);
+    EXPECT_LE(cat.relation(r).arity(), 20u);
+  }
+  EXPECT_FALSE(cat.HasFiniteDomainAttr());
+}
+
+TEST(SchemaGenTest, DeterministicInSeed) {
+  SchemaGenOptions options;
+  Catalog a = GenerateSchema(options, 7);
+  Catalog b = GenerateSchema(options, 7);
+  ASSERT_EQ(a.num_relations(), b.num_relations());
+  for (RelationId r = 0; r < a.num_relations(); ++r) {
+    EXPECT_EQ(a.relation(r).arity(), b.relation(r).arity());
+  }
+}
+
+TEST(SchemaGenTest, FiniteDomainsWhenRequested) {
+  SchemaGenOptions options;
+  options.finite_pct = 100;
+  options.finite_domain_size = 3;
+  Catalog cat = GenerateSchema(options, 3);
+  EXPECT_TRUE(cat.HasFiniteDomainAttr());
+  const Domain& d = cat.relation(0).attr(0).domain;
+  ASSERT_TRUE(d.finite());
+  EXPECT_EQ(d.values().size(), 3u);
+}
+
+TEST(CFDGenTest, CountLhsAndValidity) {
+  Catalog cat = GenerateSchema({}, 1);
+  CFDGenOptions options;
+  options.count = 200;
+  options.min_lhs = 3;
+  options.max_lhs = 9;
+  std::vector<CFD> sigma = GenerateCFDs(cat, options, 2);
+  ASSERT_EQ(sigma.size(), 200u);
+  for (const CFD& c : sigma) {
+    ASSERT_LT(c.relation, cat.num_relations());
+    EXPECT_TRUE(c.Validate(cat.relation(c.relation).arity()).ok());
+    EXPECT_LE(c.lhs.size(), 9u);
+    if (c.rhs_pat.is_wildcard()) {
+      // Constant-RHS CFDs canonicalize away wildcard LHS attributes, so
+      // the LHS-size lower bound only applies to variable-RHS CFDs.
+      EXPECT_GE(c.lhs.size(), 3u);
+    }
+    EXPECT_FALSE(c.IsTrivial());
+  }
+}
+
+TEST(CFDGenTest, VarPctControlsWildcards) {
+  Catalog cat = GenerateSchema({}, 1);
+  CFDGenOptions all_wild;
+  all_wild.var_pct = 100;
+  for (const CFD& c : GenerateCFDs(cat, all_wild, 3)) {
+    EXPECT_TRUE(c.IsPlainFD());
+  }
+  CFDGenOptions all_const;
+  all_const.var_pct = 0;
+  for (const CFD& c : GenerateCFDs(cat, all_const, 3)) {
+    EXPECT_TRUE(c.rhs_pat.is_constant());
+    for (const PatternValue& p : c.lhs_pats) {
+      EXPECT_TRUE(p.is_constant());
+    }
+  }
+}
+
+TEST(CFDGenTest, DeterministicInSeed) {
+  Catalog cat = GenerateSchema({}, 1);
+  CFDGenOptions options;
+  options.count = 50;
+  std::vector<CFD> a = GenerateCFDs(cat, options, 9);
+  std::vector<CFD> b = GenerateCFDs(cat, options, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ViewGenTest, ParametersAreHonored) {
+  Catalog cat = GenerateSchema({}, 1);
+  ViewGenOptions options;
+  options.num_projection = 25;
+  options.num_selections = 10;
+  options.num_atoms = 4;
+  auto view = GenerateSPCView(cat, options, 4);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->atoms.size(), 4u);
+  EXPECT_EQ(view->selections.size(), 10u);
+  EXPECT_EQ(view->OutputArity(), 25u);
+  EXPECT_TRUE(view->Validate(cat).ok());
+}
+
+TEST(ViewGenTest, ProjectionClampedToColumnSpace) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation("R", {"A", "B", "C"}).ok());
+  ViewGenOptions options;
+  options.num_projection = 100;
+  options.num_atoms = 1;
+  options.num_selections = 0;
+  auto view = GenerateSPCView(cat, options, 5);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->OutputArity(), 3u);
+}
+
+TEST(DataGenTest, SatisfiesSigmaAfterRepair) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddRelation("R", {"A", "B", "C", "D"}).ok());
+  std::vector<CFD> sigma = {
+      CFD::FD(0, {0}, 1).value(),
+      CFD::Make(0, {1}, {PatternValue::Wildcard()}, 2,
+                PatternValue::Constant(cat.pool().Intern("5")))
+          .value()};
+  DataGenOptions options;
+  options.rows_per_relation = 30;
+  auto db = GenerateSatisfyingDatabase(cat, sigma, options, 11);
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto sat = SatisfiesAll(*db, sigma);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+  EXPECT_GT(db->relation(0).size(), 0u);
+}
+
+TEST(DataGenTest, WorksOnGeneratedWorkload) {
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 3;
+  schema_options.min_arity = 4;
+  schema_options.max_arity = 6;
+  Catalog cat = GenerateSchema(schema_options, 21);
+  CFDGenOptions cfd_options;
+  cfd_options.count = 6;
+  cfd_options.min_lhs = 1;
+  cfd_options.max_lhs = 2;
+  cfd_options.var_pct = 60;
+  cfd_options.const_hi = 6;  // small range so patterns fire
+  std::vector<CFD> sigma = GenerateCFDs(cat, cfd_options, 22);
+
+  DataGenOptions data_options;
+  data_options.rows_per_relation = 20;
+  // Random workloads can be unsatisfiable (two all-tuple constants on one
+  // attribute); scan a few seeds and require at least one success.
+  bool succeeded = false;
+  for (uint64_t seed = 23; seed < 33 && !succeeded; ++seed) {
+    auto db = GenerateSatisfyingDatabase(cat, sigma, data_options, seed);
+    if (!db.ok()) {
+      EXPECT_EQ(db.status().code(), StatusCode::kInconsistent);
+      break;  // unsatisfiability does not depend on the data seed
+    }
+    auto sat = SatisfiesAll(*db, sigma);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat);
+    succeeded = true;
+  }
+  // Either the workload was provably unsatisfiable or we produced a
+  // satisfying database; both are correct generator behaviours. With
+  // this seed the workload is satisfiable, so expect success.
+  auto satisfiable = [&] {
+    for (RelationId r = 0; r < cat.num_relations(); ++r) {
+      std::vector<CFD> on_r;
+      for (const CFD& c : sigma) {
+        if (c.relation == r) on_r.push_back(c);
+      }
+      auto s = IsSatisfiable(on_r, cat.relation(r).arity());
+      if (!s.ok() || !*s) return false;
+    }
+    return true;
+  }();
+  EXPECT_EQ(succeeded, satisfiable);
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,259 @@
+#include "src/cfd/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cfd/mincover.h"
+
+namespace cfdprop {
+namespace {
+
+// All tests run over an abstract relation (id 0) with `kArity` attributes
+// named by index: 0=A, 1=B, 2=C, 3=D.
+constexpr size_t kArity = 4;
+
+class ImplicationTest : public ::testing::Test {
+ protected:
+  Value V(const char* s) { return pool_.Intern(s); }
+  CFD FD(std::vector<AttrIndex> lhs, AttrIndex rhs) {
+    return CFD::FD(0, std::move(lhs), rhs).value();
+  }
+  CFD Pat(std::vector<AttrIndex> lhs, std::vector<PatternValue> pats,
+          AttrIndex rhs, PatternValue rp) {
+    return CFD::Make(0, std::move(lhs), std::move(pats), rhs, rp).value();
+  }
+  bool Implied(const std::vector<CFD>& sigma, const CFD& phi) {
+    auto r = Implies(sigma, phi, kArity);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() && *r;
+  }
+
+  ValuePool pool_;
+};
+
+TEST_F(ImplicationTest, Reflexivity) {
+  // {} |= nothing nontrivial, but sigma |= its own members.
+  CFD f = FD({0}, 1);
+  EXPECT_TRUE(Implied({f}, f));
+  EXPECT_FALSE(Implied({}, f));
+}
+
+TEST_F(ImplicationTest, FDTransitivity) {
+  CFD ab = FD({0}, 1), bc = FD({1}, 2), ac = FD({0}, 2);
+  EXPECT_TRUE(Implied({ab, bc}, ac));
+  EXPECT_FALSE(Implied({ab}, ac));
+  EXPECT_FALSE(Implied({bc}, ac));
+}
+
+TEST_F(ImplicationTest, FDAugmentation) {
+  // A -> B implies AC -> B.
+  CFD ab = FD({0}, 1);
+  CFD acb = FD({0, 2}, 1);
+  EXPECT_TRUE(Implied({ab}, acb));
+  EXPECT_FALSE(Implied({acb}, ab));  // converse fails
+}
+
+TEST_F(ImplicationTest, PatternUpgrade) {
+  // (A -> B, (_ || _)) implies (A -> B, (a || _)): the conditional
+  // version is weaker.
+  PatternValue wc = PatternValue::Wildcard();
+  PatternValue pa = PatternValue::Constant(V("a"));
+  CFD general = Pat({0}, {wc}, 1, wc);
+  CFD conditional = Pat({0}, {pa}, 1, wc);
+  EXPECT_TRUE(Implied({general}, conditional));
+  EXPECT_FALSE(Implied({conditional}, general));
+}
+
+TEST_F(ImplicationTest, ConstantRhsIsStronger) {
+  // (A -> B, (a || b)) implies (A -> B, (a || _)) but not conversely.
+  PatternValue wc = PatternValue::Wildcard();
+  PatternValue pa = PatternValue::Constant(V("a"));
+  PatternValue pb = PatternValue::Constant(V("b"));
+  CFD with_const = Pat({0}, {pa}, 1, pb);
+  CFD with_var = Pat({0}, {pa}, 1, wc);
+  EXPECT_TRUE(Implied({with_const}, with_var));
+  EXPECT_FALSE(Implied({with_var}, with_const));
+}
+
+TEST_F(ImplicationTest, CFDTransitivityWithPatterns) {
+  // ([A=a] -> B=b) and ([B=b] -> C=c) imply ([A=a] -> C=c).
+  PatternValue pa = PatternValue::Constant(V("a"));
+  PatternValue pb = PatternValue::Constant(V("b"));
+  PatternValue pc = PatternValue::Constant(V("c"));
+  CFD f1 = Pat({0}, {pa}, 1, pb);
+  CFD f2 = Pat({1}, {pb}, 2, pc);
+  CFD f3 = Pat({0}, {pa}, 2, pc);
+  EXPECT_TRUE(Implied({f1, f2}, f3));
+  EXPECT_FALSE(Implied({f2}, f3));
+}
+
+TEST_F(ImplicationTest, ConstantsBlockTransitivity) {
+  // ([A=a] -> B=b) and ([B=c] -> C=c') do NOT chain: b != c.
+  PatternValue pa = PatternValue::Constant(V("a"));
+  PatternValue pb = PatternValue::Constant(V("b"));
+  PatternValue pc = PatternValue::Constant(V("c"));
+  PatternValue pc2 = PatternValue::Constant(V("c2"));
+  CFD f1 = Pat({0}, {pa}, 1, pb);
+  CFD f2 = Pat({1}, {pc}, 2, pc2);
+  CFD f3 = Pat({0}, {pa}, 2, pc2);
+  EXPECT_FALSE(Implied({f1, f2}, f3));
+}
+
+TEST_F(ImplicationTest, UnsatisfiableLhsIsVacuouslyImplied) {
+  // Sigma forces B = b on all tuples; phi conditions on B = b2 != b.
+  PatternValue wc = PatternValue::Wildcard();
+  PatternValue pb = PatternValue::Constant(V("b"));
+  PatternValue pb2 = PatternValue::Constant(V("b2"));
+  CFD all_b = Pat({0}, {wc}, 1, pb);  // (A -> B, (_ || b))
+  CFD phi = Pat({1}, {pb2}, 2, wc);   // ([B=b2] -> C)
+  EXPECT_TRUE(Implied({all_b}, phi));
+}
+
+TEST_F(ImplicationTest, EqualityCFDImplication) {
+  // x-CFD A = B together with (B -> C) implies (A -> C).
+  CFD eq = CFD::Equality(0, 0, 1);
+  CFD bc = FD({1}, 2);
+  CFD ac = FD({0}, 2);
+  EXPECT_TRUE(Implied({eq, bc}, ac));
+  EXPECT_FALSE(Implied({bc}, ac));
+
+  // And A = B itself is implied only when present.
+  EXPECT_TRUE(Implied({eq}, CFD::Equality(0, 0, 1)));
+  EXPECT_TRUE(Implied({eq}, CFD::Equality(0, 1, 0)));  // symmetry
+  EXPECT_FALSE(Implied({bc}, CFD::Equality(0, 0, 1)));
+}
+
+TEST_F(ImplicationTest, EqualityTransitivity) {
+  CFD ab = CFD::Equality(0, 0, 1);
+  CFD bc = CFD::Equality(0, 1, 2);
+  EXPECT_TRUE(Implied({ab, bc}, CFD::Equality(0, 0, 2)));
+}
+
+TEST_F(ImplicationTest, EmptyLhsConstantImpliesConstantColumn) {
+  // (() -> A = a) and the (A -> A, (_ || a)) form are equivalent.
+  CFD empty_lhs;
+  empty_lhs.relation = 0;
+  empty_lhs.rhs = 0;
+  empty_lhs.rhs_pat = PatternValue::Constant(V("a"));
+  CFD col_form = CFD::ConstantColumn(0, 0, V("a"));
+  EXPECT_TRUE(Implied({empty_lhs}, col_form));
+  EXPECT_TRUE(Implied({col_form}, empty_lhs));
+}
+
+TEST_F(ImplicationTest, MismatchedRelationRejected) {
+  CFD f = FD({0}, 1);
+  CFD g = f;
+  g.relation = 1;
+  auto r = Implies({f}, g, kArity);
+  EXPECT_FALSE(r.ok());
+}
+
+// --- general setting: finite domains change the answers ---------------
+
+TEST_F(ImplicationTest, FiniteDomainEnablesCaseAnalysis) {
+  // dom(A) = {0, 1}. ([A=0] -> B=b) and ([A=1] -> B=b) imply
+  // (A -> B, (_ || b)) only in the general setting: every tuple's A is 0
+  // or 1, so B = b always. With infinite domains a fresh A-value escapes
+  // both premises.
+  Value v0 = V("0"), v1 = V("1"), vb = V("b");
+  Domain bool_dom = Domain::Finite("bool", {v0, v1});
+  AttrDomains domains(kArity, nullptr);
+  domains[0] = &bool_dom;
+
+  CFD f0 = Pat({0}, {PatternValue::Constant(v0)}, 1,
+               PatternValue::Constant(vb));
+  CFD f1 = Pat({0}, {PatternValue::Constant(v1)}, 1,
+               PatternValue::Constant(vb));
+  CFD phi = Pat({0}, {PatternValue::Wildcard()}, 1,
+                PatternValue::Constant(vb));
+
+  ImplicationOptions infinite;
+  auto r_inf = Implies({f0, f1}, phi, kArity, domains, infinite);
+  ASSERT_TRUE(r_inf.ok());
+  EXPECT_FALSE(*r_inf);
+
+  ImplicationOptions general;
+  general.general_setting = true;
+  auto r_gen = Implies({f0, f1}, phi, kArity, domains, general);
+  ASSERT_TRUE(r_gen.ok());
+  EXPECT_TRUE(*r_gen);
+}
+
+TEST_F(ImplicationTest, SatisfiabilityInfiniteDomain) {
+  PatternValue wc = PatternValue::Wildcard();
+  CFD a1 = Pat({0}, {wc}, 1, PatternValue::Constant(V("x1")));
+  CFD a2 = Pat({0}, {wc}, 1, PatternValue::Constant(V("x2")));
+  auto sat1 = IsSatisfiable({a1}, kArity);
+  ASSERT_TRUE(sat1.ok());
+  EXPECT_TRUE(*sat1);
+  // B must equal two distinct constants on every tuple: unsatisfiable.
+  auto sat2 = IsSatisfiable({a1, a2}, kArity);
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_FALSE(*sat2);
+}
+
+TEST_F(ImplicationTest, SatisfiabilityGeneralSetting) {
+  // dom(A) = {0,1}; ([A=0] -> B=p) + ([A=0] -> B=q) is satisfiable by
+  // tuples with A=1, and the general-setting check must find that
+  // instantiation.
+  Value v0 = V("0"), v1 = V("1");
+  Domain bool_dom = Domain::Finite("bool", {v0, v1});
+  AttrDomains domains(kArity, nullptr);
+  domains[0] = &bool_dom;
+
+  CFD f0 = Pat({0}, {PatternValue::Constant(v0)}, 1,
+               PatternValue::Constant(V("p")));
+  CFD f1 = Pat({0}, {PatternValue::Constant(v0)}, 1,
+               PatternValue::Constant(V("q")));
+  ImplicationOptions general;
+  general.general_setting = true;
+  auto sat = IsSatisfiable({f0, f1}, kArity, domains, general);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+
+  // Forcing both branches closed makes it unsatisfiable.
+  CFD g0 = Pat({0}, {PatternValue::Constant(v1)}, 1,
+               PatternValue::Constant(V("p")));
+  CFD g1 = Pat({0}, {PatternValue::Constant(v1)}, 1,
+               PatternValue::Constant(V("q")));
+  auto sat2 = IsSatisfiable({f0, f1, g0, g1}, kArity, domains, general);
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_FALSE(*sat2);
+}
+
+TEST_F(ImplicationTest, GeneralSettingBudgetErrorsOut) {
+  // 20 boolean attributes: 2^20+ instantiations exceed a small budget.
+  std::vector<Value> bools = {V("0"), V("1")};
+  Domain bool_dom = Domain::Finite("bool", bools);
+  AttrDomains domains(kArity, &bool_dom);
+
+  CFD phi = Pat({0}, {PatternValue::Wildcard()}, 1,
+                PatternValue::Wildcard());
+  ImplicationOptions tight;
+  tight.general_setting = true;
+  tight.instantiation.max_instantiations = 3;  // 2 rows x 4 attrs > 3
+  auto r = Implies({}, phi, kArity, domains, tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ImplicationTest, EquivalenceUtility) {
+  CFD ab = FD({0}, 1), bc = FD({1}, 2), ac = FD({0}, 2);
+  auto eq1 = AreEquivalent({ab, bc}, {ab, bc, ac}, kArity);
+  ASSERT_TRUE(eq1.ok());
+  EXPECT_TRUE(*eq1);
+  auto eq2 = AreEquivalent({ab}, {ab, bc}, kArity);
+  ASSERT_TRUE(eq2.ok());
+  EXPECT_FALSE(*eq2);
+  auto eq3 = AreEquivalent({}, {}, kArity);
+  ASSERT_TRUE(eq3.ok());
+  EXPECT_TRUE(*eq3);
+}
+
+TEST_F(ImplicationTest, EmptySigmaIsSatisfiable) {
+  auto sat = IsSatisfiable({}, kArity);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+}  // namespace
+}  // namespace cfdprop

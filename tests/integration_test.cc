@@ -1,0 +1,181 @@
+// End-to-end scenarios tying the whole pipeline together: build schema ->
+// declare CFDs -> define views -> compute covers -> check propagation ->
+// evaluate views on data -> validate the cover on the materialized view.
+
+#include <gtest/gtest.h>
+
+#include "src/cfd/implication.h"
+#include "src/cover/propcfd_spc.h"
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+#include "src/propagation/emptiness.h"
+#include "src/propagation/propagation.h"
+
+namespace cfdprop {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+  Catalog cat_;
+};
+
+TEST_F(IntegrationTest, PaperScenarioCoverHoldsOnData) {
+  // Example 1.1 sources and data; the SPC disjunct Q1 (UK) only.
+  std::vector<std::string> attrs = {"AC",    "phn",  "name",
+                                    "street", "city", "zip"};
+  ASSERT_TRUE(cat_.AddRelation("R1", attrs).ok());
+
+  std::vector<CFD> sigma = {
+      CFD::FD(0, {5}, 3).value(),                                 // zip->street
+      CFD::FD(0, {0}, 4).value(),                                 // AC->city
+      CFD::Make(0, {0}, {Const("20")}, 4, Const("LDN")).value(),  // cfd1
+  };
+
+  SPCViewBuilder b(cat_);
+  size_t atom = b.AddAtom(0);
+  for (const std::string& a : attrs) ASSERT_TRUE(b.Project(atom, a).ok());
+  ASSERT_TRUE(b.ProjectConstant("CC", "44").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  // Compute the minimal propagation cover.
+  auto cover = PropagationCoverSPC(cat_, *view, sigma);
+  ASSERT_TRUE(cover.ok()) << cover.status();
+  EXPECT_FALSE(cover->always_empty);
+  EXPECT_FALSE(cover->cover.empty());
+
+  // phi1 ([CC=44, zip] -> street) and phi4 must follow from the cover.
+  CFD phi1 =
+      CFD::Make(kViewSchemaId, {6, 5}, {Const("44"), Wc()}, 3, Wc()).value();
+  CFD phi4 = CFD::Make(kViewSchemaId, {6, 0}, {Const("44"), Const("20")}, 4,
+                       Const("LDN"))
+                 .value();
+  auto i1 = Implies(cover->cover, phi1, 7);
+  auto i4 = Implies(cover->cover, phi4, 7);
+  ASSERT_TRUE(i1.ok() && i4.ok());
+  EXPECT_TRUE(*i1);
+  EXPECT_TRUE(*i4);
+
+  // Every cover CFD passes the independent propagation test.
+  for (const CFD& c : cover->cover) {
+    auto prop = IsPropagated(cat_, *view, sigma, c);
+    ASSERT_TRUE(prop.ok());
+    EXPECT_TRUE(*prop) << c.ToString(cat_);
+  }
+
+  // Materialize the view on the Fig. 1 UK data and check every cover
+  // member holds on it.
+  Database db(cat_);
+  ASSERT_TRUE(db.InsertText(
+      "R1", {"20", "1234567", "Mike", "Portland", "LDN", "W1B 1JL"}).ok());
+  ASSERT_TRUE(db.InsertText(
+      "R1", {"20", "3456789", "Rick", "Portland", "LDN", "W1B 1JL"}).ok());
+  auto sat_src = SatisfiesAll(db, sigma);
+  ASSERT_TRUE(sat_src.ok());
+  ASSERT_TRUE(*sat_src);
+
+  auto rows = Evaluate(db, *view);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  for (const CFD& c : cover->cover) {
+    auto sat = Satisfies(*rows, c, 7);
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat) << c.ToString(cat_);
+  }
+}
+
+TEST_F(IntegrationTest, DataIntegrationUpdateRejection) {
+  // Application (2) of Section 1: a view update violating a propagated
+  // CFD can be rejected without touching the sources. Insert a tuple
+  // with CC=44, AC=20, city=edi into the view: phi4 rejects it.
+  std::vector<std::string> attrs = {"AC", "city"};
+  ASSERT_TRUE(cat_.AddRelation("R1", attrs).ok());
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Const("20")}, 1, Const("ldn")).value()};
+
+  SPCViewBuilder b(cat_);
+  size_t atom = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(atom, "AC").ok());
+  ASSERT_TRUE(b.Project(atom, "city").ok());
+  ASSERT_TRUE(b.ProjectConstant("CC", "44").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  auto cover = PropagationCoverSPC(cat_, *view, sigma);
+  ASSERT_TRUE(cover.ok());
+
+  // Current view contents + the candidate insertion.
+  std::vector<Tuple> rows = {
+      {cat_.pool().Intern("20"), cat_.pool().Intern("ldn"),
+       cat_.pool().Intern("44")},
+      {cat_.pool().Intern("20"), cat_.pool().Intern("edi"),
+       cat_.pool().Intern("44")}};
+  bool rejected = false;
+  for (const CFD& c : cover->cover) {
+    auto sat = Satisfies(rows, c, 3);
+    ASSERT_TRUE(sat.ok());
+    if (!*sat) rejected = true;
+  }
+  EXPECT_TRUE(rejected);
+}
+
+TEST_F(IntegrationTest, EmptinessAgreesWithCoverMarker) {
+  ASSERT_TRUE(cat_.AddRelation("R", {"A", "B"}).ok());
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "B", "b2").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Wc()}, 1, Const("b1")).value()};
+
+  auto empty = IsAlwaysEmpty(cat_, *view, sigma);
+  auto cover = PropagationCoverSPC(cat_, *view, sigma);
+  ASSERT_TRUE(empty.ok() && cover.ok());
+  EXPECT_TRUE(*empty);
+  EXPECT_TRUE(cover->always_empty);
+  EXPECT_TRUE(IsEmptyViewCover(cover->cover));
+}
+
+TEST_F(IntegrationTest, CoverAnswersArbitraryPropagationQueries) {
+  // The cover + implication = a propagation oracle (Section 4 intro):
+  // Sigma |=_V phi iff Cover |= phi. Cross-check on a join view.
+  ASSERT_TRUE(cat_.AddRelation("R", {"A", "B", "C"}).ok());
+  ASSERT_TRUE(cat_.AddRelation("S", {"D", "E"}).ok());
+
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  size_t s = b.AddAtom(1);
+  ASSERT_TRUE(b.SelectEq(r, "C", s, "D").ok());
+  ASSERT_TRUE(b.Project(r, "A").ok());
+  ASSERT_TRUE(b.Project(r, "B").ok());
+  ASSERT_TRUE(b.Project(s, "E").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  std::vector<CFD> sigma = {CFD::FD(0, {0}, 2).value(),   // R: A -> C
+                            CFD::FD(1, {0}, 1).value()};  // S: D -> E
+  auto cover = PropagationCoverSPC(cat_, *view, sigma);
+  ASSERT_TRUE(cover.ok());
+
+  std::vector<CFD> queries = {
+      CFD::FD(kViewSchemaId, {0}, 2).value(),      // A -> E: yes
+      CFD::FD(kViewSchemaId, {1}, 2).value(),      // B -> E: no
+      CFD::FD(kViewSchemaId, {0}, 1).value(),      // A -> B: no
+      CFD::FD(kViewSchemaId, {0, 1}, 2).value(),   // AB -> E: yes
+  };
+  for (const CFD& q : queries) {
+    auto direct = IsPropagated(cat_, *view, sigma, q);
+    auto via_cover = Implies(cover->cover, q, view->OutputArity());
+    ASSERT_TRUE(direct.ok() && via_cover.ok());
+    EXPECT_EQ(*direct, *via_cover) << q.ToString(cat_);
+  }
+}
+
+}  // namespace
+}  // namespace cfdprop

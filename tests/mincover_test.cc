@@ -1,0 +1,140 @@
+#include "src/cfd/mincover.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cfdprop {
+namespace {
+
+constexpr size_t kArity = 5;  // attrs 0..4 of abstract relation 0
+
+class MinCoverTest : public ::testing::Test {
+ protected:
+  Value V(const char* s) { return pool_.Intern(s); }
+  CFD FD(std::vector<AttrIndex> lhs, AttrIndex rhs) {
+    return CFD::FD(0, std::move(lhs), rhs).value();
+  }
+  std::vector<CFD> Cover(std::vector<CFD> sigma) {
+    auto r = MinCover(std::move(sigma), kArity);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? *r : std::vector<CFD>{};
+  }
+  bool Equivalent(const std::vector<CFD>& a, const std::vector<CFD>& b) {
+    for (const CFD& c : a) {
+      auto r = Implies(b, c, kArity);
+      if (!r.ok() || !*r) return false;
+    }
+    for (const CFD& c : b) {
+      auto r = Implies(a, c, kArity);
+      if (!r.ok() || !*r) return false;
+    }
+    return true;
+  }
+
+  ValuePool pool_;
+};
+
+TEST_F(MinCoverTest, RemovesRedundantFD) {
+  CFD ab = FD({0}, 1), bc = FD({1}, 2), ac = FD({0}, 2);
+  std::vector<CFD> cover = Cover({ab, bc, ac});
+  EXPECT_EQ(cover.size(), 2u);
+  EXPECT_TRUE(Equivalent(cover, {ab, bc, ac}));
+}
+
+TEST_F(MinCoverTest, RemovesRedundantLhsAttribute) {
+  // A -> B makes the C in AC -> B extraneous.
+  CFD ab = FD({0}, 1);
+  CFD acb = FD({0, 2}, 1);
+  std::vector<CFD> cover = Cover({ab, acb});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], ab);
+}
+
+TEST_F(MinCoverTest, LhsMinimizationAlone) {
+  // {AB -> C, A -> B}: B is extraneous in AB -> C.
+  CFD abc = FD({0, 1}, 2);
+  CFD ab = FD({0}, 1);
+  std::vector<CFD> cover = Cover({abc, ab});
+  EXPECT_EQ(cover.size(), 2u);
+  bool found_ac = std::any_of(cover.begin(), cover.end(), [&](const CFD& c) {
+    return c.lhs == std::vector<AttrIndex>{0} && c.rhs == 2;
+  });
+  EXPECT_TRUE(found_ac);
+  EXPECT_TRUE(Equivalent(cover, {abc, ab}));
+}
+
+TEST_F(MinCoverTest, DropsTrivialAndDuplicates) {
+  CFD ab = FD({0}, 1);
+  CFD trivial = CFD::Make(0, {1}, {PatternValue::Wildcard()}, 1,
+                          PatternValue::Wildcard())
+                    .value();
+  std::vector<CFD> cover = Cover({ab, ab, trivial});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], ab);
+}
+
+TEST_F(MinCoverTest, KeepsIndependentCFDs) {
+  CFD ab = FD({0}, 1), cd = FD({2}, 3);
+  std::vector<CFD> cover = Cover({ab, cd});
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST_F(MinCoverTest, PatternAwareRedundancy) {
+  // The conditional version is implied by the unconditional one.
+  PatternValue wc = PatternValue::Wildcard();
+  PatternValue pa = PatternValue::Constant(V("a"));
+  CFD general = CFD::Make(0, {0}, {wc}, 1, wc).value();
+  CFD conditional = CFD::Make(0, {0}, {pa}, 1, wc).value();
+  std::vector<CFD> cover = Cover({general, conditional});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], general);
+}
+
+TEST_F(MinCoverTest, ConditionalsNotMergedWhenIncomparable) {
+  // ([A=a] -> B) and ([A=b] -> B) are mutually non-redundant.
+  PatternValue wc = PatternValue::Wildcard();
+  CFD fa = CFD::Make(0, {0}, {PatternValue::Constant(V("a"))}, 1, wc).value();
+  CFD fb = CFD::Make(0, {0}, {PatternValue::Constant(V("b"))}, 1, wc).value();
+  std::vector<CFD> cover = Cover({fa, fb});
+  EXPECT_EQ(cover.size(), 2u);
+}
+
+TEST_F(MinCoverTest, EqualityCFDsAreMinimized) {
+  CFD ab = CFD::Equality(0, 0, 1);
+  CFD ba = CFD::Equality(0, 1, 0);  // symmetric duplicate
+  std::vector<CFD> cover = Cover({ab, ba});
+  EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST_F(MinCoverTest, CoverIsEquivalentToInput) {
+  PatternValue wc = PatternValue::Wildcard();
+  PatternValue pa = PatternValue::Constant(V("a"));
+  std::vector<CFD> sigma = {
+      FD({0}, 1),
+      FD({1}, 2),
+      FD({0, 3}, 2),                             // redundant via transitivity
+      CFD::Make(0, {0}, {pa}, 3, wc).value(),
+      CFD::Make(0, {0, 1}, {pa, wc}, 3, wc).value(),  // weaker than above
+  };
+  std::vector<CFD> cover = Cover(sigma);
+  EXPECT_LT(cover.size(), sigma.size());
+  EXPECT_TRUE(Equivalent(cover, sigma));
+}
+
+TEST_F(MinCoverTest, RemoveRedundantOnlyKeepsLhsIntact) {
+  CFD ab = FD({0}, 1);
+  CFD acb = FD({0, 2}, 1);  // redundant as a whole CFD
+  auto r = RemoveRedundantCFDs({ab, acb}, kArity);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], ab);
+}
+
+TEST_F(MinCoverTest, EmptyInput) {
+  std::vector<CFD> cover = Cover({});
+  EXPECT_TRUE(cover.empty());
+}
+
+}  // namespace
+}  // namespace cfdprop

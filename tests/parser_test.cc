@@ -1,0 +1,199 @@
+#include "src/parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/propagation/propagation.h"
+
+namespace cfdprop {
+namespace {
+
+TEST(ParserTest, RelationsWithDomains) {
+  auto spec = ParseSpec(
+      "relation R(A, B, C)\n"
+      "relation S(flag{0,1}, val)\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->catalog.num_relations(), 2u);
+  const RelationSchema& s = spec->catalog.relation(1);
+  EXPECT_TRUE(s.attr(0).domain.finite());
+  EXPECT_EQ(s.attr(0).domain.values().size(), 2u);
+  EXPECT_FALSE(s.attr(1).domain.finite());
+}
+
+TEST(ParserTest, SourceCFDs) {
+  auto spec = ParseSpec(
+      "relation R(A, B, C)\n"
+      "cfd R: [A] -> B\n"
+      "cfd R: [A=20, B] -> C=x\n"
+      "cfd R: [] -> C=k\n"
+      "eq R: A = B\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->source_cfds.size(), 4u);
+
+  const CFD& fd = spec->source_cfds[0];
+  EXPECT_TRUE(fd.IsPlainFD());
+  EXPECT_EQ(fd.lhs, (std::vector<AttrIndex>{0}));
+  EXPECT_EQ(fd.rhs, 1u);
+
+  const CFD& cfd = spec->source_cfds[1];
+  EXPECT_EQ(cfd.lhs.size(), 1u);  // wildcard B canonicalized away
+  EXPECT_TRUE(cfd.rhs_pat.is_constant());
+  EXPECT_EQ(spec->catalog.pool().Text(cfd.rhs_pat.value()), "x");
+
+  const CFD& constant = spec->source_cfds[2];
+  EXPECT_TRUE(constant.lhs.empty());
+  EXPECT_EQ(constant.rhs, 2u);
+
+  EXPECT_TRUE(spec->source_cfds[3].is_special_x());
+}
+
+TEST(ParserTest, ViewWithPiSigmaFrom) {
+  auto spec = ParseSpec(
+      "relation R(A, B)\n"
+      "relation S(C, D)\n"
+      "view V = pi(0.A as a, 1.D as d, \"44\" as cc)\n"
+      "         sigma(0.B = 1.C, 0.A = \"7\") from(R, S)\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->views.count("V"), 1u);
+  const SPCUView& v = spec->views.at("V");
+  ASSERT_EQ(v.disjuncts.size(), 1u);
+  const SPCView& d = v.disjuncts[0];
+  EXPECT_EQ(d.atoms.size(), 2u);
+  EXPECT_EQ(d.selections.size(), 2u);
+  ASSERT_EQ(d.OutputArity(), 3u);
+  EXPECT_EQ(d.output[0].name, "a");
+  EXPECT_TRUE(d.output[2].is_constant);
+  EXPECT_EQ(spec->FindViewColumn("V", "d"), 1u);
+  EXPECT_EQ(spec->FindViewColumn("V", "zzz"), kNoAttr);
+}
+
+TEST(ParserTest, ViewWithoutPiProjectsAll) {
+  auto spec = ParseSpec(
+      "relation R(A, B)\n"
+      "view V = from(R)\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->views.at("V").OutputArity(), 2u);
+}
+
+TEST(ParserTest, UnionViews) {
+  auto spec = ParseSpec(
+      "relation R(A, B)\n"
+      "relation S(C, D)\n"
+      "view V = pi(0.A as x) from(R) union pi(0.C as x) from(S)\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->views.at("V").disjuncts.size(), 2u);
+}
+
+TEST(ParserTest, ViewCFDsResolveOutputColumns) {
+  auto spec = ParseSpec(
+      "relation R(A, B, C)\n"
+      "view V = pi(0.A as a, 0.B as b) from(R)\n"
+      "cfd V: [a] -> b\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  ASSERT_EQ(spec->view_cfds.size(), 1u);
+  EXPECT_EQ(spec->view_cfds[0].first, "V");
+  EXPECT_EQ(spec->view_cfds[0].second.relation, kViewSchemaId);
+  EXPECT_EQ(spec->view_cfds[0].second.lhs, (std::vector<AttrIndex>{0}));
+  EXPECT_EQ(spec->view_cfds[0].second.rhs, 1u);
+}
+
+TEST(ParserTest, InsertsBuildDatabase) {
+  auto spec = ParseSpec(
+      "relation R(A, B)\n"
+      "insert R(1, hello)\n"
+      "insert R(2, \"two words\")\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  auto db = spec->MakeDatabase();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->relation(0).size(), 2u);
+  EXPECT_EQ(spec->catalog.pool().Text(db->relation(0).tuples()[1][1]),
+            "two words");
+}
+
+TEST(ParserTest, CommentsAndSeparators) {
+  auto spec = ParseSpec(
+      "# leading comment\n"
+      "relation R(A, B);  # trailing comment\n"
+      ";\n"
+      "cfd R: [A] -> B\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->source_cfds.size(), 1u);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto e1 = ParseSpec("relation R(A, B)\ncfd Q: [A] -> B\n");
+  ASSERT_FALSE(e1.ok());
+  EXPECT_NE(e1.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(e1.status().message().find("unknown relation"),
+            std::string::npos);
+
+  auto e2 = ParseSpec("relation R(A, B)\ncfd R: [Z] -> B\n");
+  ASSERT_FALSE(e2.ok());
+  EXPECT_NE(e2.status().message().find("unknown attribute"),
+            std::string::npos);
+
+  auto e3 = ParseSpec("relation R(A, B)\ninsert R(1)\n");
+  ASSERT_FALSE(e3.ok());
+  EXPECT_NE(e3.status().message().find("arity"), std::string::npos);
+
+  auto e4 = ParseSpec("bogus stuff\n");
+  ASSERT_FALSE(e4.ok());
+
+  auto e5 = ParseSpec("relation R(A, \"unterminated\n");
+  ASSERT_FALSE(e5.ok());
+}
+
+TEST(ParserTest, DuplicateViewNameRejected) {
+  auto e = ParseSpec(
+      "relation R(A, B)\n"
+      "view V = from(R)\n"
+      "view V = from(R)\n");
+  ASSERT_FALSE(e.ok());
+  EXPECT_NE(e.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, FormatCFDRoundTripsThroughParser) {
+  auto spec = ParseSpec(
+      "relation R(A, B, C)\n"
+      "cfd R: [A=20, B] -> C=x\n"
+      "eq R: A = C\n");
+  ASSERT_TRUE(spec.ok());
+  const RelationSchema& schema = spec->catalog.relation(0);
+  auto name = [&](AttrIndex i) { return schema.attr(i).name; };
+
+  std::string text = "relation R(A, B, C)\n";
+  for (const CFD& c : spec->source_cfds) {
+    text += FormatCFD(c, spec->catalog.pool(), "R", name) + "\n";
+  }
+  auto reparsed = ParseSpec(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  ASSERT_EQ(reparsed->source_cfds.size(), spec->source_cfds.size());
+  for (size_t i = 0; i < spec->source_cfds.size(); ++i) {
+    EXPECT_EQ(reparsed->source_cfds[i], spec->source_cfds[i]);
+  }
+}
+
+TEST(ParserTest, FullPaperSpecDrivesPropagation) {
+  // A compact version of examples/specs/customers.spec.
+  auto spec = ParseSpec(
+      "relation R1(AC, city)\n"
+      "relation R3(AC, city)\n"
+      "cfd R1: [AC] -> city\n"
+      "cfd R3: [AC] -> city\n"
+      "view V = pi(0.AC as AC, 0.city as city, \"44\" as CC) from(R1)\n"
+      "   union pi(0.AC as AC, 0.city as city, \"31\" as CC) from(R3)\n"
+      "cfd V: [AC] -> city\n"
+      "cfd V: [CC=44, AC] -> city\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+
+  const SPCUView& view = spec->views.at("V");
+  auto r_plain = IsPropagated(spec->catalog, view, spec->source_cfds,
+                              spec->view_cfds[0].second);
+  auto r_cond = IsPropagated(spec->catalog, view, spec->source_cfds,
+                             spec->view_cfds[1].second);
+  ASSERT_TRUE(r_plain.ok() && r_cond.ok());
+  EXPECT_FALSE(*r_plain);  // AC -> city fails across the union
+  EXPECT_TRUE(*r_cond);    // [CC=44, AC] -> city holds
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,86 @@
+#include "src/cfd/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  ValuePool pool_;
+  Value a_ = pool_.Intern("a");
+  Value b_ = pool_.Intern("b");
+  PatternValue wc_ = PatternValue::Wildcard();
+  PatternValue pa_ = PatternValue::Constant(a_);
+  PatternValue pb_ = PatternValue::Constant(b_);
+  PatternValue x_ = PatternValue::SpecialX();
+};
+
+TEST_F(PatternTest, Kinds) {
+  EXPECT_TRUE(wc_.is_wildcard());
+  EXPECT_TRUE(pa_.is_constant());
+  EXPECT_TRUE(x_.is_special_x());
+  EXPECT_EQ(pa_.value(), a_);
+}
+
+TEST_F(PatternTest, DataLevelMatch) {
+  EXPECT_TRUE(wc_.MatchesValue(a_));
+  EXPECT_TRUE(wc_.MatchesValue(b_));
+  EXPECT_TRUE(pa_.MatchesValue(a_));
+  EXPECT_FALSE(pa_.MatchesValue(b_));
+  EXPECT_FALSE(x_.MatchesValue(a_));  // x never matches data directly
+}
+
+TEST_F(PatternTest, PatternLevelMatch) {
+  // (Portland, ldn) matches (_, ldn) but not (_, nyc) — Section 2.1.
+  EXPECT_TRUE(PatternValue::Matches(pa_, wc_));
+  EXPECT_TRUE(PatternValue::Matches(wc_, pa_));
+  EXPECT_TRUE(PatternValue::Matches(pa_, pa_));
+  EXPECT_FALSE(PatternValue::Matches(pa_, pb_));
+}
+
+TEST_F(PatternTest, OrderPutsConstantsBelowWildcard) {
+  EXPECT_TRUE(PatternValue::LessEq(pa_, wc_));
+  EXPECT_TRUE(PatternValue::LessEq(pa_, pa_));
+  EXPECT_TRUE(PatternValue::LessEq(wc_, wc_));
+  EXPECT_FALSE(PatternValue::LessEq(wc_, pa_));
+  EXPECT_FALSE(PatternValue::LessEq(pa_, pb_));
+}
+
+TEST_F(PatternTest, MinIsTheMeet) {
+  auto m1 = PatternValue::Min(pa_, wc_);
+  ASSERT_TRUE(m1.has_value());
+  EXPECT_EQ(*m1, pa_);
+
+  auto m2 = PatternValue::Min(wc_, pa_);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(*m2, pa_);
+
+  auto m3 = PatternValue::Min(wc_, wc_);
+  ASSERT_TRUE(m3.has_value());
+  EXPECT_EQ(*m3, wc_);
+
+  auto m4 = PatternValue::Min(pa_, pa_);
+  ASSERT_TRUE(m4.has_value());
+  EXPECT_EQ(*m4, pa_);
+
+  // Two distinct constants are incomparable: oplus undefined.
+  EXPECT_FALSE(PatternValue::Min(pa_, pb_).has_value());
+}
+
+TEST_F(PatternTest, EqualityDistinguishesKindsAndValues) {
+  EXPECT_EQ(wc_, PatternValue::Wildcard());
+  EXPECT_EQ(x_, PatternValue::SpecialX());
+  EXPECT_NE(pa_, pb_);
+  EXPECT_NE(pa_, wc_);
+  EXPECT_NE(x_, wc_);
+}
+
+TEST_F(PatternTest, ToString) {
+  EXPECT_EQ(wc_.ToString(pool_), "_");
+  EXPECT_EQ(x_.ToString(pool_), "x");
+  EXPECT_EQ(pa_.ToString(pool_), "a");
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,270 @@
+// Tests exercising the complexity-theoretic content of Section 3: the
+// infinite-domain and general settings genuinely differ (Table 1 / 2),
+// finite-domain case analysis is what makes SC propagation coNP-hard
+// (Theorem 3.2's 3SAT machinery), and the exponential instantiation
+// budget is surfaced rather than silently truncated.
+
+#include <gtest/gtest.h>
+
+#include "src/propagation/emptiness.h"
+#include "src/propagation/propagation.h"
+#include "src/propagation/reductions.h"
+
+namespace cfdprop {
+namespace {
+
+class GeneralSettingTest : public ::testing::Test {
+ protected:
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+  Catalog cat_;
+};
+
+TEST_F(GeneralSettingTest, FiniteDomainFlipsThePropagationAnswer) {
+  // R(F, B) with dom(F) = {0, 1}; sigma: ([F=0] -> B=b), ([F=1] -> B=b).
+  // On the view pi_B(R), "B is constantly b" is propagated in the
+  // general setting (F is 0 or 1 on every tuple) but NOT under the
+  // infinite-domain reading. This is the phenomenon behind Theorem 3.2.
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"F", Domain::Boolean(cat_.pool())});
+  attrs.push_back(Attribute{"B", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("R", std::move(attrs)).ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Const("0")}, 1, Const("b")).value(),
+      CFD::Make(0, {0}, {Const("1")}, 1, Const("b")).value()};
+
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(a, "B").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  CFD phi = CFD::ConstantColumn(kViewSchemaId, 0, cat_.pool().Intern("b"));
+
+  PropagationOptions infinite;
+  auto r_inf = IsPropagated(cat_, *view, sigma, phi, infinite);
+  ASSERT_TRUE(r_inf.ok());
+  EXPECT_FALSE(*r_inf);
+
+  PropagationOptions general;
+  general.general_setting = true;
+  auto r_gen = IsPropagated(cat_, *view, sigma, phi, general);
+  ASSERT_TRUE(r_gen.ok());
+  EXPECT_TRUE(*r_gen);
+}
+
+TEST_F(GeneralSettingTest, AutoOptionsDetectsFiniteDomains) {
+  ASSERT_TRUE(cat_.AddRelation("Inf", {"A", "B"}).ok());
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"F", Domain::Boolean(cat_.pool())});
+  ASSERT_TRUE(cat_.AddRelation("Fin", std::move(attrs)).ok());
+
+  SPCViewBuilder b1(cat_);
+  b1.AddAtom(0);
+  auto v1 = b1.Build();
+  ASSERT_TRUE(v1.ok());
+  EXPECT_FALSE(AutoOptions(cat_, SPCUView(*v1)).general_setting);
+
+  SPCViewBuilder b2(cat_);
+  b2.AddAtom(1);
+  auto v2 = b2.Build();
+  ASSERT_TRUE(v2.ok());
+  EXPECT_TRUE(AutoOptions(cat_, SPCUView(*v2)).general_setting);
+}
+
+TEST_F(GeneralSettingTest, TwoVariableCaseAnalysis) {
+  // dom(F) = dom(G) = {0,1}. sigma covers only three of the four
+  // combinations with B=b: propagation fails because (F,G) = (1,1)
+  // escapes; adding the fourth branch closes the analysis.
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"F", Domain::Boolean(cat_.pool())});
+  attrs.push_back(Attribute{"G", Domain::Boolean(cat_.pool())});
+  attrs.push_back(Attribute{"B", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("R", std::move(attrs)).ok());
+
+  auto branch = [&](const char* f, const char* g) {
+    return CFD::Make(0, {0, 1}, {Const(f), Const(g)}, 2, Const("b")).value();
+  };
+  std::vector<CFD> sigma = {branch("0", "0"), branch("0", "1"),
+                            branch("1", "0")};
+
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(a, "B").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  CFD phi = CFD::ConstantColumn(kViewSchemaId, 0, cat_.pool().Intern("b"));
+  PropagationOptions general;
+  general.general_setting = true;
+
+  auto r = IsPropagated(cat_, *view, sigma, phi, general);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+
+  sigma.push_back(branch("1", "1"));
+  r = IsPropagated(cat_, *view, sigma, phi, general);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(GeneralSettingTest, SCViewWithFiniteJoinAttribute) {
+  // Join on a boolean attribute: in the general setting the join column
+  // takes one of two values, enabling case analysis across atoms.
+  std::vector<Attribute> r_attrs;
+  r_attrs.push_back(Attribute{"F", Domain::Boolean(cat_.pool())});
+  r_attrs.push_back(Attribute{"B", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("R", std::move(r_attrs)).ok());
+  std::vector<Attribute> s_attrs;
+  s_attrs.push_back(Attribute{"G", Domain::Boolean(cat_.pool())});
+  s_attrs.push_back(Attribute{"C", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("S", std::move(s_attrs)).ok());
+
+  // sigma: ([F=0] -> B=b), ([F=1] -> B=b) on R: B is b on every R tuple
+  // in the general setting.
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Const("0")}, 1, Const("b")).value(),
+      CFD::Make(0, {0}, {Const("1")}, 1, Const("b")).value()};
+
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  size_t s = b.AddAtom(1);
+  ASSERT_TRUE(b.SelectEq(r, "F", s, "G").ok());
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+  // Output: F B G C (0..3).
+
+  CFD phi = CFD::ConstantColumn(kViewSchemaId, 1, cat_.pool().Intern("b"));
+  PropagationOptions general;
+  general.general_setting = true;
+  auto r_gen = IsPropagated(cat_, *view, sigma, phi, general);
+  ASSERT_TRUE(r_gen.ok());
+  EXPECT_TRUE(*r_gen);
+
+  PropagationOptions infinite;
+  auto r_inf = IsPropagated(cat_, *view, sigma, phi, infinite);
+  ASSERT_TRUE(r_inf.ok());
+  EXPECT_FALSE(*r_inf);
+}
+
+TEST_F(GeneralSettingTest, InstantiationBudgetErrorsOut) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 16; ++i) {
+    attrs.push_back(
+        Attribute{"F" + std::to_string(i), Domain::Boolean(cat_.pool())});
+  }
+  ASSERT_TRUE(cat_.AddRelation("Wide", std::move(attrs)).ok());
+
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  CFD phi = CFD::FD(kViewSchemaId, {0}, 1).value();
+  PropagationOptions tight;
+  tight.general_setting = true;
+  tight.instantiation.max_instantiations = 100;  // far below 2^16 x 2
+  auto r = IsPropagated(cat_, *view, {}, phi, tight);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- the Theorem 3.2 reduction, executable ----------------------------
+
+class Theorem32Test : public ::testing::Test {
+ protected:
+  using L = ThreeSat::Literal;
+
+  /// Runs the reduction and checks it decides satisfiability.
+  void ExpectAgreesWithBruteForce(const ThreeSat& formula) {
+    auto inst = BuildTheorem32Reduction(formula);
+    ASSERT_TRUE(inst.ok()) << inst.status();
+    PropagationOptions options;
+    options.general_setting = true;
+    options.instantiation.max_instantiations = 1u << 24;
+    auto propagated = IsPropagated(inst->catalog, inst->view, inst->sigma,
+                                   inst->psi, options);
+    ASSERT_TRUE(propagated.ok()) << propagated.status();
+    // phi satisfiable iff Sigma does NOT propagate psi.
+    EXPECT_EQ(BruteForceSatisfiable(formula), !*propagated);
+  }
+};
+
+TEST_F(Theorem32Test, SatisfiableSingleVariable) {
+  ExpectAgreesWithBruteForce(
+      ThreeSat{1, {{L{1, false}, L{1, false}, L{1, false}}}});
+}
+
+TEST_F(Theorem32Test, UnsatisfiableSingleVariable) {
+  // (x1) and (!x1).
+  ExpectAgreesWithBruteForce(
+      ThreeSat{1,
+               {{L{1, false}, L{1, false}, L{1, false}},
+                {L{1, true}, L{1, true}, L{1, true}}}});
+}
+
+TEST_F(Theorem32Test, SatisfiableTwoVariables) {
+  // (x1 v x2) and (!x1 v x2): satisfied by x2 = true.
+  ExpectAgreesWithBruteForce(
+      ThreeSat{2,
+               {{L{1, false}, L{2, false}, L{2, false}},
+                {L{1, true}, L{2, false}, L{2, false}}}});
+}
+
+TEST_F(Theorem32Test, UnsatisfiableTwoVariables) {
+  // (x1) and (x2) and (!x1 v !x2).
+  ExpectAgreesWithBruteForce(
+      ThreeSat{2,
+               {{L{1, false}, L{1, false}, L{1, false}},
+                {L{2, false}, L{2, false}, L{2, false}},
+                {L{1, true}, L{2, true}, L{1, true}}}});
+}
+
+TEST_F(Theorem32Test, MixedPolarityClause) {
+  // (x1 v !x2 v x1) and (x2 v x2 v x2): needs x2 = 1, then x1 = 1.
+  ExpectAgreesWithBruteForce(
+      ThreeSat{2,
+               {{L{1, false}, L{2, true}, L{1, false}},
+                {L{2, false}, L{2, false}, L{2, false}}}});
+}
+
+TEST_F(Theorem32Test, RejectsMalformedFormulas) {
+  auto e1 = BuildTheorem32Reduction(ThreeSat{0, {}});
+  EXPECT_FALSE(e1.ok());
+  auto e2 = BuildTheorem32Reduction(
+      ThreeSat{1, {{L{2, false}, L{1, false}, L{1, false}}}});
+  EXPECT_FALSE(e2.ok());  // variable out of range
+}
+
+TEST_F(GeneralSettingTest, SingletonDomainForcesEquality) {
+  // dom(K) = {k}: every pair of view tuples agrees on K, so K behaves
+  // like a constant column in the general setting.
+  Value k = cat_.pool().Intern("k");
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"K", Domain::Finite("unit", {k})});
+  attrs.push_back(Attribute{"B", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("R", std::move(attrs)).ok());
+
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  CFD phi = CFD::ConstantColumn(kViewSchemaId, 0, k);
+  PropagationOptions general;
+  general.general_setting = true;
+  auto r = IsPropagated(cat_, *view, {}, phi, general);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+
+  PropagationOptions infinite;
+  auto r_inf = IsPropagated(cat_, *view, {}, phi, infinite);
+  ASSERT_TRUE(r_inf.ok());
+  EXPECT_FALSE(*r_inf);
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,338 @@
+#include "src/propagation/propagation.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+// The running example of the paper (Example 1.1): customer relations for
+// the UK (R1), US (R2) and the Netherlands (R3), integrated by the SPCU
+// view V = Q1 union Q2 union Q3 where Qi appends a country code CC.
+//
+// View output columns: 0=AC 1=phn 2=name 3=street 4=city 5=zip 6=CC.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  static constexpr AttrIndex kAC = 0, kPhn = 1, kName = 2, kStreet = 3,
+                             kCity = 4, kZip = 5, kCC = 6;
+
+  void SetUp() override {
+    std::vector<std::string> attrs = {"AC",   "phn",  "name",
+                                      "street", "city", "zip"};
+    for (const char* name : {"R1", "R2", "R3"}) {
+      ASSERT_TRUE(cat_.AddRelation(name, attrs).ok());
+    }
+    for (int i = 0; i < 3; ++i) {
+      view_.disjuncts.push_back(MakeDisjunct(i, kCountryCodes[i]));
+    }
+    ASSERT_TRUE(view_.Validate(cat_).ok());
+
+    // f1: R1(zip -> street), f2: R1(AC -> city), f3: R3(AC -> city).
+    sigma_.push_back(CFD::FD(0, {kZip}, kStreet).value());
+    sigma_.push_back(CFD::FD(0, {kAC}, kCity).value());
+    sigma_.push_back(CFD::FD(2, {kAC}, kCity).value());
+    // cfd1: R1([AC=20] -> [city=ldn]), cfd2: R3([AC=20] -> [city=Ams]).
+    sigma_.push_back(CFD::Make(0, {kAC}, {Const("20")}, kCity,
+                               Const("ldn"))
+                         .value());
+    sigma_.push_back(CFD::Make(2, {kAC}, {Const("20")}, kCity,
+                               Const("Amsterdam"))
+                         .value());
+  }
+
+  SPCView MakeDisjunct(RelationId rel, const char* cc) {
+    SPCViewBuilder b(cat_);
+    size_t atom = b.AddAtom(rel);
+    const RelationSchema& schema = cat_.relation(rel);
+    for (AttrIndex i = 0; i < schema.arity(); ++i) {
+      EXPECT_TRUE(b.Project(atom, schema.attr(i).name).ok());
+    }
+    EXPECT_TRUE(b.ProjectConstant("CC", cc).ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  }
+
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+
+  CFD ViewCFD(std::vector<AttrIndex> lhs, std::vector<PatternValue> pats,
+              AttrIndex rhs, PatternValue rp) {
+    return CFD::Make(kViewSchemaId, std::move(lhs), std::move(pats), rhs, rp)
+        .value();
+  }
+
+  bool Propagated(const CFD& phi) {
+    auto r = IsPropagated(cat_, view_, sigma_, phi);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() && *r;
+  }
+
+  static constexpr const char* kCountryCodes[3] = {"44", "01", "31"};
+
+  Catalog cat_;
+  SPCUView view_;
+  std::vector<CFD> sigma_;
+};
+
+TEST_F(PaperExampleTest, Phi1IsPropagated) {
+  // phi1: R([CC=44, zip] -> [street]).
+  CFD phi1 = ViewCFD({kCC, kZip}, {Const("44"), Wc()}, kStreet, Wc());
+  EXPECT_TRUE(Propagated(phi1));
+}
+
+TEST_F(PaperExampleTest, PlainZipFDIsNotPropagated) {
+  // f1 as a standard FD on the view fails: the US source has no zip FD.
+  CFD fd = ViewCFD({kZip}, {Wc()}, kStreet, Wc());
+  EXPECT_FALSE(Propagated(fd));
+}
+
+TEST_F(PaperExampleTest, Phi2AndPhi3ArePropagated) {
+  CFD phi2 = ViewCFD({kCC, kAC}, {Const("44"), Wc()}, kCity, Wc());
+  CFD phi3 = ViewCFD({kCC, kAC}, {Const("31"), Wc()}, kCity, Wc());
+  EXPECT_TRUE(Propagated(phi2));
+  EXPECT_TRUE(Propagated(phi3));
+}
+
+TEST_F(PaperExampleTest, PlainACFDIsNotPropagated) {
+  // Area code 20 is both London and Amsterdam: AC -> city fails on the
+  // union (tuples t1, t5 of Fig. 1).
+  CFD fd = ViewCFD({kAC}, {Wc()}, kCity, Wc());
+  EXPECT_FALSE(Propagated(fd));
+}
+
+TEST_F(PaperExampleTest, USConditionIsNotPropagated) {
+  // No FD holds on R2, so conditioning on CC=01 does not help.
+  CFD phi = ViewCFD({kCC, kAC}, {Const("01"), Wc()}, kCity, Wc());
+  EXPECT_FALSE(Propagated(phi));
+}
+
+TEST_F(PaperExampleTest, Phi4AndPhi5WithConstantsArePropagated) {
+  CFD phi4 =
+      ViewCFD({kCC, kAC}, {Const("44"), Const("20")}, kCity, Const("ldn"));
+  CFD phi5 = ViewCFD({kCC, kAC}, {Const("31"), Const("20")}, kCity,
+                     Const("Amsterdam"));
+  EXPECT_TRUE(Propagated(phi4));
+  EXPECT_TRUE(Propagated(phi5));
+}
+
+TEST_F(PaperExampleTest, Phi4WithoutCCIsNotPropagated) {
+  // Example 2.2: dropping CC from phi4 breaks it (Amsterdam's AC 20).
+  CFD phi = ViewCFD({kAC}, {Const("20")}, kCity, Const("ldn"));
+  EXPECT_FALSE(Propagated(phi));
+}
+
+TEST_F(PaperExampleTest, Phi6IsNotPropagated) {
+  // phi6: CC, AC, phn -> street is not propagated (Section 1, data
+  // cleaning discussion).
+  CFD phi6 = ViewCFD({kCC, kAC, kPhn}, {Wc(), Wc(), Wc()}, kStreet, Wc());
+  EXPECT_FALSE(Propagated(phi6));
+}
+
+TEST_F(PaperExampleTest, WrongConstantIsNotPropagated) {
+  CFD phi =
+      ViewCFD({kCC, kAC}, {Const("44"), Const("20")}, kCity, Const("paris"));
+  EXPECT_FALSE(Propagated(phi));
+}
+
+TEST_F(PaperExampleTest, ImpossibleLhsIsVacuouslyPropagated) {
+  // CC is 44/01/31 per disjunct; conditioning on CC=99 matches nothing.
+  CFD phi = ViewCFD({kCC, kZip}, {Const("99"), Wc()}, kStreet, Wc());
+  EXPECT_TRUE(Propagated(phi));
+}
+
+// --- smaller structural cases -----------------------------------------
+
+class PropagationBasicsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R", {"A", "B", "C"}).ok());
+    ASSERT_TRUE(cat_.AddRelation("S", {"D", "E"}).ok());
+  }
+  PatternValue Wc() { return PatternValue::Wildcard(); }
+  PatternValue Const(const char* s) {
+    return PatternValue::Constant(cat_.pool().Intern(s));
+  }
+  Catalog cat_;
+};
+
+TEST_F(PropagationBasicsTest, ProjectionPreservesContainedFDs) {
+  // V = pi_{A,B}(R), f = A -> B: propagated as-is.
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(a, "A").ok());
+  ASSERT_TRUE(b.Project(a, "B").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {CFD::FD(0, {0}, 1).value()};
+  CFD phi = CFD::Make(kViewSchemaId, {0}, {Wc()}, 1, Wc()).value();
+  auto r = IsPropagated(cat_, *v, sigma, phi);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+
+  // But B -> A was never a source FD.
+  CFD psi = CFD::Make(kViewSchemaId, {1}, {Wc()}, 0, Wc()).value();
+  r = IsPropagated(cat_, *v, sigma, psi);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(PropagationBasicsTest, ProjectionShortcutsTransitively) {
+  // V = pi_{A,C}(R), {A -> B, B -> C} |= A -> C on the view.
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(a, "A").ok());
+  ASSERT_TRUE(b.Project(a, "C").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {CFD::FD(0, {0}, 1).value(),
+                            CFD::FD(0, {1}, 2).value()};
+  CFD phi = CFD::Make(kViewSchemaId, {0}, {Wc()}, 1, Wc()).value();
+  auto r = IsPropagated(cat_, *v, sigma, phi);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(PropagationBasicsTest, SelectionEqualityIsPropagated) {
+  // V = sigma_{A=B}(R): the view satisfies the x-CFD A = B.
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectEq(a, "A", a, "B").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  CFD eq = CFD::Equality(kViewSchemaId, 0, 1);
+  auto r = IsPropagated(cat_, *v, {}, eq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+
+  CFD eq_ac = CFD::Equality(kViewSchemaId, 0, 2);
+  r = IsPropagated(cat_, *v, {}, eq_ac);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(PropagationBasicsTest, SelectionConstantIsPropagated) {
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "A", "7").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  CFD k = CFD::ConstantColumn(kViewSchemaId, 0, cat_.pool().Intern("7"));
+  auto r = IsPropagated(cat_, *v, {}, k);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+
+  CFD wrong = CFD::ConstantColumn(kViewSchemaId, 0, cat_.pool().Intern("8"));
+  r = IsPropagated(cat_, *v, {}, wrong);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(PropagationBasicsTest, JoinTransfersFDsAcrossAtoms) {
+  // V = sigma_{C=D}(R x S) with R: A -> C and S: D -> E.
+  // Then A -> E holds on the view (A -> C = D -> E).
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  size_t s = b.AddAtom(1);
+  ASSERT_TRUE(b.SelectEq(r, "C", s, "D").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  // Output columns: 0=A 1=B 2=C 3=D 4=E.
+
+  std::vector<CFD> sigma = {CFD::FD(0, {0}, 2).value(),
+                            CFD::FD(1, {0}, 1).value()};
+  CFD phi = CFD::Make(kViewSchemaId, {0}, {Wc()}, 4, Wc()).value();
+  auto res = IsPropagated(cat_, *v, sigma, phi);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(*res);
+
+  // Without the join condition the FDs do not connect.
+  SPCViewBuilder b2(cat_);
+  b2.AddAtom(0);
+  b2.AddAtom(1);
+  auto v2 = b2.Build();
+  ASSERT_TRUE(v2.ok());
+  res = IsPropagated(cat_, *v2, sigma, phi);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(*res);
+}
+
+TEST_F(PropagationBasicsTest, AlwaysEmptyViewPropagatesEverything) {
+  // Example 3.1: sigma forces B = b1 on all tuples, the view selects
+  // B = b2: the view is always empty and satisfies any CFD.
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "B", "b2").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  std::vector<CFD> sigma = {
+      CFD::Make(0, {0}, {Wc()}, 1, Const("b1")).value()};
+  CFD arbitrary = CFD::Make(kViewSchemaId, {2}, {Wc()}, 0, Wc()).value();
+  auto r = IsPropagated(cat_, *v, sigma, arbitrary);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(PropagationBasicsTest, UnionRequiresAllDisjuncts) {
+  // V = R union (renamed) R with different constant bindings.
+  SPCViewBuilder b1(cat_);
+  size_t a1 = b1.AddAtom(0);
+  ASSERT_TRUE(b1.SelectConst(a1, "A", "1").ok());
+  auto v1 = b1.Build();
+  ASSERT_TRUE(v1.ok());
+
+  SPCViewBuilder b2(cat_);
+  size_t a2 = b2.AddAtom(0);
+  ASSERT_TRUE(b2.SelectConst(a2, "A", "2").ok());
+  auto v2 = b2.Build();
+  ASSERT_TRUE(v2.ok());
+
+  SPCUView u;
+  u.disjuncts = {*v1, *v2};
+
+  // A is constant within each disjunct but not across the union.
+  Value one = cat_.pool().Intern("1");
+  CFD k1 = CFD::ConstantColumn(kViewSchemaId, 0, one);
+  auto r1 = IsPropagated(cat_, SPCUView(*v1), {}, k1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  auto ru = IsPropagated(cat_, u, {}, k1);
+  ASSERT_TRUE(ru.ok());
+  EXPECT_FALSE(*ru);
+
+  // An FD that holds in each disjunct can fail across the union:
+  // B -> A with sigma = {} fails even per disjunct...
+  CFD ba = CFD::Make(kViewSchemaId, {1}, {Wc()}, 0, Wc()).value();
+  auto rd = IsPropagated(cat_, SPCUView(*v1), {}, ba);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_TRUE(*rd);  // ...within one disjunct A is constant, so B -> A holds
+  auto rdu = IsPropagated(cat_, u, {}, ba);
+  ASSERT_TRUE(rdu.ok());
+  EXPECT_FALSE(*rdu);  // but across disjuncts the same B maps to A=1 and A=2
+}
+
+TEST_F(PropagationBasicsTest, RejectsMalformedInputs) {
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  // phi must be tagged as a view CFD.
+  CFD phi = CFD::FD(0, {0}, 1).value();
+  auto r = IsPropagated(cat_, *v, {}, phi);
+  EXPECT_FALSE(r.ok());
+
+  // phi out of the view arity.
+  CFD oob = CFD::Make(kViewSchemaId, {0}, {Wc()}, 9, Wc()).value();
+  r = IsPropagated(cat_, *v, {}, oob);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,295 @@
+// Property-based tests on randomized workloads (parameterized over
+// seeds): the invariants that tie PropCFD_SPC, the propagation test, the
+// chase and concrete evaluation together.
+//
+//   P1 (cover soundness):    every CFD in a computed cover passes the
+//                            independent propagation test.
+//   P2 (cover completeness): the propagation test and cover implication
+//                            agree on random query CFDs.
+//   P3 (semantic soundness): on a random source instance satisfying
+//                            Sigma, the materialized view satisfies
+//                            every cover CFD.
+//   P4 (minimality):         re-running MinCover on a cover is a no-op.
+
+#include <gtest/gtest.h>
+
+#include "src/cfd/implication.h"
+#include "src/cfd/mincover.h"
+#include "src/cover/propcfd_spc.h"
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+#include "src/gen/generators.h"
+#include "src/propagation/propagation.h"
+
+namespace cfdprop {
+namespace {
+
+struct Workload {
+  Catalog catalog;
+  std::vector<CFD> sigma;
+  SPCView view;
+};
+
+Workload MakeWorkload(uint64_t seed) {
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 4;
+  schema_options.min_arity = 4;
+  schema_options.max_arity = 7;
+  Workload w{GenerateSchema(schema_options, seed), {}, {}};
+
+  CFDGenOptions cfd_options;
+  cfd_options.count = 12;
+  cfd_options.min_lhs = 1;
+  cfd_options.max_lhs = 3;
+  cfd_options.var_pct = 50;
+  cfd_options.const_hi = 8;  // small constants so patterns interact
+  w.sigma = GenerateCFDs(w.catalog, cfd_options, seed + 1);
+
+  ViewGenOptions view_options;
+  view_options.num_projection = 6;
+  view_options.num_selections = 2 + seed % 3;
+  view_options.num_atoms = 2 + seed % 2;
+  view_options.const_hi = 8;
+  auto view = GenerateSPCView(w.catalog, view_options, seed + 2);
+  EXPECT_TRUE(view.ok());
+  w.view = *view;
+  return w;
+}
+
+class CoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoverPropertyTest, P1_CoverMembersAreAllPropagated) {
+  Workload w = MakeWorkload(GetParam());
+  auto result = PropagationCoverSPC(w.catalog, w.view, w.sigma);
+  ASSERT_TRUE(result.ok()) << result.status();
+  if (result->always_empty) return;  // vacuously sound
+  for (const CFD& c : result->cover) {
+    auto prop = IsPropagated(w.catalog, w.view, w.sigma, c);
+    ASSERT_TRUE(prop.ok()) << prop.status();
+    EXPECT_TRUE(*prop) << "not propagated: " << c.ToString(w.catalog)
+                       << "\nview: " << w.view.ToString(w.catalog);
+  }
+}
+
+TEST_P(CoverPropertyTest, P2_CoverAgreesWithDirectTestOnRandomQueries) {
+  Workload w = MakeWorkload(GetParam());
+  auto result = PropagationCoverSPC(w.catalog, w.view, w.sigma);
+  ASSERT_TRUE(result.ok());
+  if (result->always_empty) return;
+
+  // Random query CFDs over the view schema.
+  Rng rng(GetParam() + 99);
+  const size_t arity = w.view.OutputArity();
+  for (int q = 0; q < 20; ++q) {
+    size_t k = rng.Uniform(1, 2);
+    std::vector<AttrIndex> lhs;
+    std::vector<PatternValue> pats;
+    for (size_t i = 0; i < k; ++i) {
+      lhs.push_back(static_cast<AttrIndex>(rng.Below(arity)));
+      pats.push_back(rng.Percent(50)
+                         ? PatternValue::Wildcard()
+                         : PatternValue::Constant(w.catalog.pool().InternInt(
+                               static_cast<int64_t>(rng.Uniform(1, 8)))));
+    }
+    AttrIndex rhs = static_cast<AttrIndex>(rng.Below(arity));
+    auto made = CFD::Make(kViewSchemaId, lhs, pats, rhs,
+                          PatternValue::Wildcard());
+    if (!made.ok() || made.value().IsTrivial()) continue;
+    CFD query = std::move(made).value();
+
+    auto direct = IsPropagated(w.catalog, w.view, w.sigma, query);
+    auto via_cover = Implies(result->cover, query, arity);
+    ASSERT_TRUE(direct.ok() && via_cover.ok());
+    EXPECT_EQ(*direct, *via_cover)
+        << "disagreement on " << query.ToString(w.catalog)
+        << "\nview: " << w.view.ToString(w.catalog);
+  }
+}
+
+TEST_P(CoverPropertyTest, P3_CoverHoldsOnMaterializedViews) {
+  Workload w = MakeWorkload(GetParam());
+  auto result = PropagationCoverSPC(w.catalog, w.view, w.sigma);
+  ASSERT_TRUE(result.ok());
+
+  DataGenOptions data_options;
+  data_options.rows_per_relation = 12;
+  data_options.value_range = 6;
+  auto db = GenerateSatisfyingDatabase(w.catalog, w.sigma, data_options,
+                                       GetParam() + 7);
+  if (!db.ok()) return;  // repair did not converge for this seed; skip
+
+  auto rows = Evaluate(*db, w.view);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  if (result->always_empty) {
+    EXPECT_TRUE(rows->empty())
+        << "cover says always-empty but the view has tuples";
+    return;
+  }
+  for (const CFD& c : result->cover) {
+    auto sat = Satisfies(*rows, c, w.view.OutputArity());
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat) << "cover CFD violated on data: "
+                      << c.ToString(w.catalog);
+  }
+}
+
+TEST_P(CoverPropertyTest, P4_CoverIsAlreadyMinimal) {
+  Workload w = MakeWorkload(GetParam());
+  auto result = PropagationCoverSPC(w.catalog, w.view, w.sigma);
+  ASSERT_TRUE(result.ok());
+  auto again = MinCover(result->cover, w.view.OutputArity());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), result->cover.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverPropertyTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+// SPCU covers: sound by construction (every candidate is re-checked by
+// the union-level propagation test); verify that plus data-level
+// satisfaction on materialized unions.
+class SPCUCoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SPCUCoverPropertyTest, UnionCoverIsSoundAndHoldsOnData) {
+  const uint64_t seed = GetParam();
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 3;
+  schema_options.min_arity = 4;
+  schema_options.max_arity = 6;
+  Catalog catalog = GenerateSchema(schema_options, seed);
+
+  CFDGenOptions cfd_options;
+  cfd_options.count = 10;
+  cfd_options.min_lhs = 1;
+  cfd_options.max_lhs = 2;
+  cfd_options.var_pct = 50;
+  cfd_options.const_hi = 6;
+  std::vector<CFD> sigma = GenerateCFDs(catalog, cfd_options, seed + 1);
+
+  // Two union-compatible disjuncts: same |Y|.
+  ViewGenOptions view_options;
+  view_options.num_projection = 4;
+  view_options.num_selections = 2;
+  view_options.num_atoms = 1;
+  view_options.const_hi = 6;
+  SPCUView view;
+  auto v1 = GenerateSPCView(catalog, view_options, seed + 2);
+  auto v2 = GenerateSPCView(catalog, view_options, seed + 3);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  if (v1->OutputArity() != v2->OutputArity()) return;  // rare clamping
+  view.disjuncts = {*v1, *v2};
+
+  auto cover = PropagationCoverSPCU(catalog, view, sigma);
+  ASSERT_TRUE(cover.ok()) << cover.status();
+
+  for (const CFD& c : cover->cover) {
+    auto prop = IsPropagated(catalog, view, sigma, c);
+    ASSERT_TRUE(prop.ok());
+    EXPECT_TRUE(*prop) << "unsound union cover member: "
+                       << c.ToString(catalog);
+  }
+
+  DataGenOptions data_options;
+  data_options.rows_per_relation = 10;
+  data_options.value_range = 6;
+  auto db = GenerateSatisfyingDatabase(catalog, sigma, data_options,
+                                       seed + 4);
+  if (!db.ok()) return;
+  auto rows = Evaluate(*db, view);
+  ASSERT_TRUE(rows.ok());
+  for (const CFD& c : cover->cover) {
+    if (cover->always_empty) break;
+    auto sat = Satisfies(*rows, c, view.OutputArity());
+    ASSERT_TRUE(sat.ok());
+    EXPECT_TRUE(*sat) << "union cover CFD violated on data: "
+                      << c.ToString(catalog);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SPCUCoverPropertyTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+class ChasePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChasePropertyTest, ImplicationIsSoundOnData) {
+  // If sigma |= phi, then any database satisfying sigma satisfies phi.
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 1;
+  schema_options.min_arity = 5;
+  schema_options.max_arity = 5;
+  Catalog cat = GenerateSchema(schema_options, GetParam());
+
+  CFDGenOptions cfd_options;
+  cfd_options.count = 8;
+  cfd_options.min_lhs = 1;
+  cfd_options.max_lhs = 2;
+  cfd_options.var_pct = 50;
+  cfd_options.const_hi = 5;
+  std::vector<CFD> sigma = GenerateCFDs(cat, cfd_options, GetParam() + 1);
+
+  DataGenOptions data_options;
+  data_options.rows_per_relation = 15;
+  data_options.value_range = 5;
+  auto db = GenerateSatisfyingDatabase(cat, sigma, data_options,
+                                       GetParam() + 2);
+  if (!db.ok()) return;
+
+  // Random candidate phis; those implied must hold on the data.
+  Rng rng(GetParam() + 3);
+  for (int q = 0; q < 25; ++q) {
+    std::vector<AttrIndex> lhs = {static_cast<AttrIndex>(rng.Below(5))};
+    AttrIndex rhs = static_cast<AttrIndex>(rng.Below(5));
+    auto made = CFD::Make(
+        0, lhs,
+        {rng.Percent(50) ? PatternValue::Wildcard()
+                         : PatternValue::Constant(cat.pool().InternInt(
+                               static_cast<int64_t>(rng.Uniform(1, 5))))},
+        rhs, PatternValue::Wildcard());
+    if (!made.ok() || made.value().IsTrivial()) continue;
+    CFD phi = std::move(made).value();
+    auto implied = Implies(sigma, phi, 5);
+    ASSERT_TRUE(implied.ok());
+    if (*implied) {
+      auto sat = Satisfies(*db, phi);
+      ASSERT_TRUE(sat.ok());
+      EXPECT_TRUE(*sat) << "implied CFD violated on satisfying data: "
+                        << phi.ToString(cat);
+    }
+  }
+}
+
+TEST_P(ChasePropertyTest, MinCoverPreservesEquivalence) {
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 1;
+  schema_options.min_arity = 6;
+  schema_options.max_arity = 6;
+  Catalog cat = GenerateSchema(schema_options, GetParam() + 50);
+
+  CFDGenOptions cfd_options;
+  cfd_options.count = 10;
+  cfd_options.min_lhs = 1;
+  cfd_options.max_lhs = 3;
+  cfd_options.var_pct = 60;
+  cfd_options.const_hi = 4;
+  std::vector<CFD> sigma = GenerateCFDs(cat, cfd_options, GetParam() + 51);
+
+  auto cover = MinCover(sigma, 6);
+  ASSERT_TRUE(cover.ok());
+  EXPECT_LE(cover->size(), sigma.size());
+  for (const CFD& c : sigma) {
+    auto implied = Implies(*cover, c, 6);
+    ASSERT_TRUE(implied.ok());
+    EXPECT_TRUE(*implied) << "cover lost " << c.ToString(cat);
+  }
+  for (const CFD& c : *cover) {
+    auto implied = Implies(sigma, c, 6);
+    ASSERT_TRUE(implied.ok());
+    EXPECT_TRUE(*implied) << "cover invented " << c.ToString(cat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChasePropertyTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,91 @@
+#include "src/base/value.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/base/status.h"
+
+namespace cfdprop {
+namespace {
+
+TEST(ValuePoolTest, InternReturnsStableIds) {
+  ValuePool pool;
+  Value a = pool.Intern("hello");
+  Value b = pool.Intern("world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, pool.Intern("hello"));
+  EXPECT_EQ(b, pool.Intern("world"));
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ValuePoolTest, TextRoundTrips) {
+  ValuePool pool;
+  Value a = pool.Intern("42");
+  EXPECT_EQ(pool.Text(a), "42");
+  Value b = pool.InternInt(42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValuePoolTest, FindDoesNotIntern) {
+  ValuePool pool;
+  EXPECT_EQ(pool.Find("absent"), kNoValue);
+  EXPECT_EQ(pool.size(), 0u);
+  Value a = pool.Intern("present");
+  EXPECT_EQ(pool.Find("present"), a);
+}
+
+TEST(ValuePoolTest, EmptyStringIsInternable) {
+  ValuePool pool;
+  Value e = pool.Intern("");
+  EXPECT_EQ(pool.Text(e), "");
+  EXPECT_EQ(pool.Intern(""), e);
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+
+  Result<int> err(Status::NotFound("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, PercentBoundaries) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Percent(0));
+    EXPECT_TRUE(rng.Percent(100));
+  }
+}
+
+}  // namespace
+}  // namespace cfdprop

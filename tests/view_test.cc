@@ -1,0 +1,213 @@
+#include "src/algebra/view.h"
+
+#include <gtest/gtest.h>
+
+namespace cfdprop {
+namespace {
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R1", {"A", "B", "C"}).ok());
+    ASSERT_TRUE(cat_.AddRelation("R2", {"D", "E"}).ok());
+  }
+  Catalog cat_;
+};
+
+TEST_F(ViewTest, BuilderResolvesColumns) {
+  SPCViewBuilder b(cat_);
+  size_t r1 = b.AddAtom(0);
+  auto r2 = b.AddAtom("R2");
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(b.SelectEq(r1, "C", *r2, "D").ok());
+  ASSERT_TRUE(b.SelectConst(r1, "A", "42").ok());
+  ASSERT_TRUE(b.Project(r1, "B").ok());
+  ASSERT_TRUE(b.Project(*r2, "E", "e").ok());
+  ASSERT_TRUE(b.ProjectConstant("CC", "uk").ok());
+
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->atoms.size(), 2u);
+  EXPECT_EQ(view->NumEcColumns(cat_), 5u);
+  EXPECT_EQ(view->OutputArity(), 3u);
+  EXPECT_EQ(view->output[1].name, "e");
+  EXPECT_TRUE(view->output[2].is_constant);
+
+  ASSERT_EQ(view->selections.size(), 2u);
+  EXPECT_EQ(view->selections[0].kind, Selection::Kind::kColumnEq);
+  EXPECT_EQ(view->selections[0].left, 2u);   // R1.C
+  EXPECT_EQ(view->selections[0].right, 3u);  // R2.D
+  EXPECT_EQ(view->selections[1].kind, Selection::Kind::kConstantEq);
+}
+
+TEST_F(ViewTest, BuilderRejectsUnknownNames) {
+  SPCViewBuilder b(cat_);
+  EXPECT_FALSE(b.AddAtom("R9").ok());
+  size_t r1 = b.AddAtom(0);
+  EXPECT_FALSE(b.Project(r1, "Z").ok());
+  EXPECT_FALSE(b.Project(7, "A").ok());
+}
+
+TEST_F(ViewTest, DefaultProjectionIsAllColumns) {
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->OutputArity(), 3u);
+  EXPECT_FALSE(view->Profile(cat_).projection);
+}
+
+TEST_F(ViewTest, LocateInvertsColumnIds) {
+  SPCViewBuilder b(cat_);
+  b.AddAtom(0);
+  b.AddAtom(1);
+  b.AddAtom(0);
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->NumEcColumns(cat_), 8u);
+  EXPECT_EQ(view->AtomBase(cat_, 0), 0u);
+  EXPECT_EQ(view->AtomBase(cat_, 1), 3u);
+  EXPECT_EQ(view->AtomBase(cat_, 2), 5u);
+  auto [atom, attr] = view->Locate(cat_, 6);
+  EXPECT_EQ(atom, 2u);
+  EXPECT_EQ(attr, 1u);
+}
+
+TEST_F(ViewTest, ProfileClassifiesFragments) {
+  {  // identity
+    SPCViewBuilder b(cat_);
+    b.AddAtom(0);
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->Profile(cat_).Label(), "I");
+  }
+  {  // S
+    SPCViewBuilder b(cat_);
+    size_t a = b.AddAtom(0);
+    ASSERT_TRUE(b.SelectConst(a, "A", "1").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->Profile(cat_).Label(), "S");
+  }
+  {  // P
+    SPCViewBuilder b(cat_);
+    size_t a = b.AddAtom(0);
+    ASSERT_TRUE(b.Project(a, "A").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->Profile(cat_).Label(), "P");
+  }
+  {  // C via product
+    SPCViewBuilder b(cat_);
+    b.AddAtom(0);
+    b.AddAtom(1);
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->Profile(cat_).Label(), "C");
+  }
+  {  // C via constant relation (the paper's Q1 = {(CC:44)} x R1)
+    SPCViewBuilder b(cat_);
+    size_t a = b.AddAtom(0);
+    ASSERT_TRUE(b.Project(a, "A").ok());
+    ASSERT_TRUE(b.Project(a, "B").ok());
+    ASSERT_TRUE(b.Project(a, "C").ok());
+    ASSERT_TRUE(b.ProjectConstant("CC", "44").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->Profile(cat_).product);
+  }
+  {  // SPC
+    SPCViewBuilder b(cat_);
+    size_t a = b.AddAtom(0);
+    b.AddAtom(1);
+    ASSERT_TRUE(b.SelectConst(a, "A", "1").ok());
+    ASSERT_TRUE(b.Project(a, "B").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->Profile(cat_).Label(), "SPC");
+  }
+}
+
+TEST_F(ViewTest, OutputDomains) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute{"F", Domain::Boolean(cat_.pool())});
+  attrs.push_back(Attribute{"G", Domain::Infinite()});
+  ASSERT_TRUE(cat_.AddRelation("R3", std::move(attrs)).ok());
+
+  SPCViewBuilder b(cat_);
+  auto r3 = b.AddAtom("R3");
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(b.Project(*r3, "F").ok());
+  ASSERT_TRUE(b.Project(*r3, "G").ok());
+  ASSERT_TRUE(b.ProjectConstant("K", "9").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  ASSERT_NE(v->OutputDomain(cat_, 0), nullptr);
+  EXPECT_TRUE(v->OutputDomain(cat_, 0)->finite());
+  ASSERT_NE(v->OutputDomain(cat_, 1), nullptr);
+  EXPECT_FALSE(v->OutputDomain(cat_, 1)->finite());
+  EXPECT_EQ(v->OutputDomain(cat_, 2), nullptr);
+}
+
+TEST_F(ViewTest, SPCUValidation) {
+  SPCViewBuilder b1(cat_);
+  size_t a1 = b1.AddAtom(0);
+  ASSERT_TRUE(b1.Project(a1, "A").ok());
+  auto v1 = b1.Build();
+  ASSERT_TRUE(v1.ok());
+
+  SPCViewBuilder b2(cat_);
+  size_t a2 = b2.AddAtom(1);
+  ASSERT_TRUE(b2.Project(a2, "D").ok());
+  auto v2 = b2.Build();
+  ASSERT_TRUE(v2.ok());
+
+  SPCUView u;
+  u.disjuncts = {*v1, *v2};
+  EXPECT_TRUE(u.Validate(cat_).ok());
+  EXPECT_TRUE(u.Profile(cat_).has_union);
+  EXPECT_EQ(u.Profile(cat_).Label(), "PU");
+
+  // Arity mismatch breaks union compatibility.
+  SPCViewBuilder b3(cat_);
+  size_t a3 = b3.AddAtom(0);
+  ASSERT_TRUE(b3.Project(a3, "A").ok());
+  ASSERT_TRUE(b3.Project(a3, "B").ok());
+  auto v3 = b3.Build();
+  ASSERT_TRUE(v3.ok());
+  u.disjuncts.push_back(*v3);
+  EXPECT_FALSE(u.Validate(cat_).ok());
+}
+
+TEST_F(ViewTest, ValidateCatchesOutOfRange) {
+  SPCView v;
+  v.atoms = {0};
+  v.output.push_back(OutputColumn::Projected("c", 99));
+  EXPECT_FALSE(v.Validate(cat_).ok());
+
+  SPCView v2;
+  v2.atoms = {0};
+  v2.selections.push_back(Selection::ColumnEq(0, 99));
+  v2.output.push_back(OutputColumn::Projected("c", 0));
+  EXPECT_FALSE(v2.Validate(cat_).ok());
+
+  SPCView v3;  // no atoms
+  v3.output.push_back(OutputColumn::Projected("c", 0));
+  EXPECT_FALSE(v3.Validate(cat_).ok());
+}
+
+TEST_F(ViewTest, ToStringMentionsStructure) {
+  SPCViewBuilder b(cat_);
+  size_t a = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(a, "A", "7").ok());
+  ASSERT_TRUE(b.Project(a, "B", "out").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  std::string s = v->ToString(cat_);
+  EXPECT_NE(s.find("out"), std::string::npos);
+  EXPECT_NE(s.find("'7'"), std::string::npos);
+  EXPECT_NE(s.find("R1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,194 @@
+// cfdprop_cli — the command-line front end of the library.
+//
+// Reads a specification file (see src/parser/parser.h for the syntax)
+// and runs the paper's analyses:
+//
+//   cfdprop_cli SPEC                 run every analysis below
+//   cfdprop_cli SPEC --check        decide Sigma |=V phi for each view
+//                                    CFD declared in the spec
+//   cfdprop_cli SPEC --cover        print a minimal propagation cover
+//                                    per declared view (PropCFD_SPC)
+//   cfdprop_cli SPEC --emptiness    report views that are always empty
+//   cfdprop_cli SPEC --validate     evaluate views on the insert data
+//                                    and report CFD violations
+//
+// Exit status: 0 on success, 1 on usage/parse errors, 2 when --validate
+// found violations or --check found a non-propagated declared CFD.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/cover/propcfd_spc.h"
+#include "src/data/eval.h"
+#include "src/data/validate.h"
+#include "src/parser/parser.h"
+#include "src/propagation/emptiness.h"
+#include "src/propagation/propagation.h"
+
+using namespace cfdprop;
+
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+/// Output-column name resolver for a view.
+std::function<std::string(AttrIndex)> ViewAttrNames(const SPCUView& view) {
+  const SPCView& first = view.disjuncts.front();
+  return [&first](AttrIndex i) {
+    return i < first.output.size() ? first.output[i].name
+                                   : "#" + std::to_string(i);
+  };
+}
+
+int RunCheck(Spec& spec, const PropagationOptions& options) {
+  int violations = 0;
+  std::printf("== propagation checks ==\n");
+  if (spec.view_cfds.empty()) {
+    std::printf("  (no view CFDs declared)\n");
+    return 0;
+  }
+  for (const auto& [view_name, cfd] : spec.view_cfds) {
+    const SPCUView& view = spec.views.at(view_name);
+    auto r = IsPropagated(spec.catalog, view, spec.source_cfds, cfd,
+                          options);
+    if (!r.ok()) return Fail(r.status());
+    std::string rendered = FormatCFD(cfd, spec.catalog.pool(), view_name,
+                                     ViewAttrNames(view));
+    std::printf("  %-60s : %s\n", rendered.c_str(),
+                *r ? "PROPAGATED" : "NOT propagated");
+    if (!*r) ++violations;
+  }
+  return violations == 0 ? 0 : 2;
+}
+
+int RunCover(Spec& spec) {
+  std::printf("== minimal propagation covers ==\n");
+  for (const std::string& name : spec.view_names) {
+    const SPCUView& view = spec.views.at(name);
+    auto result =
+        PropagationCoverSPCU(spec.catalog, view, spec.source_cfds);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("view %s (%zu CFDs%s%s):\n", name.c_str(),
+                result->cover.size(),
+                result->always_empty ? ", ALWAYS EMPTY" : "",
+                result->truncated ? ", TRUNCATED" : "");
+    for (const CFD& c : result->cover) {
+      std::printf("  %s\n",
+                  FormatCFD(c, spec.catalog.pool(), name,
+                            ViewAttrNames(view))
+                      .c_str());
+    }
+  }
+  return 0;
+}
+
+int RunEmptiness(Spec& spec, const EmptinessOptions& options) {
+  std::printf("== emptiness analysis ==\n");
+  for (const std::string& name : spec.view_names) {
+    auto r = IsAlwaysEmpty(spec.catalog, spec.views.at(name),
+                           spec.source_cfds, options);
+    if (!r.ok()) return Fail(r.status());
+    std::printf("  view %-20s : %s\n", name.c_str(),
+                *r ? "always empty under Sigma" : "satisfiable");
+  }
+  return 0;
+}
+
+int RunValidate(Spec& spec) {
+  std::printf("== data validation ==\n");
+  auto db = spec.MakeDatabase();
+  if (!db.ok()) return Fail(db.status());
+
+  int total_violations = 0;
+  // Source CFDs against the source relations.
+  for (const CFD& c : spec.source_cfds) {
+    const Relation& rel = db->relation(c.relation);
+    auto v = FindViolations(rel.tuples(), c, rel.schema().arity());
+    if (!v.ok()) return Fail(v.status());
+    if (!v->empty()) {
+      total_violations += static_cast<int>(v->size());
+      std::printf("  %s: %zu violation(s) on %s\n",
+                  c.ToString(spec.catalog).c_str(), v->size(),
+                  rel.schema().name().c_str());
+    }
+  }
+  // View CFDs against the materialized views.
+  for (const auto& [view_name, cfd] : spec.view_cfds) {
+    const SPCUView& view = spec.views.at(view_name);
+    auto rows = Evaluate(*db, view);
+    if (!rows.ok()) return Fail(rows.status());
+    auto v = FindViolations(*rows, cfd, view.OutputArity());
+    if (!v.ok()) return Fail(v.status());
+    if (!v->empty()) {
+      total_violations += static_cast<int>(v->size());
+      std::printf("  %s: %zu violation(s) on view %s (%zu rows)\n",
+                  FormatCFD(cfd, spec.catalog.pool(), view_name,
+                            ViewAttrNames(view))
+                      .c_str(),
+                  v->size(), view_name.c_str(), rows->size());
+    }
+  }
+  if (total_violations == 0) {
+    std::printf("  all declared CFDs hold on the data\n");
+    return 0;
+  }
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s SPEC [--check|--cover|--emptiness|--validate]"
+                 " [--general]\n",
+                 argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto spec = ParseSpec(buffer.str());
+  if (!spec.ok()) return Fail(spec.status());
+
+  bool check = false, cover = false, emptiness = false, validate = false;
+  bool general = false;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--check")) check = true;
+    else if (!std::strcmp(argv[i], "--cover")) cover = true;
+    else if (!std::strcmp(argv[i], "--emptiness")) emptiness = true;
+    else if (!std::strcmp(argv[i], "--validate")) validate = true;
+    else if (!std::strcmp(argv[i], "--general")) general = true;
+    else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (!check && !cover && !emptiness && !validate) {
+    check = cover = emptiness = validate = true;
+  }
+
+  PropagationOptions prop_options;
+  prop_options.general_setting = general;
+  EmptinessOptions empt_options;
+  empt_options.general_setting = general;
+
+  int rc = 0;
+  auto update = [&rc](int r) { rc = std::max(rc, r); };
+  if (emptiness) update(RunEmptiness(*spec, empt_options));
+  if (check) update(RunCheck(*spec, prop_options));
+  if (cover) update(RunCover(*spec));
+  if (validate) update(RunValidate(*spec));
+  return rc;
+}
