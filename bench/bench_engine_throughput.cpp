@@ -1,0 +1,183 @@
+// Throughput of the propagation engine (src/engine/) vs. the uncached
+// one-shot pipeline: covers served per second over a fixed request
+// stream at cache hit rates 0%, 50% and 95%, with 1/2/4/8 worker
+// threads.
+//
+// The stream has kStreamLen requests drawn from a pool of distinct
+// generated views; the hit rate is set by construction (each unique view
+// first occurs as a miss, every repeat is a hit), and the cache is
+// cleared between benchmark iterations so every iteration replays the
+// same miss/hit pattern. Counters report the achieved hit rate so the
+// target can be audited in the output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/gen/generators.h"
+
+namespace cfdprop_bench {
+
+using namespace cfdprop;
+
+namespace {
+
+constexpr size_t kStreamLen = 120;
+
+struct EngineWorkloadParams {
+  size_t num_cfds = 160;
+  size_t num_views = kStreamLen;  // distinct views available
+  uint64_t seed = 42;
+};
+
+/// Catalog + sigma + a pool of distinct views, all generated before
+/// serving starts (view generation interns constants and must not race
+/// with the worker pool).
+struct EngineWorkload {
+  Catalog catalog;
+  std::vector<CFD> sigma;
+  std::vector<SPCView> views;
+};
+
+EngineWorkload MakeEngineWorkload(const EngineWorkloadParams& p) {
+  SchemaGenOptions schema_options;  // 10 relations, 10-20 attributes
+  EngineWorkload w{GenerateSchema(schema_options, p.seed), {}, {}};
+
+  CFDGenOptions cfd_options;
+  cfd_options.count = p.num_cfds;
+  cfd_options.min_lhs = 2;
+  cfd_options.max_lhs = 5;
+  w.sigma = GenerateCFDs(w.catalog, cfd_options, p.seed + 1);
+
+  ViewGenOptions view_options;
+  view_options.num_projection = 10;
+  view_options.num_selections = 4;
+  view_options.num_atoms = 2;
+  w.views.reserve(p.num_views);
+  for (size_t i = 0; i < p.num_views; ++i) {
+    auto view = GenerateSPCView(w.catalog, view_options, p.seed + 10 + i);
+    if (!view.ok()) {
+      std::fprintf(stderr, "view generation failed: %s\n",
+                   view.status().ToString().c_str());
+      std::abort();
+    }
+    w.views.push_back(std::move(view).value());
+  }
+  return w;
+}
+
+/// A kStreamLen-request stream over `unique` distinct views: view i of
+/// the pool is requested at positions i, i+unique, i+2*unique, ... so
+/// per (cleared-cache) iteration exactly `unique` requests miss and the
+/// rest hit: hit rate = 1 - unique/kStreamLen.
+std::vector<Engine::Request> MakeStream(const EngineWorkload& w,
+                                        size_t unique) {
+  std::vector<Engine::Request> stream;
+  stream.reserve(kStreamLen);
+  for (size_t i = 0; i < kStreamLen; ++i) {
+    stream.push_back({w.views[i % unique], 0});
+  }
+  return stream;
+}
+
+size_t UniqueForHitPct(int64_t hit_pct) {
+  // 0% -> 120 unique, 50% -> 60, 95% -> 6.
+  return std::max<size_t>(1, kStreamLen * (100 - hit_pct) / 100);
+}
+
+/// Engine serving: state.range(0) = target hit %, range(1) = threads.
+void BM_EngineServe(benchmark::State& state) {
+  EngineWorkload w = MakeEngineWorkload({});
+  std::vector<Engine::Request> stream =
+      MakeStream(w, UniqueForHitPct(state.range(0)));
+
+  EngineOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  options.cache_capacity = 4 * kStreamLen;
+  options.cover.rbr.on_budget = RBROptions::OnBudget::kTruncate;
+  Engine engine(std::move(w.catalog), options);
+  auto sigma_id = engine.RegisterSigma(std::move(w.sigma));
+  if (!sigma_id.ok()) {
+    state.SkipWithError(sigma_id.status().ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.ClearCache();
+    state.ResumeTiming();
+    auto results = engine.PropagateBatch(stream);
+    for (auto& r : results) {
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreamLen));
+  EngineStatsSnapshot stats = engine.Stats();
+  state.counters["hit_rate_pct"] = 100.0 * stats.cache.HitRate();
+  state.counters["covers_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kStreamLen,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineServe)
+    ->ArgNames({"hit_pct", "threads"})
+    ->Args({0, 1})
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({0, 8})
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({50, 8})
+    ->Args({95, 1})
+    ->Args({95, 2})
+    ->Args({95, 4})
+    ->Args({95, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Baseline: the uncached one-shot pipeline over the same stream (every
+/// request recomputes MinCover/ComputeEQ/RBR). Compare covers_per_sec
+/// against BM_EngineServe/hit_pct:95 for the cache payoff.
+void BM_UncachedSingleShot(benchmark::State& state) {
+  EngineWorkload w = MakeEngineWorkload({});
+  std::vector<Engine::Request> stream =
+      MakeStream(w, UniqueForHitPct(state.range(0)));
+
+  PropCoverOptions options;
+  options.rbr.on_budget = RBROptions::OnBudget::kTruncate;
+  for (auto _ : state) {
+    for (const Engine::Request& req : stream) {
+      std::vector<CFD> sigma = w.sigma;  // consumed per call
+      auto result = PropagationCoverSPC(w.catalog, req.view,
+                                        std::move(sigma), options);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(result->cover.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreamLen));
+  state.counters["covers_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kStreamLen,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UncachedSingleShot)
+    ->ArgNames({"hit_pct"})
+    ->Args({0})
+    ->Args({95})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfdprop_bench
+
+BENCHMARK_MAIN();

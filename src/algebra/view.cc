@@ -87,6 +87,37 @@ const Domain* SPCView::OutputDomain(const Catalog& catalog, size_t i) const {
   return EcColumnDomain(catalog, o.ec_column);
 }
 
+SPCView SPCView::PermuteAtoms(const Catalog& catalog,
+                              const std::vector<size_t>& order) const {
+  SPCView permuted;
+  permuted.atoms.reserve(atoms.size());
+  for (size_t old_atom : order) permuted.atoms.push_back(atoms[old_atom]);
+
+  // col_map[old column] = new column.
+  const size_t u = NumEcColumns(catalog);
+  std::vector<ColumnId> col_map(u, 0);
+  ColumnId new_base = 0;
+  for (size_t old_atom : order) {
+    ColumnId old_base = AtomBase(catalog, old_atom);
+    size_t arity = catalog.relation(atoms[old_atom]).arity();
+    for (size_t k = 0; k < arity; ++k) {
+      col_map[old_base + k] = new_base + static_cast<ColumnId>(k);
+    }
+    new_base += static_cast<ColumnId>(arity);
+  }
+
+  permuted.selections = selections;
+  for (Selection& s : permuted.selections) {
+    s.left = col_map[s.left];
+    if (s.kind == Selection::Kind::kColumnEq) s.right = col_map[s.right];
+  }
+  permuted.output = output;
+  for (OutputColumn& o : permuted.output) {
+    if (!o.is_constant) o.ec_column = col_map[o.ec_column];
+  }
+  return permuted;
+}
+
 OperatorProfile SPCView::Profile(const Catalog& catalog) const {
   OperatorProfile p;
   p.selection = !selections.empty();

@@ -115,6 +115,18 @@ class SPCView {
   /// Domain of output column i (null/infinite for constant columns).
   const Domain* OutputDomain(const Catalog& catalog, size_t i) const;
 
+  /// --- Canonicalization hook ------------------------------------------
+
+  /// Returns an equivalent view with the product atoms permuted by
+  /// `order` (new atom j is the old atom order[j]); selection and output
+  /// column ids are remapped into the permuted column space, and output
+  /// *positions* are untouched, so the view denotes the same query.
+  /// Precondition: `order` is a permutation of 0..atoms.size()-1.
+  /// Used by the engine's fingerprinting to put the product into a
+  /// canonical atom order (products commute modulo column renaming).
+  SPCView PermuteAtoms(const Catalog& catalog,
+                       const std::vector<size_t>& order) const;
+
   /// --- Introspection --------------------------------------------------
 
   size_t OutputArity() const { return output.size(); }

@@ -1,0 +1,86 @@
+#include "src/engine/cover_cache.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+
+CoverCache::CoverCache(size_t capacity, size_t num_shards) {
+  // At most one shard per requested entry (so capacities below the
+  // shard count are honored, not rounded up to one slot per shard), at
+  // least one shard, and at most 256 — ShardFor selects by the key's
+  // top byte, so shards past 256 could never be addressed.
+  num_shards = std::clamp<size_t>(std::min(num_shards, capacity), 1, 256);
+  per_shard_capacity_ = std::max<size_t>(1, (capacity + num_shards - 1) /
+                                                num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const CachedCover> CoverCache::Lookup(uint64_t fingerprint,
+                                                      uint64_t check) {
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fingerprint);
+  if (it == shard.index.end() || it->second->check != check) {
+    // Absent, or a key collision between non-equivalent requests: miss.
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->cover;
+}
+
+void CoverCache::Insert(uint64_t fingerprint, uint64_t check,
+                        std::shared_ptr<const CachedCover> cover) {
+  Shard& shard = ShardFor(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(fingerprint);
+  if (it != shard.index.end()) {
+    if (it->second->check == check) {
+      // Concurrent compute of the same request: keep the first result
+      // (the computation is deterministic, so both are equal).
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    // Key collision: latest wins, so both colliding requests keep
+    // recomputing rather than one permanently shadowing the other.
+    it->second->check = check;
+    it->second->cover = std::move(cover);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{fingerprint, check, std::move(cover)});
+  shard.index.emplace(fingerprint, shard.lru.begin());
+  ++shard.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().fingerprint);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void CoverCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CacheStats CoverCache::Stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace cfdprop

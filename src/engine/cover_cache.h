@@ -1,0 +1,105 @@
+// Sharded LRU cache mapping request fingerprints to propagation covers.
+//
+// The cache stores covers behind shared_ptr<const CachedCover>, so a hit
+// hands out a reference that stays valid after the entry is evicted —
+// readers never copy the cover and eviction never invalidates a result a
+// request is still holding. Shards are locked independently (a
+// fingerprint's shard is derived from its high bits), keeping the worker
+// pool's lookups from serializing on one mutex.
+
+#ifndef CFDPROP_ENGINE_COVER_CACHE_H_
+#define CFDPROP_ENGINE_COVER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cfd/cfd.h"
+
+namespace cfdprop {
+
+/// A cached propagation cover: the PropCoverResult fields a repeated
+/// request needs back.
+struct CachedCover {
+  std::vector<CFD> cover;
+  bool always_empty = false;
+  bool truncated = false;
+};
+
+/// Aggregated counters across all shards.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class CoverCache {
+ public:
+  /// `capacity` = total number of cached covers, split evenly across
+  /// `num_shards` shards (each shard gets at least one slot).
+  explicit CoverCache(size_t capacity, size_t num_shards = 8);
+
+  CoverCache(const CoverCache&) = delete;
+  CoverCache& operator=(const CoverCache&) = delete;
+
+  /// Returns the cached cover and refreshes its LRU position, or nullptr
+  /// on a miss. An entry whose stored check hash differs from `check`
+  /// is a key collision between non-equivalent requests: treated as a
+  /// miss, so collisions recompute instead of serving a wrong cover.
+  /// Thread-safe.
+  std::shared_ptr<const CachedCover> Lookup(uint64_t fingerprint,
+                                            uint64_t check);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least
+  /// recently used cover when the shard is full. An existing entry with
+  /// a different check hash is replaced. Thread-safe.
+  void Insert(uint64_t fingerprint, uint64_t check,
+              std::shared_ptr<const CachedCover> cover);
+
+  /// Drops every entry; counters are preserved.
+  void Clear();
+
+  CacheStats Stats() const;
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t fingerprint;
+    uint64_t check;
+    std::shared_ptr<const CachedCover> cover;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, decltype(lru)::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    // High bits pick the shard; the map key keeps the full fingerprint.
+    return *shards_[(fingerprint >> 56) % shards_.size()];
+  }
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_ENGINE_COVER_CACHE_H_

@@ -1,0 +1,208 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "src/cfd/mincover.h"
+#include "src/engine/fingerprint.h"
+
+namespace cfdprop {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Engine::Engine(Catalog catalog, EngineOptions options)
+    : catalog_(std::move(catalog)),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards) {
+  // Pre-intern the only constants the propagation pipeline interns (the
+  // ComputeEQ/Lemma 4.5 pair): with these present, concurrent requests
+  // hit ValuePool::Intern's read-only path and never mutate the pool.
+  catalog_.pool().Intern("0");
+  catalog_.pool().Intern("1");
+  if (options_.num_threads > 1) StartWorkers();
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Result<SigmaId> Engine::RegisterSigma(std::vector<CFD> sigma) {
+  for (const CFD& c : sigma) {
+    if (c.relation >= catalog_.num_relations()) {
+      return Status::InvalidArgument("source CFD with unknown relation");
+    }
+    CFDPROP_RETURN_NOT_OK(c.Validate(catalog_.relation(c.relation).arity()));
+  }
+  // Fig. 2 line 1, hoisted: minimize once per registration instead of
+  // once per request. Grouped per relation, deterministic output order.
+  std::unordered_map<RelationId, std::vector<CFD>> groups;
+  std::vector<RelationId> order;
+  for (CFD& c : sigma) {
+    if (groups.find(c.relation) == groups.end()) order.push_back(c.relation);
+    groups[c.relation].push_back(std::move(c));
+  }
+  std::vector<CFD> minimized;
+  for (RelationId r : order) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        std::vector<CFD> mc,
+        MinCover(std::move(groups[r]), catalog_.relation(r).arity(),
+                 /*domains=*/{}, options_.cover.mincover));
+    for (CFD& c : mc) minimized.push_back(std::move(c));
+  }
+  sigmas_.push_back(std::move(minimized));
+  return static_cast<SigmaId>(sigmas_.size() - 1);
+}
+
+Result<EngineResult> Engine::Serve(const SPCView& view, SigmaId sigma_id) {
+  if (sigma_id >= sigmas_.size()) {
+    return Status::InvalidArgument("unknown sigma id");
+  }
+  const auto start = Clock::now();
+  EngineResult result;
+  RequestFingerprint fp = FingerprintRequestPair(catalog_, view, sigma_id);
+  result.fingerprint = fp.key;
+  result.timing.fingerprint_us = MicrosSince(start);
+
+  if (options_.use_cache) {
+    if (auto cached = cache_.Lookup(fp.key, fp.check)) {
+      result.cover = std::move(cached);
+      result.cache_hit = true;
+      result.timing.total_us = MicrosSince(start);
+      stats_.Record(result.timing, /*error=*/false);
+      return result;
+    }
+  }
+
+  const auto compute_start = Clock::now();
+  PropCoverOptions cover_options = options_.cover;
+  cover_options.input_mincover = false;  // minimized at registration
+  auto computed = PropagationCoverSPC(catalog_, view, sigmas_[sigma_id],
+                                      cover_options);
+  result.timing.compute_us = MicrosSince(compute_start);
+  result.timing.total_us = MicrosSince(start);
+  if (!computed.ok()) {
+    stats_.Record(result.timing, /*error=*/true);
+    return computed.status();
+  }
+
+  auto cached = std::make_shared<CachedCover>();
+  cached->cover = std::move(computed->cover);
+  cached->always_empty = computed->always_empty;
+  cached->truncated = computed->truncated;
+  if (options_.use_cache && !cached->truncated) {
+    // Truncated covers are budget artifacts, not the request's answer;
+    // don't let them shadow a future full computation.
+    cache_.Insert(fp.key, fp.check, cached);
+  }
+  result.cover = std::move(cached);
+  stats_.Record(result.timing, /*error=*/false);
+  return result;
+}
+
+Result<EngineResult> Engine::Propagate(const SPCView& view,
+                                       SigmaId sigma_id) {
+  return Serve(view, sigma_id);
+}
+
+std::vector<Result<EngineResult>> Engine::PropagateBatch(
+    const std::vector<Request>& requests) {
+  stats_.RecordBatch();
+  // Result slots are indexed by request position: output order is the
+  // request order no matter which worker finishes first.
+  std::vector<std::optional<Result<EngineResult>>> slots(requests.size());
+
+  if (options_.num_threads <= 1 || workers_.empty() || requests.size() <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      slots[i] = Serve(requests[i].view, requests[i].sigma_id);
+    }
+  } else {
+    struct BatchState {
+      std::mutex mu;
+      std::condition_variable done_cv;
+      size_t remaining;
+    };
+    auto state = std::make_shared<BatchState>();
+    state->remaining = requests.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < requests.size(); ++i) {
+        queue_.push_back([this, &requests, &slots, state, i] {
+          // A throwing task would std::terminate the worker thread and
+          // leave the batch waiting forever; surface it as a Status like
+          // the inline path surfaces errors, and always decrement.
+          try {
+            slots[i] = Serve(requests[i].view, requests[i].sigma_id);
+          } catch (const std::exception& e) {
+            slots[i] = Result<EngineResult>(
+                Status::Internal(std::string("worker exception: ") +
+                                 e.what()));
+          } catch (...) {
+            slots[i] =
+                Result<EngineResult>(Status::Internal("worker exception"));
+          }
+          std::lock_guard<std::mutex> done_lock(state->mu);
+          if (--state->remaining == 0) state->done_cv.notify_one();
+        });
+      }
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+  }
+
+  std::vector<Result<EngineResult>> results;
+  results.reserve(requests.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+EngineStatsSnapshot Engine::Stats() const {
+  EngineStatsSnapshot s = stats_.Snapshot();
+  s.cache = cache_.Stats();
+  return s;
+}
+
+void Engine::ClearCache() { cache_.Clear(); }
+
+void Engine::StartWorkers() {
+  // Guard against pathological configs: more workers than can do useful
+  // work just burns memory on stacks (and std::thread creation throws
+  // past OS limits).
+  constexpr size_t kMaxWorkers = 256;
+  options_.num_threads = std::min(options_.num_threads, kMaxWorkers);
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void Engine::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace cfdprop

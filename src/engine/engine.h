@@ -1,0 +1,144 @@
+// The propagation engine: cached, batched, multi-threaded serving of
+// CFD propagation covers (PropCFD_SPC) over a shared catalog.
+//
+// A deployment (schema mapping, data exchange, cleaning-rule discovery)
+// issues many near-identical propagation requests against one source
+// schema and a handful of CFD sets. The one-shot pipeline recomputes
+// MinCover/ComputeEQ/RBR per call; the engine amortizes that work:
+//
+//   * source CFD sets are registered once and min-covered at
+//     registration (Fig. 2 line 1 runs once, not per request),
+//   * each request is canonically fingerprinted (src/engine/fingerprint.h)
+//     and served from a sharded LRU cover cache on a repeat,
+//   * batches run on a fixed worker pool; results come back in request
+//     order regardless of the thread count.
+//
+// Thread-safety contract: Propagate/PropagateBatch are safe to call
+// concurrently once setup is done. Setup — Engine construction,
+// RegisterSigma, and building views against catalog() (which interns
+// constants into the shared ValuePool) — must be serialized and must
+// happen-before serving. The propagation pipeline itself only ever
+// interns the two ComputeEQ/Lemma-4.5 constants, which the constructor
+// pre-interns, so concurrent requests never mutate the pool.
+
+#ifndef CFDPROP_ENGINE_ENGINE_H_
+#define CFDPROP_ENGINE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/algebra/view.h"
+#include "src/base/status.h"
+#include "src/cfd/cfd.h"
+#include "src/cover/propcfd_spc.h"
+#include "src/engine/cover_cache.h"
+#include "src/engine/stats.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+/// Engine-local id of a registered source CFD set.
+using SigmaId = uint32_t;
+
+struct EngineOptions {
+  /// Worker pool size for PropagateBatch. 0 or 1 = serve batches inline
+  /// on the calling thread.
+  size_t num_threads = 4;
+
+  /// Total cover-cache capacity (entries) and shard count.
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+
+  /// Disable to force every request down the compute path (baseline
+  /// measurements; the cache is still constructed but never consulted).
+  bool use_cache = true;
+
+  /// Options forwarded to PropagationCoverSPC. `input_mincover` is
+  /// ignored: registration already minimized, so requests always run
+  /// with input_mincover = false.
+  PropCoverOptions cover;
+};
+
+/// One served request. `cover` is shared with the cache: it stays valid
+/// for as long as the caller holds it, across evictions and Clear().
+struct EngineResult {
+  std::shared_ptr<const CachedCover> cover;
+  uint64_t fingerprint = 0;
+  bool cache_hit = false;
+  RequestTiming timing;
+};
+
+class Engine {
+ public:
+  /// Takes ownership of the catalog all registered CFD sets and served
+  /// views refer to.
+  explicit Engine(Catalog catalog, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a source CFD set and minimizes it per relation (Fig. 2
+  /// line 1, hoisted out of the request path). Not thread-safe against
+  /// in-flight requests.
+  Result<SigmaId> RegisterSigma(std::vector<CFD> sigma);
+
+  size_t num_sigmas() const { return sigmas_.size(); }
+  const std::vector<CFD>& sigma(SigmaId id) const { return sigmas_[id]; }
+
+  const Catalog& catalog() const { return catalog_; }
+  /// Mutable access for setup (SPCViewBuilder interns constants). Must
+  /// not be used concurrently with serving.
+  Catalog& catalog() { return catalog_; }
+
+  /// Serves one request on the calling thread (cache → compute).
+  Result<EngineResult> Propagate(const SPCView& view, SigmaId sigma_id);
+
+  struct Request {
+    SPCView view;
+    SigmaId sigma_id = 0;
+  };
+
+  /// Serves a batch across the worker pool. results[i] answers
+  /// requests[i] — output order is deterministic and independent of the
+  /// thread count and of scheduling.
+  std::vector<Result<EngineResult>> PropagateBatch(
+      const std::vector<Request>& requests);
+
+  /// Engine + cache counters.
+  EngineStatsSnapshot Stats() const;
+
+  /// Drops all cached covers (handed-out results stay valid).
+  void ClearCache();
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Result<EngineResult> Serve(const SPCView& view, SigmaId sigma_id);
+  void WorkerLoop();
+  void StartWorkers();
+
+  Catalog catalog_;
+  EngineOptions options_;
+  std::vector<std::vector<CFD>> sigmas_;
+  CoverCache cache_;
+  EngineStats stats_;
+
+  // Work queue for PropagateBatch.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_ENGINE_ENGINE_H_

@@ -1,0 +1,223 @@
+#include "src/engine/fingerprint.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace cfdprop {
+
+namespace {
+
+/// FNV-1a, 64 bit.
+class Hasher {
+ public:
+  void MixByte(uint8_t b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;
+  }
+  void Mix(uint64_t x) {
+    for (int i = 0; i < 8; ++i) MixByte(static_cast<uint8_t>(x >> (8 * i)));
+  }
+  void Mix(const std::string& s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    for (char c : s) MixByte(static_cast<uint8_t>(c));
+  }
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 14695981039346656037ull;
+};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Orients a column-equality selection with the smaller column first
+/// (A = B and B = A denote the same conjunct).
+Selection Oriented(const Selection& s) {
+  if (s.kind == Selection::Kind::kColumnEq && s.right < s.left) {
+    return Selection::ColumnEq(s.right, s.left);
+  }
+  return s;
+}
+
+bool SelectionLess(const Catalog& catalog, const Selection& a,
+                   const Selection& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.left != b.left) return a.left < b.left;
+  if (a.kind == Selection::Kind::kColumnEq) return a.right < b.right;
+  return catalog.pool().Text(a.value) < catalog.pool().Text(b.value);
+}
+
+bool SelectionEq(const Selection& a, const Selection& b) {
+  return a.kind == b.kind && a.left == b.left &&
+         (a.kind == Selection::Kind::kColumnEq ? a.right == b.right
+                                               : a.value == b.value);
+}
+
+/// An atom-order-invariant signature of one product atom: its relation
+/// plus how its columns are used by selections and the projection. Used
+/// only to tie-break atoms of the same relation, so atoms whose local
+/// footprints differ sort deterministically. Atoms with identical
+/// signatures keep their input order (stable sort); for symmetric join
+/// patterns (e.g. a cycle of same-relation atoms) two listings of the
+/// same query can then canonicalize differently — the cost is a missed
+/// cache hit, never a wrong cover. A WL-style refinement would make the
+/// order truly canonical (ROADMAP).
+uint64_t AtomSignature(const Catalog& catalog, const SPCView& view,
+                       size_t atom) {
+  const ColumnId base = view.AtomBase(catalog, atom);
+  const size_t arity = catalog.relation(view.atoms[atom]).arity();
+
+  Hasher h;
+  h.Mix(static_cast<uint64_t>(view.atoms[atom]));
+  // Per local column: constant selections, column-eq partner footprints
+  // (partner = (relation, local offset), not an atom index), and output
+  // positions.
+  for (size_t k = 0; k < arity; ++k) {
+    const ColumnId col = base + static_cast<ColumnId>(k);
+    std::vector<std::string> consts;
+    std::vector<uint64_t> partners;
+    for (const Selection& s : view.selections) {
+      if (s.kind == Selection::Kind::kConstantEq) {
+        if (s.left == col) consts.push_back(catalog.pool().Text(s.value));
+        continue;
+      }
+      for (ColumnId other : {s.left, s.right}) {
+        ColumnId self = other == s.left ? s.right : s.left;
+        if (self != col) continue;
+        auto [patom, pattr] = view.Locate(catalog, other);
+        partners.push_back((static_cast<uint64_t>(view.atoms[patom]) << 32) |
+                           pattr);
+      }
+    }
+    std::sort(consts.begin(), consts.end());
+    std::sort(partners.begin(), partners.end());
+    h.Mix(static_cast<uint64_t>(k));
+    for (const std::string& c : consts) h.Mix(c);
+    h.Mix(0xfeedull);
+    for (uint64_t p : partners) h.Mix(p);
+    h.Mix(0xbeefull);
+    for (size_t i = 0; i < view.output.size(); ++i) {
+      const OutputColumn& o = view.output[i];
+      if (!o.is_constant && o.ec_column == col) {
+        h.Mix(static_cast<uint64_t>(i));
+      }
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+SPCView CanonicalizeSPCView(const Catalog& catalog, const SPCView& view) {
+  // Canonical atom order: by (relation id, footprint signature), stable
+  // so equal keys keep their input order (interchangeable atoms).
+  std::vector<uint64_t> sig(view.atoms.size());
+  for (size_t j = 0; j < view.atoms.size(); ++j) {
+    sig[j] = AtomSignature(catalog, view, j);
+  }
+  std::vector<size_t> order(view.atoms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (view.atoms[a] != view.atoms[b]) return view.atoms[a] < view.atoms[b];
+    return sig[a] < sig[b];
+  });
+  SPCView canonical = view.PermuteAtoms(catalog, order);
+
+  // Normalize the selection conjunction: orient, sort, dedupe.
+  for (Selection& s : canonical.selections) s = Oriented(s);
+  std::sort(canonical.selections.begin(), canonical.selections.end(),
+            [&](const Selection& a, const Selection& b) {
+              return SelectionLess(catalog, a, b);
+            });
+  canonical.selections.erase(
+      std::unique(canonical.selections.begin(), canonical.selections.end(),
+                  SelectionEq),
+      canonical.selections.end());
+  return canonical;
+}
+
+namespace {
+
+/// Canonical byte serialization of (canonicalized view, sigma id); both
+/// request hashes are computed over this one stream. Output column
+/// names are deliberately not serialized: covers are positional, so
+/// renamed outputs serve the same cover.
+std::string SerializeRequest(const Catalog& catalog, const SPCView& canonical,
+                             uint64_t sigma_id) {
+  std::string out;
+  auto put = [&out](uint64_t x) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(x >> (8 * i)));
+  };
+  auto put_text = [&](const std::string& s) {
+    put(s.size());
+    out.append(s);
+  };
+  put(sigma_id);
+  put(canonical.atoms.size());
+  for (RelationId r : canonical.atoms) put(r);
+  put(canonical.selections.size());
+  for (const Selection& s : canonical.selections) {
+    put(static_cast<uint64_t>(s.kind));
+    put(s.left);
+    if (s.kind == Selection::Kind::kColumnEq) {
+      put(s.right);
+    } else {
+      put_text(catalog.pool().Text(s.value));
+    }
+  }
+  put(canonical.output.size());
+  for (const OutputColumn& o : canonical.output) {
+    if (o.is_constant) {
+      put(0xc0);
+      put_text(catalog.pool().Text(o.value));
+    } else {
+      put(0x90);
+      put(o.ec_column);
+    }
+  }
+  return out;
+}
+
+uint64_t Fnv1a(const std::string& bytes) {
+  Hasher h;
+  h.Mix(bytes);
+  return h.digest();
+}
+
+/// A second, structurally different hash over the same bytes (SplitMix
+/// absorption), so a wrong cache serve needs both to collide.
+uint64_t CheckHash(const std::string& bytes) {
+  uint64_t h = 0x2545f4914f6cdd1dull;
+  for (char c : bytes) {
+    h = SplitMix64(h ^ static_cast<uint8_t>(c));
+  }
+  return SplitMix64(h ^ bytes.size());
+}
+
+}  // namespace
+
+uint64_t FingerprintSPCView(const Catalog& catalog, const SPCView& view) {
+  SPCView canonical = CanonicalizeSPCView(catalog, view);
+  return Fnv1a(SerializeRequest(catalog, canonical, /*sigma_id=*/0));
+}
+
+RequestFingerprint FingerprintRequestPair(const Catalog& catalog,
+                                          const SPCView& view,
+                                          uint64_t sigma_id) {
+  SPCView canonical = CanonicalizeSPCView(catalog, view);
+  std::string bytes = SerializeRequest(catalog, canonical, sigma_id);
+  return RequestFingerprint{Fnv1a(bytes), CheckHash(bytes)};
+}
+
+uint64_t FingerprintRequest(const Catalog& catalog, const SPCView& view,
+                            uint64_t sigma_id) {
+  return FingerprintRequestPair(catalog, view, sigma_id).key;
+}
+
+}  // namespace cfdprop

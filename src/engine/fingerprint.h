@@ -1,0 +1,66 @@
+// Canonical fingerprints of propagation requests.
+//
+// The engine's cover cache is keyed by a 64-bit fingerprint of
+// (canonicalized SPC view, registered Sigma set). Canonicalization maps
+// syntactic variants of the same query to one representative so that
+// equivalent requests hit the same cache line:
+//
+//   * product atoms are put into a canonical order (products commute
+//     modulo column renaming; column ids are remapped accordingly),
+//   * the selection conjunction is normalized: A = B atoms are oriented
+//     with the smaller column first, conjuncts are sorted and deduped,
+//   * output column *names* are ignored — propagation covers are
+//     positional (CFD attribute indices are output positions), so
+//     renamings do not change the served cover.
+//
+// Constants are hashed by their pool *text*, not their Value id, so the
+// fingerprint of a view does not depend on interning order.
+//
+// A request is identified by a RequestFingerprint: a 64-bit cache key
+// plus an independently-computed 64-bit check hash over the same
+// canonical serialization. The cache compares the check hash on every
+// hit, so a key collision between non-equivalent requests degrades to a
+// cache miss (recompute) rather than serving the wrong cover; a wrong
+// serve needs both hashes to collide (~2^-128 per pair).
+
+#ifndef CFDPROP_ENGINE_FINGERPRINT_H_
+#define CFDPROP_ENGINE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "src/algebra/view.h"
+#include "src/schema/schema.h"
+
+namespace cfdprop {
+
+/// Returns the canonical representative of `view`'s equivalence class
+/// under atom permutation and selection reordering: atoms sorted by
+/// (relation id, selection/output footprint), selections normalized,
+/// sorted and deduped. Output column names are preserved (they are
+/// ignored by FingerprintSPCView, not rewritten).
+SPCView CanonicalizeSPCView(const Catalog& catalog, const SPCView& view);
+
+/// 64-bit fingerprint of the canonicalized view. Equal for equivalent
+/// views (permuted selections, reordered product atoms, renamed output
+/// columns); distinct with high probability otherwise.
+uint64_t FingerprintSPCView(const Catalog& catalog, const SPCView& view);
+
+/// Cache key + independent check hash of one propagation request.
+struct RequestFingerprint {
+  uint64_t key = 0;    // shard + index key of the cover cache
+  uint64_t check = 0;  // compared on every hit; mismatch = miss
+};
+
+/// Fingerprints a full request: the canonicalized view plus the
+/// engine-local id of the registered source CFD set.
+RequestFingerprint FingerprintRequestPair(const Catalog& catalog,
+                                          const SPCView& view,
+                                          uint64_t sigma_id);
+
+/// Convenience: the cache key alone.
+uint64_t FingerprintRequest(const Catalog& catalog, const SPCView& view,
+                            uint64_t sigma_id);
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_ENGINE_FINGERPRINT_H_

@@ -1,0 +1,97 @@
+// Engine serving metrics: per-request timings and aggregate counters.
+//
+// EngineStats is updated with relaxed atomics from the worker pool (the
+// counters are independent monotone sums, so no ordering is needed) and
+// read via Snapshot(). Cache counters live in CoverCache; the engine
+// merges both into one EngineStatsSnapshot.
+
+#ifndef CFDPROP_ENGINE_STATS_H_
+#define CFDPROP_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/engine/cover_cache.h"
+
+namespace cfdprop {
+
+/// Timings of one served request, microseconds.
+struct RequestTiming {
+  double total_us = 0;       // fingerprint + cache + compute
+  double fingerprint_us = 0; // canonicalization + hashing
+  double compute_us = 0;     // PropagationCoverSPC (0 on a cache hit)
+};
+
+/// A consistent-enough view of the engine's counters (individual fields
+/// are exact; cross-field ratios can be off by in-flight requests).
+struct EngineStatsSnapshot {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t batches = 0;
+  double total_us = 0;
+  double fingerprint_us = 0;
+  double compute_us = 0;
+  CacheStats cache;
+
+  std::string ToString() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "requests=%llu errors=%llu batches=%llu "
+                  "hit_rate=%.1f%% (hits=%llu misses=%llu evictions=%llu "
+                  "entries=%zu) compute=%.1fms total=%.1fms",
+                  static_cast<unsigned long long>(requests),
+                  static_cast<unsigned long long>(errors),
+                  static_cast<unsigned long long>(batches),
+                  100.0 * cache.HitRate(),
+                  static_cast<unsigned long long>(cache.hits),
+                  static_cast<unsigned long long>(cache.misses),
+                  static_cast<unsigned long long>(cache.evictions),
+                  cache.entries, compute_us / 1000.0, total_us / 1000.0);
+    return buf;
+  }
+};
+
+class EngineStats {
+ public:
+  void Record(const RequestTiming& t, bool error) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+    AddDouble(total_us_, t.total_us);
+    AddDouble(fingerprint_us_, t.fingerprint_us);
+    AddDouble(compute_us_, t.compute_us);
+  }
+
+  void RecordBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Cache counters are filled in by the engine (they live in the cache).
+  EngineStatsSnapshot Snapshot() const {
+    EngineStatsSnapshot s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.errors = errors_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.total_us = total_us_.load(std::memory_order_relaxed);
+    s.fingerprint_us = fingerprint_us_.load(std::memory_order_relaxed);
+    s.compute_us = compute_us_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static void AddDouble(std::atomic<double>& a, double x) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + x,
+                                    std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<double> total_us_{0};
+  std::atomic<double> fingerprint_us_{0};
+  std::atomic<double> compute_us_{0};
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_ENGINE_STATS_H_

@@ -1,0 +1,334 @@
+#include "src/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cover/propcfd_spc.h"
+#include "src/engine/cover_cache.h"
+#include "src/gen/generators.h"
+
+namespace cfdprop {
+namespace {
+
+/// Builds the shared test catalog: R(A,B,C,D), S(E,F).
+Catalog MakeCatalog() {
+  Catalog cat;
+  EXPECT_TRUE(cat.AddRelation("R", {"A", "B", "C", "D"}).ok());
+  EXPECT_TRUE(cat.AddRelation("S", {"E", "F"}).ok());
+  return cat;
+}
+
+std::vector<CFD> MakeSigma() {
+  return {CFD::FD(0, {0}, 1).value(),   // R: A -> B
+          CFD::FD(0, {1}, 2).value(),   // R: B -> C
+          CFD::FD(1, {0}, 1).value()};  // S: E -> F
+}
+
+/// pi(A, C) from R, with an optional selection constant on D.
+SPCView MakeView(Catalog& cat, const char* d_const = nullptr) {
+  SPCViewBuilder b(cat);
+  size_t r = b.AddAtom(0);
+  if (d_const != nullptr) EXPECT_TRUE(b.SelectConst(r, "D", d_const).ok());
+  EXPECT_TRUE(b.Project(r, "A").ok());
+  EXPECT_TRUE(b.Project(r, "C").ok());
+  auto v = b.Build();
+  EXPECT_TRUE(v.ok());
+  return *v;
+}
+
+TEST(EngineTest, CacheHitReturnsIdenticalCoverToColdPath) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  auto cold = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->cache_hit);
+
+  auto hit = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(hit->fingerprint, cold->fingerprint);
+  EXPECT_EQ(hit->cover->cover, cold->cover->cover);
+
+  // And both match the one-shot pipeline run directly.
+  auto direct = PropagationCoverSPC(engine.catalog(), view, MakeSigma());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cold->cover->cover, direct->cover);
+
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+}
+
+TEST(EngineTest, EquivalentViewVariantHitsTheCache) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+
+  // Same query, different output names and selection spelling.
+  SPCView v1, v2;
+  {
+    SPCViewBuilder b(engine.catalog());
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.SelectConst(r, "D", "5").ok());
+    EXPECT_TRUE(b.Project(r, "A", "first").ok());
+    EXPECT_TRUE(b.Project(r, "C", "second").ok());
+    v1 = *b.Build();
+  }
+  {
+    SPCViewBuilder b(engine.catalog());
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.SelectConst(r, "D", "5").ok());
+    EXPECT_TRUE(b.SelectConst(r, "D", "5").ok());  // duplicate conjunct
+    EXPECT_TRUE(b.Project(r, "A", "x").ok());
+    EXPECT_TRUE(b.Project(r, "C", "y").ok());
+    v2 = *b.Build();
+  }
+  auto r1 = engine.Propagate(v1, *sigma_id);
+  auto r2 = engine.Propagate(v2, *sigma_id);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(r1->cache_hit);
+  EXPECT_TRUE(r2->cache_hit);
+  EXPECT_EQ(r1->cover->cover, r2->cover->cover);
+}
+
+TEST(EngineTest, SigmaSetsDoNotShareCacheLines) {
+  Engine engine(MakeCatalog(), {});
+  auto s1 = engine.RegisterSigma(MakeSigma());
+  auto s2 = engine.RegisterSigma({CFD::FD(0, {0}, 2).value()});  // A -> C
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  auto r1 = engine.Propagate(view, *s1);
+  auto r2 = engine.Propagate(view, *s2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(r2->cache_hit) << "second sigma set must not hit the first's"
+                                 " cache line";
+  EXPECT_NE(r1->fingerprint, r2->fingerprint);
+}
+
+TEST(EngineTest, RegistrationMinimizesSigma) {
+  Engine engine(MakeCatalog(), {});
+  // A -> B twice plus a redundant A -> C (implied by A -> B, B -> C).
+  auto sigma_id = engine.RegisterSigma(
+      {CFD::FD(0, {0}, 1).value(), CFD::FD(0, {0}, 1).value(),
+       CFD::FD(0, {1}, 2).value(), CFD::FD(0, {0}, 2).value()});
+  ASSERT_TRUE(sigma_id.ok());
+  EXPECT_EQ(engine.sigma(*sigma_id).size(), 2u);
+}
+
+TEST(EngineTest, RejectsInvalidInput) {
+  Engine engine(MakeCatalog(), {});
+  EXPECT_FALSE(engine.RegisterSigma({CFD::FD(7, {0}, 1).value()}).ok());
+  SPCView view = MakeView(engine.catalog());
+  EXPECT_FALSE(engine.Propagate(view, 0).ok());  // no sigma registered
+}
+
+TEST(EngineTest, BatchOrderDeterministicAcrossThreadCounts) {
+  // A workload big enough that a racy pool would scramble something:
+  // 24 generated views, served with 1 and with 4 threads.
+  constexpr size_t kViews = 24;
+  auto serve = [&](size_t threads) {
+    SchemaGenOptions so;
+    so.num_relations = 4;
+    so.min_arity = 6;
+    so.max_arity = 8;
+    Catalog cat = GenerateSchema(so, /*seed=*/7);
+    CFDGenOptions co;
+    co.count = 40;
+    co.min_lhs = 2;
+    co.max_lhs = 4;
+    std::vector<CFD> sigma = GenerateCFDs(cat, co, /*seed=*/8);
+
+    EngineOptions options;
+    options.num_threads = threads;
+    Engine engine(std::move(cat), options);
+    EXPECT_TRUE(engine.RegisterSigma(std::move(sigma)).ok());
+    std::vector<Engine::Request> requests;
+    ViewGenOptions vo;
+    vo.num_projection = 6;
+    vo.num_selections = 3;
+    vo.num_atoms = 2;
+    for (size_t i = 0; i < kViews; ++i) {
+      auto v = GenerateSPCView(engine.catalog(), vo, /*seed=*/100 + i);
+      EXPECT_TRUE(v.ok());
+      requests.push_back({*v, 0});
+    }
+    auto results = engine.PropagateBatch(requests);
+    EXPECT_EQ(results.size(), requests.size());
+    std::vector<std::vector<CFD>> covers;
+    for (auto& r : results) {
+      EXPECT_TRUE(r.ok()) << r.status();
+      covers.push_back(r.ok() ? r->cover->cover : std::vector<CFD>{});
+    }
+    return covers;
+  };
+
+  auto sequential = serve(1);
+  auto parallel4 = serve(4);
+  auto parallel8 = serve(8);
+  EXPECT_EQ(sequential, parallel4);
+  EXPECT_EQ(sequential, parallel8);
+}
+
+TEST(EngineTest, BatchDeduplicatesViaCache) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  std::vector<Engine::Request> requests(16, {view, *sigma_id});
+  auto results = engine.PropagateBatch(requests);
+  ASSERT_EQ(results.size(), 16u);
+  size_t hits = 0;
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->cover->cover, results[0].value().cover->cover);
+    hits += r->cache_hit ? 1 : 0;
+  }
+  // With the serial inline path (num_threads defaults to 4 but a pool
+  // race may compute a few requests before the first insert lands),
+  // at least one request computed and the rest mostly hit.
+  EXPECT_GE(hits, 1u);
+  EXPECT_EQ(engine.Stats().cache.insertions, 1u);
+}
+
+TEST(EngineTest, EvictionKeepsServingCorrectCovers) {
+  EngineOptions options;
+  options.cache_capacity = 2;
+  options.cache_shards = 1;
+  options.num_threads = 1;
+  Engine engine(MakeCatalog(), options);
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+
+  SPCView v1 = MakeView(engine.catalog(), "1");
+  SPCView v2 = MakeView(engine.catalog(), "2");
+  SPCView v3 = MakeView(engine.catalog(), "3");
+
+  auto r1 = engine.Propagate(v1, *sigma_id);
+  auto r2 = engine.Propagate(v2, *sigma_id);
+  auto r3 = engine.Propagate(v3, *sigma_id);  // evicts v1 (LRU)
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(engine.Stats().cache.evictions, 1u);
+  EXPECT_EQ(engine.Stats().cache.entries, 2u);
+
+  // The held result survives eviction; a re-request recomputes the same
+  // cover as a fresh miss.
+  auto r1_again = engine.Propagate(v1, *sigma_id);
+  ASSERT_TRUE(r1_again.ok());
+  EXPECT_FALSE(r1_again->cache_hit);
+  EXPECT_EQ(r1_again->cover->cover, r1->cover->cover);
+
+  // v3 was just inserted and v1 re-inserted: v2 is now the LRU victim,
+  // so a v3 request still hits.
+  auto r3_again = engine.Propagate(v3, *sigma_id);
+  ASSERT_TRUE(r3_again.ok());
+  EXPECT_TRUE(r3_again->cache_hit);
+}
+
+TEST(EngineTest, ClearCacheForcesRecompute) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  ASSERT_TRUE(engine.Propagate(view, *sigma_id).ok());
+  engine.ClearCache();
+  auto r = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->cache_hit);
+}
+
+TEST(EngineTest, DisabledCacheAlwaysComputes) {
+  EngineOptions options;
+  options.use_cache = false;
+  Engine engine(MakeCatalog(), options);
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  auto r1 = engine.Propagate(view, *sigma_id);
+  auto r2 = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_FALSE(r1->cache_hit);
+  EXPECT_FALSE(r2->cache_hit);
+  EXPECT_EQ(r1->cover->cover, r2->cover->cover);
+}
+
+TEST(EngineTest, AlwaysEmptyViewsAreCachedWithTheFlag) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(
+      {CFD::Make(0, {0}, {PatternValue::Wildcard()}, 1,
+                 PatternValue::Constant(engine.catalog().pool().Intern("b1")))
+           .value()});
+  ASSERT_TRUE(sigma_id.ok());
+
+  SPCViewBuilder b(engine.catalog());
+  size_t r = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectConst(r, "B", "b2").ok());  // contradicts sigma
+  auto view = b.Build();
+  ASSERT_TRUE(view.ok());
+
+  auto cold = engine.Propagate(*view, *sigma_id);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold->cover->always_empty);
+  auto hit = engine.Propagate(*view, *sigma_id);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_TRUE(hit->cover->always_empty);
+}
+
+std::shared_ptr<CachedCover> CacheEntry(int tag) {
+  auto c = std::make_shared<CachedCover>();
+  c->cover.push_back(
+      CFD::FD(kViewSchemaId, {0}, static_cast<AttrIndex>(tag)).value());
+  return c;
+}
+
+TEST(CoverCacheTest, LruEvictionOrderAndStats) {
+  CoverCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Insert(1, 10, CacheEntry(1));
+  cache.Insert(2, 20, CacheEntry(2));
+  ASSERT_NE(cache.Lookup(1, 10), nullptr);  // 1 becomes MRU
+  cache.Insert(3, 30, CacheEntry(3));       // evicts 2
+  EXPECT_EQ(cache.Lookup(2, 20), nullptr);
+  EXPECT_NE(cache.Lookup(1, 10), nullptr);
+  EXPECT_NE(cache.Lookup(3, 30), nullptr);
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Lookup(1, 10), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(CoverCacheTest, KeyCollisionIsAMissNotAWrongServe) {
+  CoverCache cache(/*capacity=*/4, /*num_shards=*/1);
+  cache.Insert(1, /*check=*/10, CacheEntry(1));
+  // Same key, different check hash: a 64-bit key collision between two
+  // non-equivalent requests. Lookup must miss rather than serve the
+  // other request's cover.
+  EXPECT_EQ(cache.Lookup(1, /*check=*/99), nullptr);
+  EXPECT_NE(cache.Lookup(1, /*check=*/10), nullptr);
+
+  // The colliding insert replaces the entry (latest wins)...
+  auto other = CacheEntry(2);
+  cache.Insert(1, /*check=*/99, other);
+  EXPECT_EQ(cache.Lookup(1, /*check=*/10), nullptr);
+  auto got = cache.Lookup(1, /*check=*/99);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->cover, other->cover);
+  // ...and never double-counts capacity.
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -1,0 +1,182 @@
+#include "src/engine/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/algebra/view.h"
+
+namespace cfdprop {
+namespace {
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(cat_.AddRelation("R", {"A", "B", "C"}).ok());
+    ASSERT_TRUE(cat_.AddRelation("S", {"D", "E"}).ok());
+  }
+
+  uint64_t Fp(const SPCView& v) { return FingerprintSPCView(cat_, v); }
+
+  Catalog cat_;
+};
+
+TEST_F(FingerprintTest, PermutedSelectionsCollide) {
+  auto make = [&](bool swap_order) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0), s = b.AddAtom(1);
+    if (swap_order) {
+      EXPECT_TRUE(b.SelectConst(r, "A", "7").ok());
+      EXPECT_TRUE(b.SelectEq(r, "B", s, "D").ok());
+    } else {
+      EXPECT_TRUE(b.SelectEq(s, "D", r, "B").ok());  // also flipped sides
+      EXPECT_TRUE(b.SelectConst(r, "A", "7").ok());
+    }
+    EXPECT_TRUE(b.Project(r, "C").ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_EQ(Fp(make(false)), Fp(make(true)));
+}
+
+TEST_F(FingerprintTest, ReorderedProductAtomsCollide) {
+  // R x S vs S x R with the same selections/projections: equivalent
+  // modulo column renaming, so the fingerprints must collide.
+  SPCView rs, sr;
+  {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0), s = b.AddAtom(1);
+    ASSERT_TRUE(b.SelectEq(r, "B", s, "D").ok());
+    ASSERT_TRUE(b.SelectConst(s, "E", "9").ok());
+    ASSERT_TRUE(b.Project(r, "A").ok());
+    ASSERT_TRUE(b.Project(s, "D").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    rs = *v;
+  }
+  {
+    SPCViewBuilder b(cat_);
+    size_t s = b.AddAtom(1), r = b.AddAtom(0);
+    ASSERT_TRUE(b.SelectEq(r, "B", s, "D").ok());
+    ASSERT_TRUE(b.SelectConst(s, "E", "9").ok());
+    ASSERT_TRUE(b.Project(r, "A").ok());
+    ASSERT_TRUE(b.Project(s, "D").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    sr = *v;
+  }
+  EXPECT_EQ(Fp(rs), Fp(sr));
+}
+
+TEST_F(FingerprintTest, RenamedOutputColumnsCollide) {
+  auto make = [&](const char* name_a, const char* name_c) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.Project(r, "A", name_a).ok());
+    EXPECT_TRUE(b.Project(r, "C", name_c).ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_EQ(Fp(make("A", "C")), Fp(make("x", "y")));
+}
+
+TEST_F(FingerprintTest, DifferentSelectionConstantsDiffer) {
+  auto make = [&](const char* c) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.SelectConst(r, "A", c).ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_NE(Fp(make("7")), Fp(make("8")));
+}
+
+TEST_F(FingerprintTest, DifferentProjectionsDiffer) {
+  auto make = [&](const char* attr) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.Project(r, attr).ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_NE(Fp(make("A")), Fp(make("B")));
+}
+
+TEST_F(FingerprintTest, OutputPositionsMatter) {
+  // pi(A, C) and pi(C, A) serve different (positionally-indexed) covers.
+  auto make = [&](bool swapped) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.Project(r, swapped ? "C" : "A").ok());
+    EXPECT_TRUE(b.Project(r, swapped ? "A" : "C").ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_NE(Fp(make(false)), Fp(make(true)));
+}
+
+TEST_F(FingerprintTest, ConstantOutputColumnsAreHashedByText) {
+  auto make = [&](const char* c) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.Project(r, "A").ok());
+    EXPECT_TRUE(b.ProjectConstant("CC", c).ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_EQ(Fp(make("44")), Fp(make("44")));
+  EXPECT_NE(Fp(make("44")), Fp(make("31")));
+}
+
+TEST_F(FingerprintTest, DuplicateSelectionsAreDeduped) {
+  auto make = [&](int copies) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    for (int i = 0; i < copies; ++i) {
+      EXPECT_TRUE(b.SelectConst(r, "A", "7").ok());
+    }
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  };
+  EXPECT_EQ(Fp(make(1)), Fp(make(3)));
+}
+
+TEST_F(FingerprintTest, CanonicalViewIsEquivalent) {
+  SPCViewBuilder b(cat_);
+  size_t s = b.AddAtom(1), r = b.AddAtom(0);
+  ASSERT_TRUE(b.SelectEq(r, "B", s, "D").ok());
+  ASSERT_TRUE(b.Project(r, "A").ok());
+  ASSERT_TRUE(b.Project(s, "E").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+
+  SPCView canonical = CanonicalizeSPCView(cat_, *v);
+  ASSERT_TRUE(canonical.Validate(cat_).ok());
+  // R (id 0) sorts before S (id 1).
+  EXPECT_EQ(canonical.atoms, (std::vector<RelationId>{0, 1}));
+  // Output positions survive; the projected columns still point at R.A
+  // and S.E after the remap (R.A = column 0, S.E = column 4 in R x S).
+  ASSERT_EQ(canonical.output.size(), 2u);
+  EXPECT_EQ(canonical.output[0].ec_column, 0u);
+  EXPECT_EQ(canonical.output[1].ec_column, 4u);
+  // Canonicalizing is idempotent on the fingerprint.
+  EXPECT_EQ(Fp(*v), Fp(canonical));
+}
+
+TEST_F(FingerprintTest, RequestFingerprintSeparatesSigmaSets) {
+  SPCViewBuilder b(cat_);
+  size_t r = b.AddAtom(0);
+  ASSERT_TRUE(b.Project(r, "A").ok());
+  auto v = b.Build();
+  ASSERT_TRUE(v.ok());
+  EXPECT_NE(FingerprintRequest(cat_, *v, 0), FingerprintRequest(cat_, *v, 1));
+  EXPECT_EQ(FingerprintRequest(cat_, *v, 0), FingerprintRequest(cat_, *v, 0));
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -12,6 +12,14 @@
 //   cfdprop_cli SPEC --validate     evaluate views on the insert data
 //                                    and report CFD violations
 //
+//   cfdprop_cli batch SPEC [--threads N] [--repeat K] [--cache N]
+//                                    serve every declared (SPC) view
+//                                    through the propagation engine:
+//                                    registered Sigma, fingerprint cache,
+//                                    worker pool. --repeat replays the
+//                                    request list K times to exercise the
+//                                    cache; --cache sets its capacity.
+//
 // Exit status: 0 on success, 1 on usage/parse errors, 2 when --validate
 // found violations or --check found a non-propagated declared CFD.
 
@@ -21,9 +29,15 @@
 #include <sstream>
 #include <string>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
 #include "src/cover/propcfd_spc.h"
 #include "src/data/eval.h"
 #include "src/data/validate.h"
+#include "src/engine/engine.h"
 #include "src/parser/parser.h"
 #include "src/propagation/emptiness.h"
 #include "src/propagation/propagation.h"
@@ -35,6 +49,18 @@ namespace {
 int Fail(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
   return 1;
+}
+
+/// Reads and parses a spec file; exits with a message via the returned
+/// Status on open/parse failure.
+Result<Spec> LoadSpec(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + std::string(path));
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSpec(buffer.str());
 }
 
 /// Output-column name resolver for a view.
@@ -141,9 +167,130 @@ int RunValidate(Spec& spec) {
   return 2;
 }
 
+int RunBatch(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s batch SPEC [--threads N] [--repeat K]"
+                 " [--cache N] [--no-cache] [--quiet]\n",
+                 argv[0]);
+    return 1;
+  }
+  auto spec = LoadSpec(argv[2]);
+  if (!spec.ok()) return Fail(spec.status());
+
+  EngineOptions options;
+  size_t repeat = 1;
+  bool quiet = false;
+  for (int i = 3; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, size_t* out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      // Digits only: strtoul would silently wrap '-1' to ULONG_MAX.
+      const char* text = argv[++i];
+      const size_t kMaxFlagValue = 1u << 24;
+      char* end = nullptr;
+      unsigned long value = std::strtoul(text, &end, 10);
+      if (*text == '\0' || end == text || *end != '\0' || *text == '-' ||
+          *text == '+' || value > kMaxFlagValue) {
+        std::fprintf(stderr, "error: %s needs a number in [0, %zu], got"
+                     " '%s'\n", flag, kMaxFlagValue, text);
+        std::exit(1);
+      }
+      *out = static_cast<size_t>(value);
+      return true;
+    };
+    if (int_arg("--threads", &options.num_threads)) continue;
+    if (int_arg("--repeat", &repeat)) continue;
+    if (int_arg("--cache", &options.cache_capacity)) {
+      if (options.cache_capacity == 0) options.use_cache = false;
+      continue;
+    }
+    if (!std::strcmp(argv[i], "--no-cache")) {
+      options.use_cache = false;
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+
+  Engine engine(std::move(spec->catalog), options);
+  auto sigma_id = engine.RegisterSigma(spec->source_cfds);
+  if (!sigma_id.ok()) return Fail(sigma_id.status());
+
+  // One request per declared single-disjunct view; the engine serves the
+  // SPC fragment (SPCU batch support is a ROADMAP follow-on).
+  std::vector<Engine::Request> round;
+  std::vector<std::string> round_names;
+  for (const std::string& name : spec->view_names) {
+    const SPCUView& view = spec->views.at(name);
+    if (view.disjuncts.size() != 1) {
+      std::printf("view %s: skipped (union view; engine serves SPC)\n",
+                  name.c_str());
+      continue;
+    }
+    round.push_back({view.disjuncts.front(), *sigma_id});
+    round_names.push_back(name);
+  }
+  // Replay the same round `repeat` times rather than materializing
+  // repeat * |round| request copies; stats aggregate across batches.
+  const size_t total_requests = round.size() * repeat;
+  std::vector<Result<EngineResult>> results;
+  int rc = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < repeat; ++k) {
+    auto batch = engine.PropagateBatch(round);
+    for (auto& r : batch) {
+      if (!r.ok()) rc = 1;
+    }
+    if (k == 0) results = std::move(batch);
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  for (size_t i = 0; i < round.size() && i < results.size(); ++i) {
+    const std::string& name = round_names[i];
+    auto& r = results[i];
+    if (!r.ok()) {
+      rc = Fail(r.status());
+      continue;
+    }
+    std::printf("view %s (%zu CFDs%s%s, fp=%016llx):\n", name.c_str(),
+                r->cover->cover.size(),
+                r->cover->always_empty ? ", ALWAYS EMPTY" : "",
+                r->cover->truncated ? ", TRUNCATED" : "",
+                static_cast<unsigned long long>(r->fingerprint));
+    if (!quiet) {
+      const SPCUView& view = spec->views.at(name);
+      for (const CFD& c : r->cover->cover) {
+        std::printf("  %s\n",
+                    FormatCFD(c, engine.catalog().pool(), name,
+                              ViewAttrNames(view))
+                        .c_str());
+      }
+    }
+  }
+  EngineStatsSnapshot stats = engine.Stats();
+  std::printf("== engine stats ==\n  %s\n", stats.ToString().c_str());
+  std::printf("  batch: %zu requests in %.2f ms (%.0f covers/sec, "
+              "%zu threads)\n",
+              total_requests, elapsed_ms,
+              elapsed_ms > 0 ? 1000.0 * total_requests / elapsed_ms : 0.0,
+              // 0 and 1 both serve inline on the calling thread.
+              std::max<size_t>(1, engine.options().num_threads));
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && !std::strcmp(argv[1], "batch")) {
+    return RunBatch(argc, argv);
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s SPEC [--check|--cover|--emptiness|--validate]"
@@ -151,15 +298,7 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 1;
   }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-
-  auto spec = ParseSpec(buffer.str());
+  auto spec = LoadSpec(argv[1]);
   if (!spec.ok()) return Fail(spec.status());
 
   bool check = false, cover = false, emptiness = false, validate = false;
