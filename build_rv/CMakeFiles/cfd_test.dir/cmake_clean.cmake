@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfd_test.dir/tests/cfd_test.cc.o"
+  "CMakeFiles/cfd_test.dir/tests/cfd_test.cc.o.d"
+  "cfd_test"
+  "cfd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/view.cc" "CMakeFiles/cfdprop.dir/src/algebra/view.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/algebra/view.cc.o.d"
+  "/root/repo/src/base/rng.cc" "CMakeFiles/cfdprop.dir/src/base/rng.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/base/rng.cc.o.d"
+  "/root/repo/src/base/status.cc" "CMakeFiles/cfdprop.dir/src/base/status.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/base/status.cc.o.d"
+  "/root/repo/src/base/value.cc" "CMakeFiles/cfdprop.dir/src/base/value.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/base/value.cc.o.d"
+  "/root/repo/src/cfd/cfd.cc" "CMakeFiles/cfdprop.dir/src/cfd/cfd.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cfd/cfd.cc.o.d"
+  "/root/repo/src/cfd/implication.cc" "CMakeFiles/cfdprop.dir/src/cfd/implication.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cfd/implication.cc.o.d"
+  "/root/repo/src/cfd/mincover.cc" "CMakeFiles/cfdprop.dir/src/cfd/mincover.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cfd/mincover.cc.o.d"
+  "/root/repo/src/cfd/pattern.cc" "CMakeFiles/cfdprop.dir/src/cfd/pattern.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cfd/pattern.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "CMakeFiles/cfdprop.dir/src/chase/chase.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/chase/chase.cc.o.d"
+  "/root/repo/src/chase/symbolic_instance.cc" "CMakeFiles/cfdprop.dir/src/chase/symbolic_instance.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/chase/symbolic_instance.cc.o.d"
+  "/root/repo/src/cover/closure_baseline.cc" "CMakeFiles/cfdprop.dir/src/cover/closure_baseline.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cover/closure_baseline.cc.o.d"
+  "/root/repo/src/cover/compute_eq.cc" "CMakeFiles/cfdprop.dir/src/cover/compute_eq.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cover/compute_eq.cc.o.d"
+  "/root/repo/src/cover/propcfd_spc.cc" "CMakeFiles/cfdprop.dir/src/cover/propcfd_spc.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cover/propcfd_spc.cc.o.d"
+  "/root/repo/src/cover/rbr.cc" "CMakeFiles/cfdprop.dir/src/cover/rbr.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/cover/rbr.cc.o.d"
+  "/root/repo/src/data/database.cc" "CMakeFiles/cfdprop.dir/src/data/database.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/data/database.cc.o.d"
+  "/root/repo/src/data/eval.cc" "CMakeFiles/cfdprop.dir/src/data/eval.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/data/eval.cc.o.d"
+  "/root/repo/src/data/relation.cc" "CMakeFiles/cfdprop.dir/src/data/relation.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/data/relation.cc.o.d"
+  "/root/repo/src/data/validate.cc" "CMakeFiles/cfdprop.dir/src/data/validate.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/data/validate.cc.o.d"
+  "/root/repo/src/engine/cover_cache.cc" "CMakeFiles/cfdprop.dir/src/engine/cover_cache.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/engine/cover_cache.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "CMakeFiles/cfdprop.dir/src/engine/engine.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/engine/engine.cc.o.d"
+  "/root/repo/src/engine/fingerprint.cc" "CMakeFiles/cfdprop.dir/src/engine/fingerprint.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/engine/fingerprint.cc.o.d"
+  "/root/repo/src/gen/generators.cc" "CMakeFiles/cfdprop.dir/src/gen/generators.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/gen/generators.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "CMakeFiles/cfdprop.dir/src/parser/parser.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/parser/parser.cc.o.d"
+  "/root/repo/src/propagation/emptiness.cc" "CMakeFiles/cfdprop.dir/src/propagation/emptiness.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/propagation/emptiness.cc.o.d"
+  "/root/repo/src/propagation/propagation.cc" "CMakeFiles/cfdprop.dir/src/propagation/propagation.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/propagation/propagation.cc.o.d"
+  "/root/repo/src/propagation/reductions.cc" "CMakeFiles/cfdprop.dir/src/propagation/reductions.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/propagation/reductions.cc.o.d"
+  "/root/repo/src/schema/domain.cc" "CMakeFiles/cfdprop.dir/src/schema/domain.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/schema/domain.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "CMakeFiles/cfdprop.dir/src/schema/schema.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/schema/schema.cc.o.d"
+  "/root/repo/src/tableau/tableau.cc" "CMakeFiles/cfdprop.dir/src/tableau/tableau.cc.o" "gcc" "CMakeFiles/cfdprop.dir/src/tableau/tableau.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfdprop_cli.dir/tools/cfdprop_cli.cpp.o"
+  "CMakeFiles/cfdprop_cli.dir/tools/cfdprop_cli.cpp.o.d"
+  "cfdprop_cli"
+  "cfdprop_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfdprop_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

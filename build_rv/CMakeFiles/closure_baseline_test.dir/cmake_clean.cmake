@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_baseline_test.dir/tests/closure_baseline_test.cc.o"
+  "CMakeFiles/closure_baseline_test.dir/tests/closure_baseline_test.cc.o.d"
+  "closure_baseline_test"
+  "closure_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

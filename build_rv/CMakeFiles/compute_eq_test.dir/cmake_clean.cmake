@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_eq_test.dir/tests/compute_eq_test.cc.o"
+  "CMakeFiles/compute_eq_test.dir/tests/compute_eq_test.cc.o.d"
+  "compute_eq_test"
+  "compute_eq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_eq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_integration.dir/examples/data_integration.cpp.o"
+  "CMakeFiles/data_integration.dir/examples/data_integration.cpp.o.d"
+  "data_integration"
+  "data_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

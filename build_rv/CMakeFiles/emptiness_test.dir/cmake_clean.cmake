@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emptiness_test.dir/tests/emptiness_test.cc.o"
+  "CMakeFiles/emptiness_test.dir/tests/emptiness_test.cc.o.d"
+  "emptiness_test"
+  "emptiness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emptiness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implication_test.dir/tests/implication_test.cc.o"
+  "CMakeFiles/implication_test.dir/tests/implication_test.cc.o.d"
+  "implication_test"
+  "implication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mincover_test.dir/tests/mincover_test.cc.o"
+  "CMakeFiles/mincover_test.dir/tests/mincover_test.cc.o.d"
+  "mincover_test"
+  "mincover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mincover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

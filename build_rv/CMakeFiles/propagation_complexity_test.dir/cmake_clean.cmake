@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_complexity_test.dir/tests/propagation_complexity_test.cc.o"
+  "CMakeFiles/propagation_complexity_test.dir/tests/propagation_complexity_test.cc.o.d"
+  "propagation_complexity_test"
+  "propagation_complexity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propcfd_spc_test.dir/tests/propcfd_spc_test.cc.o"
+  "CMakeFiles/propcfd_spc_test.dir/tests/propcfd_spc_test.cc.o.d"
+  "propcfd_spc_test"
+  "propcfd_spc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propcfd_spc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for propcfd_spc_test.
+# This may be replaced when dependencies are built.

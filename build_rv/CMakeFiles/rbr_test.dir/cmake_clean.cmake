@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbr_test.dir/tests/rbr_test.cc.o"
+  "CMakeFiles/rbr_test.dir/tests/rbr_test.cc.o.d"
+  "rbr_test"
+  "rbr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

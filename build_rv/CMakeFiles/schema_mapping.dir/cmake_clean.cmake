@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_mapping.dir/examples/schema_mapping.cpp.o"
+  "CMakeFiles/schema_mapping.dir/examples/schema_mapping.cpp.o.d"
+  "schema_mapping"
+  "schema_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

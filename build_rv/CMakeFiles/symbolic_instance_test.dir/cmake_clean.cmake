@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_instance_test.dir/tests/symbolic_instance_test.cc.o"
+  "CMakeFiles/symbolic_instance_test.dir/tests/symbolic_instance_test.cc.o.d"
+  "symbolic_instance_test"
+  "symbolic_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableau_test.dir/tests/tableau_test.cc.o"
+  "CMakeFiles/tableau_test.dir/tests/tableau_test.cc.o.d"
+  "tableau_test"
+  "tableau_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableau_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
