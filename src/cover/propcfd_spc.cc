@@ -10,27 +10,6 @@ namespace cfdprop {
 
 namespace {
 
-/// Fig. 2 line 1: minimize the input per source relation.
-Result<std::vector<CFD>> MinCoverPerRelation(const Catalog& catalog,
-                                             std::vector<CFD> sigma,
-                                             const MinCoverOptions& options) {
-  std::unordered_map<RelationId, std::vector<CFD>> groups;
-  std::vector<RelationId> order;  // deterministic output order
-  for (CFD& c : sigma) {
-    if (groups.find(c.relation) == groups.end()) order.push_back(c.relation);
-    groups[c.relation].push_back(std::move(c));
-  }
-  std::vector<CFD> out;
-  for (RelationId r : order) {
-    CFDPROP_ASSIGN_OR_RETURN(
-        std::vector<CFD> mc,
-        MinCover(std::move(groups[r]), catalog.relation(r).arity(),
-                 /*domains=*/{}, options));
-    for (CFD& c : mc) out.push_back(std::move(c));
-  }
-  return out;
-}
-
 /// Fig. 2 lines 5-6: rename source CFDs onto the Ec column space, one
 /// copy per product atom using that relation.
 std::vector<CFD> RenameToEcColumns(const Catalog& catalog,
@@ -141,6 +120,28 @@ std::optional<CFD> SubstituteAndSimplify(const CFD& c,
 
 }  // namespace
 
+Result<std::vector<CFD>> MinCoverSigma(const Catalog& catalog,
+                                       std::vector<CFD> sigma,
+                                       const MinCoverOptions& options) {
+  // Fig. 2 line 1: minimize the input per source relation, grouped in
+  // first-seen order so the output order is deterministic.
+  std::unordered_map<RelationId, std::vector<CFD>> groups;
+  std::vector<RelationId> order;
+  for (CFD& c : sigma) {
+    if (groups.find(c.relation) == groups.end()) order.push_back(c.relation);
+    groups[c.relation].push_back(std::move(c));
+  }
+  std::vector<CFD> out;
+  for (RelationId r : order) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        std::vector<CFD> mc,
+        MinCover(std::move(groups[r]), catalog.relation(r).arity(),
+                 /*domains=*/{}, options));
+    for (CFD& c : mc) out.push_back(std::move(c));
+  }
+  return out;
+}
+
 Result<PropCoverResult> PropagationCoverSPC(Catalog& catalog,
                                             const SPCView& view,
                                             std::vector<CFD> sigma,
@@ -158,8 +159,7 @@ Result<PropCoverResult> PropagationCoverSPC(Catalog& catalog,
   // Line 1: Sigma := MinCover(Sigma).
   if (options.input_mincover) {
     CFDPROP_ASSIGN_OR_RETURN(
-        sigma, MinCoverPerRelation(catalog, std::move(sigma),
-                                   options.mincover));
+        sigma, MinCoverSigma(catalog, std::move(sigma), options.mincover));
   }
   result.input_cfds = sigma.size();
 
@@ -291,6 +291,42 @@ Result<PropCoverResult> PropagationCoverSPCU(Catalog& catalog,
                                options);
   }
 
+  // Line 1 hoisted above the disjunct loop: minimize once and hand every
+  // disjunct (and the cross-disjunct propagation filter) the same
+  // minimized set — exactly what the engine does at registration, so the
+  // cached and one-shot paths assemble from identical per-disjunct
+  // inputs.
+  PropCoverOptions disjunct_options = options;
+  if (options.input_mincover) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        sigma, MinCoverSigma(catalog, std::move(sigma), options.mincover));
+    disjunct_options.input_mincover = false;
+  }
+  std::vector<PropCoverResult> per_disjunct;
+  per_disjunct.reserve(view.disjuncts.size());
+  for (const SPCView& disjunct : view.disjuncts) {
+    CFDPROP_ASSIGN_OR_RETURN(
+        PropCoverResult r,
+        PropagationCoverSPC(catalog, disjunct, sigma, disjunct_options));
+    per_disjunct.push_back(std::move(r));
+  }
+  return AssembleUnionCover(catalog, view, sigma, std::move(per_disjunct),
+                            options);
+}
+
+Result<PropCoverResult> AssembleUnionCover(
+    Catalog& catalog, const SPCUView& view, const std::vector<CFD>& sigma,
+    std::vector<PropCoverResult> per_disjunct,
+    const PropCoverOptions& options) {
+  if (per_disjunct.size() != view.disjuncts.size()) {
+    return Status::InvalidArgument(
+        "per-disjunct results do not match the union view");
+  }
+  if (view.disjuncts.size() == 1) {
+    // Parity with PropagationCoverSPCU's single-disjunct delegation.
+    return std::move(per_disjunct[0]);
+  }
+
   // Candidates: the union of per-disjunct covers, each CFD additionally
   // guarded by its disjunct's constant output columns. Within a disjunct
   // those columns are constant, so MinCover strips conditions on them —
@@ -299,11 +335,13 @@ Result<PropCoverResult> PropagationCoverSPCU(Catalog& catalog,
   PropCoverResult result;
   std::vector<CFD> candidates;
   size_t empty_disjuncts = 0;
-  for (const SPCView& disjunct : view.disjuncts) {
-    CFDPROP_ASSIGN_OR_RETURN(
-        PropCoverResult r,
-        PropagationCoverSPC(catalog, disjunct, sigma, options));
+  for (size_t j = 0; j < view.disjuncts.size(); ++j) {
+    const SPCView& disjunct = view.disjuncts[j];
+    PropCoverResult& r = per_disjunct[j];
     result.truncated |= r.truncated;
+    result.input_cfds = std::max(result.input_cfds, r.input_cfds);
+    result.sigma_v_size += r.sigma_v_size;
+    result.rbr_output_size += r.rbr_output_size;
     if (r.always_empty) {
       ++empty_disjuncts;
       continue;  // an always-empty disjunct constrains nothing

@@ -92,6 +92,32 @@ Result<PropCoverResult> PropagationCoverSPCU(Catalog& catalog,
                                              const PropCoverOptions& options =
                                                  {});
 
+/// Fig. 2 line 1 as a standalone step: minimizes `sigma` per source
+/// relation (grouped in first-seen order; deterministic output). The
+/// engine runs this once at registration; the pipelines above run it
+/// when options.input_mincover is set. Both paths share this function so
+/// cached and one-shot results are built from byte-identical inputs.
+Result<std::vector<CFD>> MinCoverSigma(const Catalog& catalog,
+                                       std::vector<CFD> sigma,
+                                       const MinCoverOptions& options = {});
+
+/// The union-assembly half of PropagationCoverSPCU, split out so a
+/// caller that already holds the per-disjunct SPC covers (e.g. the
+/// engine's cover cache) can skip recomputing them: guards each
+/// disjunct's CFDs with that disjunct's constant output columns, keeps
+/// the candidates propagated via the whole union, and min-covers.
+///
+/// `per_disjunct[i]` must answer `view.disjuncts[i]` for `sigma` (the
+/// introspection counters may be zero; only cover/always_empty/truncated
+/// are read). `sigma` must be the CFD set — or an equivalent cover, such
+/// as its MinCover — the per-disjunct results were computed from. The
+/// output is byte-identical to PropagationCoverSPCU on the same inputs:
+/// the assembly is deterministic in (view, sigma, per_disjunct).
+Result<PropCoverResult> AssembleUnionCover(
+    Catalog& catalog, const SPCUView& view, const std::vector<CFD>& sigma,
+    std::vector<PropCoverResult> per_disjunct,
+    const PropCoverOptions& options = {});
+
 }  // namespace cfdprop
 
 #endif  // CFDPROP_COVER_PROPCFD_SPC_H_

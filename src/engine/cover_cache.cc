@@ -19,12 +19,16 @@ CoverCache::CoverCache(size_t capacity, size_t num_shards) {
 }
 
 std::shared_ptr<const CachedCover> CoverCache::Lookup(uint64_t fingerprint,
-                                                      uint64_t check) {
+                                                      uint64_t check,
+                                                      uint64_t tag,
+                                                      uint64_t generation) {
   Shard& shard = ShardFor(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(fingerprint);
-  if (it == shard.index.end() || it->second->check != check) {
-    // Absent, or a key collision between non-equivalent requests: miss.
+  if (it == shard.index.end() || it->second->check != check ||
+      it->second->tag != tag || it->second->generation != generation) {
+    // Absent, a key collision between non-equivalent requests, or a
+    // cover computed against a sigma state that mutated away: miss.
     ++shard.misses;
     return nullptr;
   }
@@ -34,25 +38,39 @@ std::shared_ptr<const CachedCover> CoverCache::Lookup(uint64_t fingerprint,
 }
 
 void CoverCache::Insert(uint64_t fingerprint, uint64_t check,
-                        std::shared_ptr<const CachedCover> cover) {
+                        std::shared_ptr<const CachedCover> cover,
+                        uint64_t tag, uint64_t generation) {
   Shard& shard = ShardFor(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(fingerprint);
   if (it != shard.index.end()) {
-    if (it->second->check == check) {
+    if (it->second->check == check && it->second->tag == tag &&
+        it->second->generation == generation) {
       // Concurrent compute of the same request: keep the first result
       // (the computation is deterministic, so both are equal).
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    // Key collision: latest wins, so both colliding requests keep
-    // recomputing rather than one permanently shadowing the other.
+    if (it->second->tag == tag && it->second->generation > generation) {
+      // A slow in-flight compute finishing after a mutation must not
+      // displace the cover already recomputed at the newer generation:
+      // generations are monotone per tag, so the incoming entry is the
+      // stale one. Drop it (it could never be served anyway).
+      return;
+    }
+    // Key collision (different tag/check) or genuinely newer generation:
+    // latest wins. Colliding requests keep recomputing rather than one
+    // permanently shadowing the other; a fresh-generation insert
+    // displaces the stale cover.
     it->second->check = check;
+    it->second->tag = tag;
+    it->second->generation = generation;
     it->second->cover = std::move(cover);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{fingerprint, check, std::move(cover)});
+  shard.lru.push_front(Entry{fingerprint, check, tag, generation,
+                             std::move(cover)});
   shard.index.emplace(fingerprint, shard.lru.begin());
   ++shard.insertions;
   if (shard.lru.size() > per_shard_capacity_) {
@@ -60,6 +78,24 @@ void CoverCache::Insert(uint64_t fingerprint, uint64_t check,
     shard.lru.pop_back();
     ++shard.evictions;
   }
+}
+
+size_t CoverCache::EraseTagged(uint64_t tag) {
+  size_t erased = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->tag != tag) {
+        ++it;
+        continue;
+      }
+      shard->index.erase(it->fingerprint);
+      it = shard->lru.erase(it);
+      ++shard->invalidations;
+      ++erased;
+    }
+  }
+  return erased;
 }
 
 void CoverCache::Clear() {
@@ -78,6 +114,7 @@ CacheStats CoverCache::Stats() const {
     out.misses += shard->misses;
     out.insertions += shard->insertions;
     out.evictions += shard->evictions;
+    out.invalidations += shard->invalidations;
     out.entries += shard->lru.size();
   }
   return out;

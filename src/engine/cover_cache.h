@@ -6,6 +6,16 @@
 // request is still holding. Shards are locked independently (a
 // fingerprint's shard is derived from its high bits), keeping the worker
 // pool's lookups from serializing on one mutex.
+//
+// Entries additionally carry a (tag, generation) pair supplied by the
+// engine: the tag is the SigmaId the cover was computed against and the
+// generation is that sigma's mutation counter at compute time. Lookup
+// compares both, so a cover computed against a retracted/extended sigma
+// can never be served, even when a stale in-flight insert lands after
+// the sigma mutated (the stale entry's generation no longer matches and
+// degrades to a miss). EraseTagged drops every line bound to one tag —
+// the selective-invalidation primitive behind AddCfd/RetractCfd, which
+// never needs a global Clear().
 
 #ifndef CFDPROP_ENGINE_COVER_CACHE_H_
 #define CFDPROP_ENGINE_COVER_CACHE_H_
@@ -35,6 +45,8 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Entries dropped by EraseTagged (sigma mutation), not by LRU pressure.
+  uint64_t invalidations = 0;
   size_t entries = 0;
 
   double HitRate() const {
@@ -54,17 +66,28 @@ class CoverCache {
 
   /// Returns the cached cover and refreshes its LRU position, or nullptr
   /// on a miss. An entry whose stored check hash differs from `check`
-  /// is a key collision between non-equivalent requests: treated as a
-  /// miss, so collisions recompute instead of serving a wrong cover.
+  /// is a key collision between non-equivalent requests; an entry whose
+  /// (tag, generation) differs was computed against a sigma state that
+  /// no longer exists. Both are treated as misses, so collisions and
+  /// stale covers recompute instead of serving a wrong cover.
   /// Thread-safe.
   std::shared_ptr<const CachedCover> Lookup(uint64_t fingerprint,
-                                            uint64_t check);
+                                            uint64_t check, uint64_t tag = 0,
+                                            uint64_t generation = 0);
 
   /// Inserts (or refreshes) an entry, evicting the shard's least
   /// recently used cover when the shard is full. An existing entry with
-  /// a different check hash is replaced. Thread-safe.
+  /// a different check hash or (tag, generation) is replaced.
+  /// Thread-safe.
   void Insert(uint64_t fingerprint, uint64_t check,
-              std::shared_ptr<const CachedCover> cover);
+              std::shared_ptr<const CachedCover> cover, uint64_t tag = 0,
+              uint64_t generation = 0);
+
+  /// Drops every entry bound to `tag` (handed-out covers stay valid);
+  /// returns how many were dropped. All other tags' lines are untouched:
+  /// this is the selective invalidation used when one sigma mutates.
+  /// Thread-safe.
+  size_t EraseTagged(uint64_t tag);
 
   /// Drops every entry; counters are preserved.
   void Clear();
@@ -78,6 +101,8 @@ class CoverCache {
   struct Entry {
     uint64_t fingerprint;
     uint64_t check;
+    uint64_t tag;
+    uint64_t generation;
     std::shared_ptr<const CachedCover> cover;
   };
   struct Shard {
@@ -89,6 +114,7 @@ class CoverCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    uint64_t invalidations = 0;
   };
 
   Shard& ShardFor(uint64_t fingerprint) {

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <unordered_map>
+#include <utility>
 
 #include "src/cfd/mincover.h"
-#include "src/engine/fingerprint.h"
 
 namespace cfdprop {
 
@@ -41,37 +40,129 @@ Engine::~Engine() {
   for (std::thread& t : workers_) t.join();
 }
 
-Result<SigmaId> Engine::RegisterSigma(std::vector<CFD> sigma) {
+Status Engine::ValidateSigma(const std::vector<CFD>& sigma) const {
   for (const CFD& c : sigma) {
     if (c.relation >= catalog_.num_relations()) {
       return Status::InvalidArgument("source CFD with unknown relation");
     }
     CFDPROP_RETURN_NOT_OK(c.Validate(catalog_.relation(c.relation).arity()));
   }
+  return Status::OK();
+}
+
+Result<SigmaId> Engine::RegisterSigma(std::vector<CFD> sigma) {
+  CFDPROP_RETURN_NOT_OK(ValidateSigma(sigma));
   // Fig. 2 line 1, hoisted: minimize once per registration instead of
-  // once per request. Grouped per relation, deterministic output order.
-  std::unordered_map<RelationId, std::vector<CFD>> groups;
-  std::vector<RelationId> order;
-  for (CFD& c : sigma) {
-    if (groups.find(c.relation) == groups.end()) order.push_back(c.relation);
-    groups[c.relation].push_back(std::move(c));
-  }
-  std::vector<CFD> minimized;
-  for (RelationId r : order) {
-    CFDPROP_ASSIGN_OR_RETURN(
-        std::vector<CFD> mc,
-        MinCover(std::move(groups[r]), catalog_.relation(r).arity(),
-                 /*domains=*/{}, options_.cover.mincover));
-    for (CFD& c : mc) minimized.push_back(std::move(c));
-  }
-  sigmas_.push_back(std::move(minimized));
+  // once per request (MinCoverSigma is the same step the one-shot
+  // pipeline runs, so cached and direct results agree byte-for-byte).
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::vector<CFD> minimized,
+      MinCoverSigma(catalog_, sigma, options_.cover.mincover));
+  std::unique_lock<std::shared_mutex> lock(sigma_mu_);
+  sigmas_.push_back(SigmaEntry{
+      std::move(sigma),
+      std::make_shared<const std::vector<CFD>>(std::move(minimized)),
+      /*generation=*/0});
   return static_cast<SigmaId>(sigmas_.size() - 1);
 }
 
-Result<EngineResult> Engine::Serve(const SPCView& view, SigmaId sigma_id) {
+Status Engine::MutateSigma(SigmaId id, std::vector<CFD> raw) {
+  // Caller holds mutation_mu_, so `raw` (derived from the entry's
+  // current list) cannot be raced by another mutator. Re-minimize
+  // OUTSIDE sigma_mu_ — MinCover is the expensive step, and serving
+  // must only ever block on the O(1) snapshot swap below.
+  auto minimized = MinCoverSigma(catalog_, raw, options_.cover.mincover);
+  if (!minimized.ok()) return minimized.status();  // sigma unchanged
+  {
+    // Re-index instead of holding a reference across the compute:
+    // RegisterSigma may have grown (reallocated) the vector meanwhile.
+    std::unique_lock<std::shared_mutex> lock(sigma_mu_);
+    SigmaEntry& entry = sigmas_[id];
+    entry.raw = std::move(raw);
+    entry.minimized = std::make_shared<const std::vector<CFD>>(
+        std::move(minimized).value());
+    ++entry.generation;
+  }
+  // After the generation bump no stale line can be served (lookup checks
+  // the generation), so dropping them outside the lock only reclaims
+  // capacity — and touches nothing registered to other sigma ids.
+  cache_.EraseTagged(id);
+  stats_.RecordMutation();
+  return Status::OK();
+}
+
+Status Engine::AddCfd(SigmaId id, CFD cfd) {
+  if (cfd.relation >= catalog_.num_relations()) {
+    return Status::InvalidArgument("source CFD with unknown relation");
+  }
+  CFDPROP_RETURN_NOT_OK(
+      cfd.Validate(catalog_.relation(cfd.relation).arity()));
+
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  std::vector<CFD> raw;
+  {
+    std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+    if (id >= sigmas_.size()) {
+      return Status::InvalidArgument("unknown sigma id");
+    }
+    raw = sigmas_[id].raw;
+  }
+  raw.push_back(std::move(cfd));
+  return MutateSigma(id, std::move(raw));
+}
+
+Status Engine::RetractCfd(SigmaId id, const CFD& cfd) {
+  std::lock_guard<std::mutex> mutation_lock(mutation_mu_);
+  std::vector<CFD> raw;
+  {
+    std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+    if (id >= sigmas_.size()) {
+      return Status::InvalidArgument("unknown sigma id");
+    }
+    raw = sigmas_[id].raw;
+  }
+  auto it = std::find(raw.begin(), raw.end(), cfd);
+  if (it == raw.end()) {
+    return Status::NotFound("CFD is not registered in this sigma set");
+  }
+  raw.erase(it);
+  return MutateSigma(id, std::move(raw));
+}
+
+size_t Engine::num_sigmas() const {
+  std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+  return sigmas_.size();
+}
+
+std::shared_ptr<const std::vector<CFD>> Engine::sigma(SigmaId id) const {
+  std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+  return sigmas_[id].minimized;
+}
+
+std::vector<CFD> Engine::sigma_raw(SigmaId id) const {
+  std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+  return sigmas_[id].raw;
+}
+
+uint64_t Engine::sigma_generation(SigmaId id) const {
+  std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+  return sigmas_[id].generation;
+}
+
+Result<std::pair<std::shared_ptr<const std::vector<CFD>>, uint64_t>>
+Engine::SnapshotSigma(SigmaId sigma_id) const {
+  std::shared_lock<std::shared_mutex> lock(sigma_mu_);
   if (sigma_id >= sigmas_.size()) {
     return Status::InvalidArgument("unknown sigma id");
   }
+  return std::make_pair(sigmas_[sigma_id].minimized,
+                        sigmas_[sigma_id].generation);
+}
+
+Result<EngineResult> Engine::Serve(const SPCView& view, SigmaId sigma_id) {
+  CFDPROP_ASSIGN_OR_RETURN(auto snapshot, SnapshotSigma(sigma_id));
+  const auto& [sigma, generation] = snapshot;
+
   const auto start = Clock::now();
   EngineResult result;
   RequestFingerprint fp = FingerprintRequestPair(catalog_, view, sigma_id);
@@ -79,7 +170,7 @@ Result<EngineResult> Engine::Serve(const SPCView& view, SigmaId sigma_id) {
   result.timing.fingerprint_us = MicrosSince(start);
 
   if (options_.use_cache) {
-    if (auto cached = cache_.Lookup(fp.key, fp.check)) {
+    if (auto cached = cache_.Lookup(fp.key, fp.check, sigma_id, generation)) {
       result.cover = std::move(cached);
       result.cache_hit = true;
       result.timing.total_us = MicrosSince(start);
@@ -91,8 +182,7 @@ Result<EngineResult> Engine::Serve(const SPCView& view, SigmaId sigma_id) {
   const auto compute_start = Clock::now();
   PropCoverOptions cover_options = options_.cover;
   cover_options.input_mincover = false;  // minimized at registration
-  auto computed = PropagationCoverSPC(catalog_, view, sigmas_[sigma_id],
-                                      cover_options);
+  auto computed = PropagationCoverSPC(catalog_, view, *sigma, cover_options);
   result.timing.compute_us = MicrosSince(compute_start);
   result.timing.total_us = MicrosSince(start);
   if (!computed.ok()) {
@@ -106,17 +196,136 @@ Result<EngineResult> Engine::Serve(const SPCView& view, SigmaId sigma_id) {
   cached->truncated = computed->truncated;
   if (options_.use_cache && !cached->truncated) {
     // Truncated covers are budget artifacts, not the request's answer;
-    // don't let them shadow a future full computation.
-    cache_.Insert(fp.key, fp.check, cached);
+    // don't let them shadow a future full computation. The generation
+    // recorded here is the one the compute used: if the sigma mutated
+    // mid-compute, the entry is already stale and lookups at the new
+    // generation will miss it (and replace it on the next insert).
+    cache_.Insert(fp.key, fp.check, cached, sigma_id, generation);
   }
   result.cover = std::move(cached);
   stats_.Record(result.timing, /*error=*/false);
   return result;
 }
 
+Result<EngineResult> Engine::ServeUnion(const SPCUView& view,
+                                        SigmaId sigma_id) {
+  if (view.disjuncts.size() == 1) {
+    return Serve(view.disjuncts.front(), sigma_id);
+  }
+  CFDPROP_ASSIGN_OR_RETURN(auto snapshot, SnapshotSigma(sigma_id));
+  const auto& [sigma, generation] = snapshot;
+
+  const auto start = Clock::now();
+  EngineResult result;
+  result.disjunct_count = view.disjuncts.size();
+  UnionFingerprint ufp =
+      FingerprintUnionRequestPair(catalog_, view, sigma_id);
+  result.fingerprint = ufp.fused.key;
+  result.timing.fingerprint_us = MicrosSince(start);
+
+  if (options_.use_cache) {
+    if (auto cached = cache_.Lookup(ufp.fused.key, ufp.fused.check, sigma_id,
+                                    generation)) {
+      result.cover = std::move(cached);
+      result.cache_hit = true;
+      result.disjunct_hits = result.disjunct_count;
+      result.timing.total_us = MicrosSince(start);
+      stats_.Record(result.timing, /*error=*/false);
+      stats_.RecordUnion(result.disjunct_count, 0);
+      return result;
+    }
+  }
+
+  // Union-level miss: validate the union (cross-disjunct compatibility —
+  // deliberately after the fused lookup: a check-hash hit implies an
+  // identical multiset of disjuncts already assembled successfully, so
+  // hot repeats skip the walk), then serve each disjunct from the
+  // per-SPC cache lines (the partial hits), computing and inserting the
+  // missing ones, and run the cross-disjunct assembly — the same
+  // AssembleUnionCover the one-shot path runs, on the same inputs.
+  CFDPROP_RETURN_NOT_OK(view.Validate(catalog_));
+  const auto compute_start = Clock::now();
+  PropCoverOptions cover_options = options_.cover;
+  cover_options.input_mincover = false;  // minimized at registration
+  std::vector<PropCoverResult> per_disjunct;
+  per_disjunct.reserve(view.disjuncts.size());
+  for (size_t j = 0; j < view.disjuncts.size(); ++j) {
+    const RequestFingerprint& dfp = ufp.disjuncts[j];
+    if (options_.use_cache) {
+      if (auto hit = cache_.Lookup(dfp.key, dfp.check, sigma_id,
+                                   generation)) {
+        ++result.disjunct_hits;
+        PropCoverResult r;
+        r.cover = hit->cover;  // copy: the assembly consumes its inputs
+        r.always_empty = hit->always_empty;
+        r.truncated = hit->truncated;
+        per_disjunct.push_back(std::move(r));
+        continue;
+      }
+    }
+    auto computed = PropagationCoverSPC(catalog_, view.disjuncts[j], *sigma,
+                                        cover_options);
+    if (!computed.ok()) {
+      result.timing.compute_us = MicrosSince(compute_start);
+      result.timing.total_us = MicrosSince(start);
+      stats_.Record(result.timing, /*error=*/true);
+      stats_.RecordUnion(result.disjunct_hits,
+                         view.disjuncts.size() - result.disjunct_hits);
+      return computed.status();
+    }
+    if (options_.use_cache && !computed->truncated) {
+      auto line = std::make_shared<CachedCover>();
+      line->cover = computed->cover;  // copy: the original feeds assembly
+      line->always_empty = computed->always_empty;
+      line->truncated = computed->truncated;
+      cache_.Insert(dfp.key, dfp.check, std::move(line), sigma_id,
+                    generation);
+    }
+    per_disjunct.push_back(std::move(computed).value());
+  }
+  stats_.RecordUnion(result.disjunct_hits,
+                     view.disjuncts.size() - result.disjunct_hits);
+
+  auto assembled = AssembleUnionCover(catalog_, view, *sigma,
+                                      std::move(per_disjunct), cover_options);
+  result.timing.compute_us = MicrosSince(compute_start);
+  result.timing.total_us = MicrosSince(start);
+  if (!assembled.ok()) {
+    stats_.Record(result.timing, /*error=*/true);
+    return assembled.status();
+  }
+
+  auto cached = std::make_shared<CachedCover>();
+  cached->cover = std::move(assembled->cover);
+  cached->always_empty = assembled->always_empty;
+  cached->truncated = assembled->truncated;
+  if (options_.use_cache && !cached->truncated) {
+    cache_.Insert(ufp.fused.key, ufp.fused.check, cached, sigma_id,
+                  generation);
+  }
+  result.cover = std::move(cached);
+  stats_.Record(result.timing, /*error=*/false);
+  return result;
+}
+
+Result<EngineResult> Engine::ServeRequest(const Request& request) {
+  if (request.view.disjuncts.size() == 1) {
+    return Serve(request.view.disjuncts.front(), request.sigma_id);
+  }
+  return ServeUnion(request.view, request.sigma_id);
+}
+
 Result<EngineResult> Engine::Propagate(const SPCView& view,
                                        SigmaId sigma_id) {
   return Serve(view, sigma_id);
+}
+
+Result<EngineResult> Engine::PropagateUnion(const SPCUView& view,
+                                            SigmaId sigma_id) {
+  if (view.disjuncts.empty()) {
+    return Status::InvalidArgument("union view with no disjuncts");
+  }
+  return ServeUnion(view, sigma_id);
 }
 
 std::vector<Result<EngineResult>> Engine::PropagateBatch(
@@ -128,7 +337,7 @@ std::vector<Result<EngineResult>> Engine::PropagateBatch(
 
   if (options_.num_threads <= 1 || workers_.empty() || requests.size() <= 1) {
     for (size_t i = 0; i < requests.size(); ++i) {
-      slots[i] = Serve(requests[i].view, requests[i].sigma_id);
+      slots[i] = ServeRequest(requests[i]);
     }
   } else {
     struct BatchState {
@@ -146,7 +355,7 @@ std::vector<Result<EngineResult>> Engine::PropagateBatch(
           // leave the batch waiting forever; surface it as a Status like
           // the inline path surfaces errors, and always decrement.
           try {
-            slots[i] = Serve(requests[i].view, requests[i].sigma_id);
+            slots[i] = ServeRequest(requests[i]);
           } catch (const std::exception& e) {
             slots[i] = Result<EngineResult>(
                 Status::Internal(std::string("worker exception: ") +

@@ -1,5 +1,5 @@
 // The propagation engine: cached, batched, multi-threaded serving of
-// CFD propagation covers (PropCFD_SPC) over a shared catalog.
+// CFD propagation covers (PropCFD_SPC / SPCU) over a shared catalog.
 //
 // A deployment (schema mapping, data exchange, cleaning-rule discovery)
 // issues many near-identical propagation requests against one source
@@ -7,19 +7,31 @@
 // MinCover/ComputeEQ/RBR per call; the engine amortizes that work:
 //
 //   * source CFD sets are registered once and min-covered at
-//     registration (Fig. 2 line 1 runs once, not per request),
+//     registration (Fig. 2 line 1 runs once, not per request), and can
+//     be *mutated* afterwards — AddCfd/RetractCfd re-minimize only the
+//     touched set, bump its generation and invalidate only that set's
+//     cache lines (never a global Clear),
 //   * each request is canonically fingerprinted (src/engine/fingerprint.h)
-//     and served from a sharded LRU cover cache on a repeat,
+//     and served from a sharded LRU cover cache on a repeat; SPCU
+//     requests are keyed by the multiset of their disjuncts'
+//     fingerprints, and assemble from the per-SPC cache lines, so a
+//     union of k disjuncts can be served as up to k partial hits,
 //   * batches run on a fixed worker pool; results come back in request
 //     order regardless of the thread count.
 //
-// Thread-safety contract: Propagate/PropagateBatch are safe to call
-// concurrently once setup is done. Setup — Engine construction,
-// RegisterSigma, and building views against catalog() (which interns
-// constants into the shared ValuePool) — must be serialized and must
-// happen-before serving. The propagation pipeline itself only ever
-// interns the two ComputeEQ/Lemma-4.5 constants, which the constructor
-// pre-interns, so concurrent requests never mutate the pool.
+// Thread-safety contract: Propagate/PropagateUnion/PropagateBatch,
+// RegisterSigma, AddCfd and RetractCfd are safe to call concurrently
+// once the engine is constructed — sigma state is guarded by a
+// shared_mutex and served via shared_ptr snapshots, so a retraction
+// never frees CFDs or covers an in-flight request (or a caller-held
+// EngineResult) still references. Building views against catalog()
+// (which interns constants into the shared ValuePool), and constructing
+// the CFDs handed to RegisterSigma/AddCfd/RetractCfd when that
+// construction interns new constants, must still be serialized against
+// serving: the pool itself is append-only and not thread-safe. The
+// propagation pipeline only ever interns the two ComputeEQ/Lemma-4.5
+// constants, which the constructor pre-interns, so serving and mutation
+// with pre-built CFDs never mutate the pool.
 
 #ifndef CFDPROP_ENGINE_ENGINE_H_
 #define CFDPROP_ENGINE_ENGINE_H_
@@ -31,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -39,6 +52,7 @@
 #include "src/cfd/cfd.h"
 #include "src/cover/propcfd_spc.h"
 #include "src/engine/cover_cache.h"
+#include "src/engine/fingerprint.h"
 #include "src/engine/stats.h"
 #include "src/schema/schema.h"
 
@@ -67,11 +81,20 @@ struct EngineOptions {
 };
 
 /// One served request. `cover` is shared with the cache: it stays valid
-/// for as long as the caller holds it, across evictions and Clear().
+/// for as long as the caller holds it, across evictions, Clear() and
+/// sigma retraction.
 struct EngineResult {
   std::shared_ptr<const CachedCover> cover;
   uint64_t fingerprint = 0;
   bool cache_hit = false;
+
+  /// SPCU requests only (disjunct_count >= 2): how many of the union's
+  /// disjuncts were served from existing per-SPC cache lines while
+  /// assembling. A full union-level hit reports disjunct_hits ==
+  /// disjunct_count.
+  size_t disjunct_hits = 0;
+  size_t disjunct_count = 0;
+
   RequestTiming timing;
 };
 
@@ -86,29 +109,69 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Registers a source CFD set and minimizes it per relation (Fig. 2
-  /// line 1, hoisted out of the request path). Not thread-safe against
-  /// in-flight requests.
+  /// line 1, hoisted out of the request path). Thread-safe.
   Result<SigmaId> RegisterSigma(std::vector<CFD> sigma);
 
-  size_t num_sigmas() const { return sigmas_.size(); }
-  const std::vector<CFD>& sigma(SigmaId id) const { return sigmas_[id]; }
+  /// Adds one CFD to a registered set: re-minimizes only that set, bumps
+  /// its generation and drops only the cache lines whose fingerprint
+  /// binds `id` (other sigma sets' lines are untouched). The CFD must be
+  /// fully built — any constants already interned — before the call.
+  /// Thread-safe against serving and other mutations.
+  Status AddCfd(SigmaId id, CFD cfd);
+
+  /// Retracts the first CFD of the set's *registered* (pre-minimization)
+  /// list that equals `cfd`, then re-minimizes, bumps the generation and
+  /// selectively invalidates like AddCfd. NotFound when no registered
+  /// CFD matches. Covers already handed out stay valid (shared_ptr).
+  /// Thread-safe.
+  Status RetractCfd(SigmaId id, const CFD& cfd);
+
+  size_t num_sigmas() const;
+
+  /// Snapshot of the minimized set served for `id`. The snapshot stays
+  /// valid (and unchanged) across later AddCfd/RetractCfd calls.
+  /// Precondition: id < num_sigmas().
+  std::shared_ptr<const std::vector<CFD>> sigma(SigmaId id) const;
+
+  /// Copy of the registered (pre-minimization) list, as mutated by
+  /// AddCfd/RetractCfd — the input a one-shot differential run should
+  /// use. Precondition: id < num_sigmas().
+  std::vector<CFD> sigma_raw(SigmaId id) const;
+
+  /// Mutation counter of the set: bumped by every AddCfd/RetractCfd.
+  /// Cache lines record the generation they were computed at and are
+  /// only served while it matches. Precondition: id < num_sigmas().
+  uint64_t sigma_generation(SigmaId id) const;
 
   const Catalog& catalog() const { return catalog_; }
   /// Mutable access for setup (SPCViewBuilder interns constants). Must
   /// not be used concurrently with serving.
   Catalog& catalog() { return catalog_; }
 
-  /// Serves one request on the calling thread (cache → compute).
+  /// Serves one SPC request on the calling thread (cache → compute).
   Result<EngineResult> Propagate(const SPCView& view, SigmaId sigma_id);
 
+  /// Serves one SPCU request on the calling thread. The union is cached
+  /// under the multiset fingerprint of its disjuncts (order-insensitive)
+  /// and, on a union-level miss, each disjunct is served from the per-SPC
+  /// cache lines before the cross-disjunct assembly runs — byte-identical
+  /// to one-shot PropagationCoverSPCU on the same inputs. A
+  /// single-disjunct union degenerates to Propagate.
+  Result<EngineResult> PropagateUnion(const SPCUView& view, SigmaId sigma_id);
+
   struct Request {
-    SPCView view;
+    SPCUView view;
     SigmaId sigma_id = 0;
+
+    Request() = default;
+    Request(SPCView v, SigmaId s) : view(std::move(v)), sigma_id(s) {}
+    Request(SPCUView v, SigmaId s) : view(std::move(v)), sigma_id(s) {}
   };
 
   /// Serves a batch across the worker pool. results[i] answers
   /// requests[i] — output order is deterministic and independent of the
-  /// thread count and of scheduling.
+  /// thread count and of scheduling. Requests may mix SPC and SPCU
+  /// views.
   std::vector<Result<EngineResult>> PropagateBatch(
       const std::vector<Request>& requests);
 
@@ -121,13 +184,50 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  struct SigmaEntry {
+    /// As registered/churned, before minimization; AddCfd appends,
+    /// RetractCfd erases the first match.
+    std::vector<CFD> raw;
+    /// Min-covered serving snapshot; replaced wholesale on mutation so
+    /// in-flight requests keep their copy alive.
+    std::shared_ptr<const std::vector<CFD>> minimized;
+    /// Bumped on every mutation; bound into cache entries.
+    uint64_t generation = 0;
+  };
+
+  Status ValidateSigma(const std::vector<CFD>& sigma) const;
+
+  /// Shared tail of AddCfd/RetractCfd: re-minimizes `raw` (outside
+  /// sigma_mu_ — serving only ever blocks on the snapshot swap), swaps
+  /// the entry's state, bumps the generation, drops the sigma's cache
+  /// lines. Caller must hold mutation_mu_.
+  Status MutateSigma(SigmaId id, std::vector<CFD> raw);
+
+  /// Snapshots (minimized set, generation) for a sigma id under the
+  /// shared lock; InvalidArgument for unknown ids.
+  Result<std::pair<std::shared_ptr<const std::vector<CFD>>, uint64_t>>
+  SnapshotSigma(SigmaId sigma_id) const;
+
   Result<EngineResult> Serve(const SPCView& view, SigmaId sigma_id);
+  Result<EngineResult> ServeUnion(const SPCUView& view, SigmaId sigma_id);
+  Result<EngineResult> ServeRequest(const Request& request);
   void WorkerLoop();
   void StartWorkers();
 
   Catalog catalog_;
   EngineOptions options_;
-  std::vector<std::vector<CFD>> sigmas_;
+
+  /// Guards sigmas_ (the vector and every entry). Serving takes it
+  /// shared just long enough to snapshot; mutations take it exclusively
+  /// just long enough to swap a re-minimized entry in (the minimization
+  /// itself runs outside, see MutateSigma).
+  mutable std::shared_mutex sigma_mu_;
+  std::vector<SigmaEntry> sigmas_;
+  /// Serializes AddCfd/RetractCfd against each other, so a mutation can
+  /// copy raw, minimize unlocked, and swap without losing a concurrent
+  /// mutator's update.
+  std::mutex mutation_mu_;
+
   CoverCache cache_;
   EngineStats stats_;
 

@@ -220,4 +220,42 @@ uint64_t FingerprintRequest(const Catalog& catalog, const SPCView& view,
   return FingerprintRequestPair(catalog, view, sigma_id).key;
 }
 
+UnionFingerprint FingerprintUnionRequestPair(const Catalog& catalog,
+                                             const SPCUView& view,
+                                             uint64_t sigma_id) {
+  UnionFingerprint out;
+  out.disjuncts.reserve(view.disjuncts.size());
+  for (const SPCView& d : view.disjuncts) {
+    out.disjuncts.push_back(FingerprintRequestPair(catalog, d, sigma_id));
+  }
+  // Multiset fuse: sort copies of the per-disjunct (key, check) pairs so
+  // disjunct order cannot affect the fused key, then serialize under a
+  // union domain tag. SerializeRequest streams never start with this tag
+  // followed by a pair count, so a union cannot alias an SPC request.
+  std::vector<std::pair<uint64_t, uint64_t>> sorted;
+  sorted.reserve(out.disjuncts.size());
+  for (const RequestFingerprint& f : out.disjuncts) {
+    sorted.emplace_back(f.key, f.check);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::string bytes;
+  auto put = [&bytes](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<char>(x >> (8 * i)));
+    }
+  };
+  put(0x554e494f4eull);  // "UNION" domain tag
+  put(sorted.size());
+  for (const auto& [key, check] : sorted) {
+    put(key);
+    put(check);
+  }
+  out.fused = RequestFingerprint{Fnv1a(bytes), CheckHash(bytes)};
+  return out;
+}
+
+uint64_t FingerprintSPCUView(const Catalog& catalog, const SPCUView& view) {
+  return FingerprintUnionRequestPair(catalog, view, /*sigma_id=*/0).fused.key;
+}
+
 }  // namespace cfdprop

@@ -61,6 +61,30 @@ RequestFingerprint FingerprintRequestPair(const Catalog& catalog,
 uint64_t FingerprintRequest(const Catalog& catalog, const SPCView& view,
                             uint64_t sigma_id);
 
+/// Fingerprint of an SPCU request. A union is identified by the
+/// *multiset* of its disjuncts' SPC fingerprints: the per-disjunct pairs
+/// are sorted before fusing, so two listings of the same union that only
+/// reorder disjuncts share one cache line, while duplicated disjuncts
+/// still count (a multiset, not a set). The fused serialization is
+/// domain-separated from SerializeRequest, so a union — even a 1-disjunct
+/// one — never aliases any single-disjunct SPC fingerprint.
+struct UnionFingerprint {
+  /// Cache key of the assembled union cover.
+  RequestFingerprint fused;
+  /// Per-disjunct SPC fingerprints in input order; these are exactly the
+  /// keys of the engine's per-SPC cache lines, so an SPCU request with k
+  /// disjuncts can be served as up to k partial hits.
+  std::vector<RequestFingerprint> disjuncts;
+};
+
+/// Fingerprints an SPCU request against a registered sigma set.
+UnionFingerprint FingerprintUnionRequestPair(const Catalog& catalog,
+                                             const SPCUView& view,
+                                             uint64_t sigma_id);
+
+/// Convenience: the fused cache key alone (sigma id 0).
+uint64_t FingerprintSPCUView(const Catalog& catalog, const SPCUView& view);
+
 }  // namespace cfdprop
 
 #endif  // CFDPROP_ENGINE_FINGERPRINT_H_

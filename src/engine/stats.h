@@ -29,17 +29,27 @@ struct EngineStatsSnapshot {
   uint64_t requests = 0;
   uint64_t errors = 0;
   uint64_t batches = 0;
+  /// SPCU requests (each also counts once in `requests`).
+  uint64_t union_requests = 0;
+  /// Per-disjunct SPC cache lines reused / computed while assembling
+  /// union covers (the "k partial hits" of an SPCU request).
+  uint64_t disjunct_hits = 0;
+  uint64_t disjunct_misses = 0;
+  /// AddCfd/RetractCfd mutations applied across all sigma sets.
+  uint64_t sigma_mutations = 0;
   double total_us = 0;
   double fingerprint_us = 0;
   double compute_us = 0;
   CacheStats cache;
 
   std::string ToString() const {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "requests=%llu errors=%llu batches=%llu "
                   "hit_rate=%.1f%% (hits=%llu misses=%llu evictions=%llu "
-                  "entries=%zu) compute=%.1fms total=%.1fms",
+                  "invalidations=%llu entries=%zu) unions=%llu "
+                  "disjunct_hits=%llu/%llu mutations=%llu "
+                  "compute=%.1fms total=%.1fms",
                   static_cast<unsigned long long>(requests),
                   static_cast<unsigned long long>(errors),
                   static_cast<unsigned long long>(batches),
@@ -47,7 +57,14 @@ struct EngineStatsSnapshot {
                   static_cast<unsigned long long>(cache.hits),
                   static_cast<unsigned long long>(cache.misses),
                   static_cast<unsigned long long>(cache.evictions),
-                  cache.entries, compute_us / 1000.0, total_us / 1000.0);
+                  static_cast<unsigned long long>(cache.invalidations),
+                  cache.entries,
+                  static_cast<unsigned long long>(union_requests),
+                  static_cast<unsigned long long>(disjunct_hits),
+                  static_cast<unsigned long long>(disjunct_hits +
+                                                  disjunct_misses),
+                  static_cast<unsigned long long>(sigma_mutations),
+                  compute_us / 1000.0, total_us / 1000.0);
     return buf;
   }
 };
@@ -64,12 +81,26 @@ class EngineStats {
 
   void RecordBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
 
+  void RecordUnion(size_t disjunct_hits, size_t disjunct_misses) {
+    union_requests_.fetch_add(1, std::memory_order_relaxed);
+    disjunct_hits_.fetch_add(disjunct_hits, std::memory_order_relaxed);
+    disjunct_misses_.fetch_add(disjunct_misses, std::memory_order_relaxed);
+  }
+
+  void RecordMutation() {
+    sigma_mutations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Cache counters are filled in by the engine (they live in the cache).
   EngineStatsSnapshot Snapshot() const {
     EngineStatsSnapshot s;
     s.requests = requests_.load(std::memory_order_relaxed);
     s.errors = errors_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
+    s.union_requests = union_requests_.load(std::memory_order_relaxed);
+    s.disjunct_hits = disjunct_hits_.load(std::memory_order_relaxed);
+    s.disjunct_misses = disjunct_misses_.load(std::memory_order_relaxed);
+    s.sigma_mutations = sigma_mutations_.load(std::memory_order_relaxed);
     s.total_us = total_us_.load(std::memory_order_relaxed);
     s.fingerprint_us = fingerprint_us_.load(std::memory_order_relaxed);
     s.compute_us = compute_us_.load(std::memory_order_relaxed);
@@ -87,6 +118,10 @@ class EngineStats {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> union_requests_{0};
+  std::atomic<uint64_t> disjunct_hits_{0};
+  std::atomic<uint64_t> disjunct_misses_{0};
+  std::atomic<uint64_t> sigma_mutations_{0};
   std::atomic<double> total_us_{0};
   std::atomic<double> fingerprint_us_{0};
   std::atomic<double> compute_us_{0};

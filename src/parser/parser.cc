@@ -51,10 +51,21 @@ class Lexer {
       }
       if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
         size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '_')) {
-          ++pos_;
+        while (pos_ < text_.size()) {
+          char w = text_[pos_];
+          if (std::isalnum(static_cast<unsigned char>(w)) || w == '_') {
+            ++pos_;
+            continue;
+          }
+          // '-' joins words (the add-cfd / drop-cfd statement keywords)
+          // unless it starts an '->' arrow or ends the word.
+          if (w == '-' && pos_ + 1 < text_.size() &&
+              (std::isalnum(static_cast<unsigned char>(text_[pos_ + 1])) ||
+               text_[pos_ + 1] == '_')) {
+            ++pos_;
+            continue;
+          }
+          break;
         }
         out.push_back(Token{TokKind::kWord,
                             std::string(text_.substr(start, pos_ - start)),
@@ -119,6 +130,12 @@ class Parser {
         CFDPROP_RETURN_NOT_OK(ParseRelation());
       } else if (head.text == "cfd" || head.text == "fd") {
         CFDPROP_RETURN_NOT_OK(ParseCFD());
+      } else if (head.text == "add-cfd") {
+        CFDPROP_RETURN_NOT_OK(ParseCFD(CfdMode::kAdd));
+      } else if (head.text == "drop-cfd") {
+        CFDPROP_RETURN_NOT_OK(ParseCFD(CfdMode::kDrop));
+      } else if (head.text == "union") {
+        CFDPROP_RETURN_NOT_OK(ParseUnion());
       } else if (head.text == "eq") {
         CFDPROP_RETURN_NOT_OK(ParseEq());
       } else if (head.text == "view") {
@@ -243,14 +260,25 @@ class Parser {
     return i;
   }
 
+  /// How a cfd-shaped statement lands in the spec: a declared dependency
+  /// (cfd/fd) or a sigma churn step (add-cfd/drop-cfd).
+  enum class CfdMode { kDeclare, kAdd, kDrop };
+
   // cfd TARGET ':' '[' [attr [= value] (',' ...)*] ']' '->' attr [= value]
-  Status ParseCFD() {
+  // add-cfd / drop-cfd share the body but target source relations only
+  // and are recorded as mutations, not declarations.
+  Status ParseCFD(CfdMode mode = CfdMode::kDeclare) {
     CFDPROP_ASSIGN_OR_RETURN(Token target, ExpectWord("relation or view"));
     std::string view_name;
     RelationId relation;
     size_t arity;
     CFDPROP_RETURN_NOT_OK(
         ResolveTarget(target, &view_name, &relation, &arity));
+    if (mode != CfdMode::kDeclare && relation == kViewSchemaId) {
+      return Error(target,
+                   "add-cfd/drop-cfd mutate the registered source sigma; '" +
+                       target.text + "' is a view");
+    }
     CFDPROP_RETURN_NOT_OK(Expect(":"));
     CFDPROP_RETURN_NOT_OK(Expect("["));
 
@@ -286,11 +314,41 @@ class Parser {
         CFD cfd, CFD::Make(relation, std::move(lhs), std::move(pats), rhs,
                            rhs_pat));
     CFDPROP_RETURN_NOT_OK(cfd.Validate(arity));
-    if (relation == kViewSchemaId) {
+    if (mode != CfdMode::kDeclare) {
+      spec_.sigma_mutations.push_back(
+          SigmaMutation{mode == CfdMode::kAdd, std::move(cfd)});
+    } else if (relation == kViewSchemaId) {
       spec_.view_cfds.emplace_back(view_name, std::move(cfd));
     } else {
       spec_.source_cfds.push_back(std::move(cfd));
     }
+    return Status::OK();
+  }
+
+  // union NAME '=' view (',' view)+ — an SPCU view assembled from the
+  // disjuncts of previously declared views, registered like any view
+  // (the engine serves it with per-disjunct cache reuse).
+  Status ParseUnion() {
+    CFDPROP_ASSIGN_OR_RETURN(Token name, ExpectWord("union name"));
+    if (spec_.views.count(name.text) ||
+        spec_.catalog.FindRelation(name.text) != kNoRelation) {
+      return Error(name, "duplicate view/relation name '" + name.text + "'");
+    }
+    CFDPROP_RETURN_NOT_OK(Expect("="));
+    SPCUView view;
+    do {
+      CFDPROP_ASSIGN_OR_RETURN(Token member, ExpectWord("view name"));
+      auto it = spec_.views.find(member.text);
+      if (it == spec_.views.end()) {
+        return Error(member, "unknown view '" + member.text + "'");
+      }
+      for (const SPCView& d : it->second.disjuncts) {
+        view.disjuncts.push_back(d);
+      }
+    } while (Accept(","));
+    CFDPROP_RETURN_NOT_OK(view.Validate(spec_.catalog));
+    spec_.view_names.push_back(name.text);
+    spec_.views.emplace(name.text, std::move(view));
     return Status::OK();
   }
 
@@ -451,6 +509,20 @@ class Parser {
     return builder.Build();
   }
 
+  /// Accepts the infix 'union' that continues a view declaration. A
+  /// 'union' followed by `NAME =` instead begins a standalone union
+  /// statement and is left for the statement loop.
+  bool AcceptUnionContinuation() {
+    if (Peek().kind != TokKind::kWord || Peek().text != "union") return false;
+    if (tokens_[pos_ + 1].kind == TokKind::kWord &&
+        tokens_[pos_ + 2].kind == TokKind::kPunct &&
+        tokens_[pos_ + 2].text == "=") {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
   // view NAME '=' disjunct ('union' disjunct)*
   Status ParseView() {
     CFDPROP_ASSIGN_OR_RETURN(Token name, ExpectWord("view name"));
@@ -463,7 +535,7 @@ class Parser {
     do {
       CFDPROP_ASSIGN_OR_RETURN(SPCView disjunct, ParseDisjunct());
       view.disjuncts.push_back(std::move(disjunct));
-    } while (AcceptWord("union"));
+    } while (AcceptUnionContinuation());
     CFDPROP_RETURN_NOT_OK(view.Validate(spec_.catalog));
     spec_.view_names.push_back(name.text);
     spec_.views.emplace(name.text, std::move(view));

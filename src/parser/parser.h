@@ -23,6 +23,13 @@
 //   cfd V: [CC=44, zip] -> street       # CFD on a declared view
 //   eq V: AC = CC                       # special-x CFD (A = B)
 //
+//   union U = V1, V2                    # SPCU over declared views'
+//                                       # disjuncts (union-compatible)
+//
+//   add-cfd R1: [AC=20] -> city=LDN     # sigma churn script: applied by
+//   drop-cfd R1: [zip] -> street        # the CLI batch mode between
+//                                       # serving rounds, in order
+//
 //   insert R1(20, 1234567, Mike, Portland, LDN, "W1B 1JL")
 //
 // Values may be bare words/numbers or double-quoted strings.
@@ -43,6 +50,13 @@
 
 namespace cfdprop {
 
+/// One step of a sigma churn script (add-cfd / drop-cfd statement).
+struct SigmaMutation {
+  /// true = add-cfd, false = drop-cfd (retract).
+  bool add = true;
+  CFD cfd;
+};
+
 /// A parsed specification: schema + dependencies + views + data.
 struct Spec {
   Catalog catalog;
@@ -60,6 +74,11 @@ struct Spec {
 
   /// Tuples from insert statements.
   std::vector<std::pair<RelationId, Tuple>> inserts;
+
+  /// Sigma churn script (add-cfd / drop-cfd statements, in file order).
+  /// The CLI batch mode replays these against the engine's registered
+  /// sigma between serving rounds.
+  std::vector<SigmaMutation> sigma_mutations;
 
   /// The output-column index of `column` in view `view_name`, or kNoAttr.
   AttrIndex FindViewColumn(const std::string& view_name,

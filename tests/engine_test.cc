@@ -116,7 +116,7 @@ TEST(EngineTest, RegistrationMinimizesSigma) {
       {CFD::FD(0, {0}, 1).value(), CFD::FD(0, {0}, 1).value(),
        CFD::FD(0, {1}, 2).value(), CFD::FD(0, {0}, 2).value()});
   ASSERT_TRUE(sigma_id.ok());
-  EXPECT_EQ(engine.sigma(*sigma_id).size(), 2u);
+  EXPECT_EQ(engine.sigma(*sigma_id)->size(), 2u);
 }
 
 TEST(EngineTest, RejectsInvalidInput) {
@@ -281,6 +281,190 @@ TEST(EngineTest, AlwaysEmptyViewsAreCachedWithTheFlag) {
   EXPECT_TRUE(hit->cover->always_empty);
 }
 
+TEST(EngineTest, AddCfdInvalidatesOnlyTheMutatedSigma) {
+  Engine engine(MakeCatalog(), {});
+  auto s1 = engine.RegisterSigma(MakeSigma());
+  auto s2 = engine.RegisterSigma({CFD::FD(0, {0}, 2).value()});  // A -> C
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  ASSERT_TRUE(engine.Propagate(view, *s1).ok());
+  ASSERT_TRUE(engine.Propagate(view, *s2).ok());
+  EXPECT_EQ(engine.Stats().cache.entries, 2u);
+  EXPECT_EQ(engine.sigma_generation(*s1), 0u);
+
+  // Mutate s1: only its cache line drops; s2's line keeps hitting.
+  ASSERT_TRUE(engine.AddCfd(*s1, CFD::FD(0, {0}, 3).value()).ok());  // A -> D
+  EXPECT_EQ(engine.sigma_generation(*s1), 1u);
+  EXPECT_EQ(engine.sigma_generation(*s2), 0u);
+  EXPECT_EQ(engine.Stats().cache.invalidations, 1u);
+  EXPECT_EQ(engine.Stats().cache.entries, 1u);
+
+  auto r2 = engine.Propagate(view, *s2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->cache_hit) << "the untouched sigma's line must survive";
+  auto r1 = engine.Propagate(view, *s1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1->cache_hit) << "the mutated sigma must recompute";
+  EXPECT_EQ(engine.Stats().sigma_mutations, 1u);
+}
+
+TEST(EngineTest, AddThenRetractRoundTripsTheCover) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  auto before = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(before.ok());
+
+  // A -> D is new information; with D unprojected it reshapes the raw
+  // set (and the minimized cover) but must disappear again on retract.
+  CFD added = CFD::FD(0, {0}, 3).value();
+  ASSERT_TRUE(engine.AddCfd(*sigma_id, added).ok());
+  EXPECT_EQ(engine.sigma_raw(*sigma_id).size(), 4u);
+  auto during = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(during.ok());
+  EXPECT_FALSE(during->cache_hit);
+
+  ASSERT_TRUE(engine.RetractCfd(*sigma_id, added).ok());
+  EXPECT_EQ(engine.sigma_raw(*sigma_id).size(), 3u);
+  EXPECT_EQ(engine.sigma_generation(*sigma_id), 2u);
+  auto after = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cache_hit) << "generation changed; old line is gone";
+  EXPECT_EQ(after->cover->cover, before->cover->cover);
+
+  // Retracting something never registered is NotFound and changes
+  // nothing (no generation bump, no invalidation).
+  EXPECT_FALSE(engine.RetractCfd(*sigma_id, added).ok());
+  EXPECT_EQ(engine.sigma_generation(*sigma_id), 2u);
+}
+
+TEST(EngineTest, HeldCoversSurviveRetractionAndClear) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  auto held = engine.Propagate(view, *sigma_id);
+  ASSERT_TRUE(held.ok());
+  std::vector<CFD> copy = held->cover->cover;
+  auto held_sigma = engine.sigma(*sigma_id);
+  size_t sigma_size = held_sigma->size();
+
+  ASSERT_TRUE(engine.RetractCfd(*sigma_id, MakeSigma()[0]).ok());
+  engine.ClearCache();
+  ASSERT_TRUE(engine.AddCfd(*sigma_id, MakeSigma()[0]).ok());
+
+  // The handed-out cover and the sigma snapshot are shared_ptrs into
+  // state the mutations replaced, not freed.
+  EXPECT_EQ(held->cover->cover, copy);
+  EXPECT_EQ(held_sigma->size(), sigma_size);
+}
+
+/// Two single-atom views over R differing in the selection constant on
+/// D, plus a constant output column to discriminate them in the union.
+SPCUView MakeUnion(Catalog& cat, const char* c1, const char* c2) {
+  SPCUView u;
+  for (const char* d_const : {c1, c2}) {
+    SPCViewBuilder b(cat);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.SelectConst(r, "D", d_const).ok());
+    EXPECT_TRUE(b.ProjectConstant("tag", d_const).ok());
+    EXPECT_TRUE(b.Project(r, "A").ok());
+    EXPECT_TRUE(b.Project(r, "C").ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    u.disjuncts.push_back(*v);
+  }
+  return u;
+}
+
+TEST(EngineTest, UnionMatchesOneShotAndHitsOnRepeat) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCUView u = MakeUnion(engine.catalog(), "1", "2");
+
+  auto cold = engine.PropagateUnion(u, *sigma_id);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->cache_hit);
+  EXPECT_EQ(cold->disjunct_count, 2u);
+  EXPECT_EQ(cold->disjunct_hits, 0u);
+
+  auto direct = PropagationCoverSPCU(engine.catalog(), u, MakeSigma());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(cold->cover->cover, direct->cover);
+
+  auto warm = engine.PropagateUnion(u, *sigma_id);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->fingerprint, cold->fingerprint);
+  EXPECT_EQ(warm->cover->cover, direct->cover);
+  EXPECT_EQ(engine.Stats().union_requests, 2u);
+}
+
+TEST(EngineTest, UnionAssemblesFromPerDisjunctCacheLines) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCUView u = MakeUnion(engine.catalog(), "1", "2");
+
+  // Prime the per-SPC lines by serving the disjuncts individually.
+  ASSERT_TRUE(engine.Propagate(u.disjuncts[0], *sigma_id).ok());
+  ASSERT_TRUE(engine.Propagate(u.disjuncts[1], *sigma_id).ok());
+
+  auto r = engine.PropagateUnion(u, *sigma_id);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->cache_hit) << "union line itself was never filled";
+  EXPECT_EQ(r->disjunct_hits, 2u) << "both disjuncts must be partial hits";
+
+  auto direct = PropagationCoverSPCU(engine.catalog(), u, MakeSigma());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(r->cover->cover, direct->cover);
+
+  // And the reverse direction: a union serve fills the per-SPC lines, so
+  // a later plain SPC request hits.
+  SPCUView u2 = MakeUnion(engine.catalog(), "3", "4");
+  ASSERT_TRUE(engine.PropagateUnion(u2, *sigma_id).ok());
+  auto spc = engine.Propagate(u2.disjuncts[0], *sigma_id);
+  ASSERT_TRUE(spc.ok());
+  EXPECT_TRUE(spc->cache_hit);
+}
+
+TEST(EngineTest, UnionFingerprintIsOrderInsensitive) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCUView u = MakeUnion(engine.catalog(), "1", "2");
+  SPCUView swapped;
+  swapped.disjuncts = {u.disjuncts[1], u.disjuncts[0]};
+
+  auto r1 = engine.PropagateUnion(u, *sigma_id);
+  auto r2 = engine.PropagateUnion(swapped, *sigma_id);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->fingerprint, r2->fingerprint);
+  EXPECT_TRUE(r2->cache_hit) << "reordered disjuncts are the same union";
+  EXPECT_EQ(r1->cover->cover, r2->cover->cover);
+}
+
+TEST(EngineTest, SingleDisjunctUnionDegeneratesToSpc) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  SPCView view = MakeView(engine.catalog());
+
+  auto spc = engine.Propagate(view, *sigma_id);
+  auto via_union = engine.PropagateUnion(SPCUView(view), *sigma_id);
+  ASSERT_TRUE(spc.ok() && via_union.ok());
+  EXPECT_EQ(via_union->fingerprint, spc->fingerprint);
+  EXPECT_TRUE(via_union->cache_hit);
+  EXPECT_EQ(engine.Stats().union_requests, 0u);
+
+  EXPECT_FALSE(engine.PropagateUnion(SPCUView{}, *sigma_id).ok());
+}
+
 std::shared_ptr<CachedCover> CacheEntry(int tag) {
   auto c = std::make_shared<CachedCover>();
   c->cover.push_back(
@@ -328,6 +512,47 @@ TEST(CoverCacheTest, KeyCollisionIsAMissNotAWrongServe) {
   EXPECT_EQ(got->cover, other->cover);
   // ...and never double-counts capacity.
   EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(CoverCacheTest, GenerationMismatchIsAMiss) {
+  CoverCache cache(/*capacity=*/4, /*num_shards=*/1);
+  cache.Insert(1, 10, CacheEntry(1), /*tag=*/0, /*generation=*/0);
+  // A lookup at a newer sigma generation must not serve the stale cover,
+  // even though key and check match.
+  EXPECT_EQ(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/0), nullptr);
+
+  // A stale in-flight insert landing after the mutation is displaced by
+  // the fresh-generation insert (latest wins, no double-count).
+  cache.Insert(1, 10, CacheEntry(2), /*tag=*/0, /*generation=*/1);
+  EXPECT_EQ(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/0), nullptr);
+  EXPECT_NE(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/1), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+
+  // ...but the reverse race — a slow compute from before the mutation
+  // inserting after the fresh cover landed — must not displace the
+  // newer entry (generations are monotone per tag).
+  cache.Insert(1, 10, CacheEntry(3), /*tag=*/0, /*generation=*/0);
+  EXPECT_NE(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/1), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/0), nullptr);
+}
+
+TEST(CoverCacheTest, EraseTaggedDropsOnlyThatTag) {
+  CoverCache cache(/*capacity=*/8, /*num_shards=*/1);
+  cache.Insert(1, 10, CacheEntry(1), /*tag=*/0, /*generation=*/0);
+  cache.Insert(2, 20, CacheEntry(2), /*tag=*/1, /*generation=*/0);
+  cache.Insert(3, 30, CacheEntry(3), /*tag=*/0, /*generation=*/0);
+
+  EXPECT_EQ(cache.EraseTagged(0), 2u);
+  EXPECT_EQ(cache.Lookup(1, 10, 0, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(3, 30, 0, 0), nullptr);
+  EXPECT_NE(cache.Lookup(2, 20, 1, 0), nullptr);
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.evictions, 0u) << "invalidation is not LRU pressure";
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(cache.EraseTagged(7), 0u);
 }
 
 }  // namespace

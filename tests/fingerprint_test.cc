@@ -178,5 +178,91 @@ TEST_F(FingerprintTest, RequestFingerprintSeparatesSigmaSets) {
   EXPECT_EQ(FingerprintRequest(cat_, *v, 0), FingerprintRequest(cat_, *v, 0));
 }
 
+class UnionFingerprintTest : public FingerprintTest {
+ protected:
+  /// pi(A, C) from R with a selection constant `c` on B.
+  SPCView Disjunct(const char* c) {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.SelectConst(r, "B", c).ok());
+    EXPECT_TRUE(b.Project(r, "A").ok());
+    EXPECT_TRUE(b.Project(r, "C").ok());
+    auto v = b.Build();
+    EXPECT_TRUE(v.ok());
+    return *v;
+  }
+
+  SPCUView Union(std::vector<SPCView> disjuncts) {
+    SPCUView u;
+    u.disjuncts = std::move(disjuncts);
+    return u;
+  }
+};
+
+TEST_F(UnionFingerprintTest, InvariantUnderDisjunctReordering) {
+  SPCView d1 = Disjunct("1"), d2 = Disjunct("2"), d3 = Disjunct("3");
+  uint64_t fp123 = FingerprintSPCUView(cat_, Union({d1, d2, d3}));
+  EXPECT_EQ(fp123, FingerprintSPCUView(cat_, Union({d3, d1, d2})));
+  EXPECT_EQ(fp123, FingerprintSPCUView(cat_, Union({d2, d3, d1})));
+  // The per-disjunct fingerprints stay in input order (they key the
+  // partial-hit lookups), only the fused key is order-insensitive.
+  UnionFingerprint a = FingerprintUnionRequestPair(cat_, Union({d1, d2}), 0);
+  UnionFingerprint b = FingerprintUnionRequestPair(cat_, Union({d2, d1}), 0);
+  EXPECT_EQ(a.fused.key, b.fused.key);
+  EXPECT_EQ(a.fused.check, b.fused.check);
+  ASSERT_EQ(a.disjuncts.size(), 2u);
+  EXPECT_EQ(a.disjuncts[0].key, b.disjuncts[1].key);
+  EXPECT_EQ(a.disjuncts[1].key, b.disjuncts[0].key);
+}
+
+TEST_F(UnionFingerprintTest, DistinctFromAnySingleDisjunctSpcFingerprint) {
+  SPCView d1 = Disjunct("1"), d2 = Disjunct("2");
+  uint64_t fused = FingerprintSPCUView(cat_, Union({d1, d2}));
+  EXPECT_NE(fused, FingerprintSPCView(cat_, d1));
+  EXPECT_NE(fused, FingerprintSPCView(cat_, d2));
+  // Even a one-disjunct union is domain-separated from the bare SPC
+  // request (the engine never caches under it — it degenerates to the
+  // SPC path — but the keys must not alias).
+  EXPECT_NE(FingerprintSPCUView(cat_, Union({d1})),
+            FingerprintSPCView(cat_, d1));
+}
+
+TEST_F(UnionFingerprintTest, MultisetSemanticsCountDuplicates) {
+  SPCView d1 = Disjunct("1"), d2 = Disjunct("2");
+  EXPECT_NE(FingerprintSPCUView(cat_, Union({d1, d2})),
+            FingerprintSPCUView(cat_, Union({d1, d1, d2})));
+  EXPECT_EQ(FingerprintSPCUView(cat_, Union({d1, d1, d2})),
+            FingerprintSPCUView(cat_, Union({d2, d1, d1})));
+}
+
+TEST_F(UnionFingerprintTest, DifferentDisjunctsOrSigmaDiffer) {
+  SPCView d1 = Disjunct("1"), d2 = Disjunct("2"), d3 = Disjunct("3");
+  EXPECT_NE(FingerprintSPCUView(cat_, Union({d1, d2})),
+            FingerprintSPCUView(cat_, Union({d1, d3})));
+  EXPECT_NE(FingerprintUnionRequestPair(cat_, Union({d1, d2}), 0).fused.key,
+            FingerprintUnionRequestPair(cat_, Union({d1, d2}), 1).fused.key);
+}
+
+TEST_F(UnionFingerprintTest, EquivalentDisjunctVariantsCollide) {
+  // Each disjunct is canonicalized before fusing, so a union of renamed/
+  // reordered variants shares the union's cache line.
+  SPCView d1 = Disjunct("1");
+  SPCView d1_renamed;
+  {
+    SPCViewBuilder b(cat_);
+    size_t r = b.AddAtom(0);
+    EXPECT_TRUE(b.SelectConst(r, "B", "1").ok());
+    EXPECT_TRUE(b.SelectConst(r, "B", "1").ok());  // duplicate conjunct
+    EXPECT_TRUE(b.Project(r, "A", "x").ok());
+    EXPECT_TRUE(b.Project(r, "C", "y").ok());
+    auto v = b.Build();
+    ASSERT_TRUE(v.ok());
+    d1_renamed = *v;
+  }
+  SPCView d2 = Disjunct("2");
+  EXPECT_EQ(FingerprintSPCUView(cat_, Union({d1, d2})),
+            FingerprintSPCUView(cat_, Union({d1_renamed, d2})));
+}
+
 }  // namespace
 }  // namespace cfdprop

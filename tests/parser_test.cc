@@ -172,6 +172,64 @@ TEST(ParserTest, FormatCFDRoundTripsThroughParser) {
   }
 }
 
+TEST(ParserTest, SigmaMutationDirectives) {
+  auto spec = ParseSpec(
+      "relation R(A, B, C)\n"
+      "cfd R: [A] -> B\n"
+      "add-cfd R: [A=20] -> C=7\n"
+      "drop-cfd R: [A] -> B\n"
+      "add-cfd R: [B] -> C\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  // Declarations and mutations land in separate lists, file order kept.
+  EXPECT_EQ(spec->source_cfds.size(), 1u);
+  ASSERT_EQ(spec->sigma_mutations.size(), 3u);
+  EXPECT_TRUE(spec->sigma_mutations[0].add);
+  EXPECT_FALSE(spec->sigma_mutations[1].add);
+  EXPECT_TRUE(spec->sigma_mutations[2].add);
+  EXPECT_EQ(spec->sigma_mutations[1].cfd, spec->source_cfds[0]);
+  EXPECT_EQ(spec->sigma_mutations[0].cfd.lhs_pats.size(), 1u);
+  EXPECT_TRUE(spec->sigma_mutations[0].cfd.lhs_pats[0].is_constant());
+
+  // Mutations target the registered source sigma, never a view.
+  auto on_view = ParseSpec(
+      "relation R(A, B)\n"
+      "view V = from(R)\n"
+      "add-cfd V: [A] -> B\n");
+  EXPECT_FALSE(on_view.ok());
+}
+
+TEST(ParserTest, UnionStatementComposesDeclaredViews) {
+  auto spec = ParseSpec(
+      "relation R(A, B)\n"
+      "relation S(C, D)\n"
+      "view V1 = pi(0.A as x) sigma(0.B = \"1\") from(R)\n"
+      "view V2 = pi(0.C as x) from(S)\n"
+      "view V3 = pi(0.A as x) from(R) union pi(0.C as x) from(S)\n"
+      "union U = V1, V2\n"
+      "union W = U, V3\n");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->views.at("U").disjuncts.size(), 2u);
+  // Members contribute all their disjuncts (U's two plus V3's two).
+  EXPECT_EQ(spec->views.at("W").disjuncts.size(), 4u);
+  EXPECT_EQ(spec->view_names.back(), "W");
+
+  // Union-incompatible members (different output arity) are rejected, as
+  // are unknown members and duplicate names.
+  EXPECT_FALSE(ParseSpec(
+                   "relation R(A, B)\n"
+                   "view V1 = pi(0.A as x) from(R)\n"
+                   "view V2 = pi(0.A as x, 0.B as y) from(R)\n"
+                   "union U = V1, V2\n")
+                   .ok());
+  EXPECT_FALSE(ParseSpec("relation R(A, B)\n"
+                         "union U = V9\n")
+                   .ok());
+  EXPECT_FALSE(ParseSpec("relation R(A, B)\n"
+                         "view V1 = from(R)\n"
+                         "union V1 = V1\n")
+                   .ok());
+}
+
 TEST(ParserTest, FullPaperSpecDrivesPropagation) {
   // A compact version of examples/specs/customers.spec.
   auto spec = ParseSpec(

@@ -13,12 +13,17 @@
 //                                    and report CFD violations
 //
 //   cfdprop_cli batch SPEC [--threads N] [--repeat K] [--cache N]
-//                                    serve every declared (SPC) view
-//                                    through the propagation engine:
-//                                    registered Sigma, fingerprint cache,
-//                                    worker pool. --repeat replays the
-//                                    request list K times to exercise the
-//                                    cache; --cache sets its capacity.
+//                                    serve every declared view (SPC and
+//                                    SPCU/union) through the propagation
+//                                    engine: registered Sigma, fingerprint
+//                                    cache, worker pool. --repeat replays
+//                                    the request list K times to exercise
+//                                    the cache; --cache sets its capacity.
+//                                    add-cfd/drop-cfd statements in the
+//                                    spec are applied after the base
+//                                    rounds, re-serving the round after
+//                                    each mutation (selective cache
+//                                    invalidation, see engine stats).
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 when --validate
 // found violations or --check found a non-propagated declared CFD.
@@ -222,18 +227,12 @@ int RunBatch(int argc, char** argv) {
   auto sigma_id = engine.RegisterSigma(spec->source_cfds);
   if (!sigma_id.ok()) return Fail(sigma_id.status());
 
-  // One request per declared single-disjunct view; the engine serves the
-  // SPC fragment (SPCU batch support is a ROADMAP follow-on).
+  // One request per declared view; the engine serves SPC and SPCU alike
+  // (union requests assemble from the per-disjunct cache lines).
   std::vector<Engine::Request> round;
   std::vector<std::string> round_names;
   for (const std::string& name : spec->view_names) {
-    const SPCUView& view = spec->views.at(name);
-    if (view.disjuncts.size() != 1) {
-      std::printf("view %s: skipped (union view; engine serves SPC)\n",
-                  name.c_str());
-      continue;
-    }
-    round.push_back({view.disjuncts.front(), *sigma_id});
+    round.push_back({spec->views.at(name), *sigma_id});
     round_names.push_back(name);
   }
   // Replay the same round `repeat` times rather than materializing
@@ -252,17 +251,22 @@ int RunBatch(int argc, char** argv) {
   double elapsed_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-  for (size_t i = 0; i < round.size() && i < results.size(); ++i) {
-    const std::string& name = round_names[i];
-    auto& r = results[i];
+  auto print_result = [&](const std::string& name,
+                          const Result<EngineResult>& r) {
     if (!r.ok()) {
       rc = Fail(r.status());
-      continue;
+      return;
     }
-    std::printf("view %s (%zu CFDs%s%s, fp=%016llx):\n", name.c_str(),
+    std::string union_info;
+    if (r->disjunct_count > 1) {
+      union_info = ", union " + std::to_string(r->disjunct_hits) + "/" +
+                   std::to_string(r->disjunct_count) + " disjunct hits";
+    }
+    std::printf("view %s (%zu CFDs%s%s%s, fp=%016llx):\n", name.c_str(),
                 r->cover->cover.size(),
                 r->cover->always_empty ? ", ALWAYS EMPTY" : "",
                 r->cover->truncated ? ", TRUNCATED" : "",
+                union_info.c_str(),
                 static_cast<unsigned long long>(r->fingerprint));
     if (!quiet) {
       const SPCUView& view = spec->views.at(name);
@@ -273,6 +277,9 @@ int RunBatch(int argc, char** argv) {
                         .c_str());
       }
     }
+  };
+  for (size_t i = 0; i < round.size() && i < results.size(); ++i) {
+    print_result(round_names[i], results[i]);
   }
   EngineStatsSnapshot stats = engine.Stats();
   std::printf("== engine stats ==\n  %s\n", stats.ToString().c_str());
@@ -282,6 +289,33 @@ int RunBatch(int argc, char** argv) {
               elapsed_ms > 0 ? 1000.0 * total_requests / elapsed_ms : 0.0,
               // 0 and 1 both serve inline on the calling thread.
               std::max<size_t>(1, engine.options().num_threads));
+
+  // Sigma churn script: apply each add-cfd/drop-cfd in file order and
+  // re-serve the round after every step. Only the mutated sigma's cache
+  // lines drop (watch invalidations in the stats); every other line
+  // keeps hitting.
+  for (const SigmaMutation& m : spec->sigma_mutations) {
+    const RelationSchema& rel = engine.catalog().relation(m.cfd.relation);
+    std::string rendered =
+        FormatCFD(m.cfd, engine.catalog().pool(), rel.name(),
+                  [&rel](AttrIndex a) {
+                    return a < rel.arity() ? rel.attr(a).name
+                                           : "#" + std::to_string(a);
+                  });
+    Status applied = m.add ? engine.AddCfd(*sigma_id, m.cfd)
+                           : engine.RetractCfd(*sigma_id, m.cfd);
+    if (!applied.ok()) {
+      rc = Fail(applied);
+      continue;
+    }
+    std::printf("== churn: applied %s-cfd (%s) ==\n", m.add ? "add" : "drop",
+                rendered.c_str());
+    auto batch = engine.PropagateBatch(round);
+    for (size_t i = 0; i < round.size() && i < batch.size(); ++i) {
+      print_result(round_names[i], batch[i]);
+    }
+    std::printf("  %s\n", engine.Stats().ToString().c_str());
+  }
   return rc;
 }
 
