@@ -1,0 +1,48 @@
+// Shared non-cryptographic hash primitives.
+//
+// One definition for the FNV-1a streaming hasher and the SplitMix64
+// mixer used by the engine's request fingerprints (src/engine/
+// fingerprint.cc) and the snapshot checksum / sigma-set fingerprint
+// (src/engine/snapshot.cc). Both outputs are persisted contracts — the
+// cover-cache wire format stores them — so there must be exactly one
+// implementation to diverge from.
+
+#ifndef CFDPROP_BASE_HASH_H_
+#define CFDPROP_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cfdprop {
+
+/// FNV-1a, 64 bit. Mix(string) is length-prefixed so concatenated
+/// fields cannot alias ("ab","c" hashes differently from "a","bc").
+class Fnv1aHasher {
+ public:
+  void MixByte(uint8_t b) {
+    h_ ^= b;
+    h_ *= 1099511628211ull;
+  }
+  void Mix(uint64_t x) {
+    for (int i = 0; i < 8; ++i) MixByte(static_cast<uint8_t>(x >> (8 * i)));
+  }
+  void Mix(std::string_view s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    for (char c : s) MixByte(static_cast<uint8_t>(c));
+  }
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = 14695981039346656037ull;
+};
+
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_BASE_HASH_H_

@@ -47,6 +47,9 @@ class ValuePool {
   Value Find(std::string_view text) const;
 
   /// The text of an interned value. Precondition: v < size().
+  /// Snapshotting (src/engine/snapshot.h) exports constants through
+  /// this, text by text; the import side is Intern, which remaps
+  /// process-local ids on restore.
   const std::string& Text(Value v) const { return texts_[v]; }
 
   size_t size() const { return texts_.size(); }

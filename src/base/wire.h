@@ -1,0 +1,77 @@
+// Little-endian byte helpers shared by the snapshot serialization code
+// (src/engine/snapshot.h and the CFD/pattern hooks that feed it).
+//
+// Writers append to a std::string; readers are bounds-checked and
+// advance a caller-owned cursor only on success, so a truncated or
+// corrupt byte stream surfaces as a clean `false` instead of an
+// out-of-range read. All integers are fixed-width little-endian,
+// independent of the host byte order.
+
+#ifndef CFDPROP_BASE_WIRE_H_
+#define CFDPROP_BASE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cfdprop {
+namespace wire {
+
+inline void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+inline void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+inline bool GetU8(std::string_view in, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > in.size()) return false;
+  *v = static_cast<uint8_t>(in[*pos]);
+  *pos += 1;
+  return true;
+}
+
+inline bool GetU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x |= static_cast<uint32_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *v = x;
+  *pos += 4;
+  return true;
+}
+
+inline bool GetU64(std::string_view in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    x |= static_cast<uint64_t>(static_cast<uint8_t>(in[*pos + i])) << (8 * i);
+  }
+  *v = x;
+  *pos += 8;
+  return true;
+}
+
+/// Reads `n` raw bytes as a view into `in` (no copy).
+inline bool GetBytes(std::string_view in, size_t* pos, size_t n,
+                     std::string_view* v) {
+  if (n > in.size() || *pos > in.size() - n) return false;
+  *v = in.substr(*pos, n);
+  *pos += n;
+  return true;
+}
+
+}  // namespace wire
+}  // namespace cfdprop
+
+#endif  // CFDPROP_BASE_WIRE_H_

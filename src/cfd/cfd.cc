@@ -4,6 +4,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "src/base/wire.h"
+
 namespace cfdprop {
 
 Result<CFD> CFD::Make(RelationId relation, std::vector<AttrIndex> lhs,
@@ -237,6 +239,55 @@ Result<std::vector<CFD>> GeneralCFD::Normalize() const {
     out.push_back(std::move(c));
   }
   return out;
+}
+
+void CFD::AppendSnapshotBytes(
+    std::string& out, const std::function<uint32_t(Value)>& value_index)
+    const {
+  wire::PutU32(out, relation);
+  wire::PutU32(out, static_cast<uint32_t>(lhs.size()));
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    wire::PutU32(out, lhs[i]);
+    lhs_pats[i].AppendSnapshotBytes(out, value_index);
+  }
+  wire::PutU32(out, rhs);
+  rhs_pat.AppendSnapshotBytes(out, value_index);
+}
+
+Result<CFD> CFD::FromSnapshotBytes(
+    std::string_view bytes, size_t* pos,
+    const std::function<Result<Value>(uint32_t)>& value_at) {
+  CFD c;
+  uint32_t lhs_size = 0;
+  if (!wire::GetU32(bytes, pos, &c.relation) ||
+      !wire::GetU32(bytes, pos, &lhs_size)) {
+    return Status::InvalidArgument("CFD header truncated");
+  }
+  // An LHS can never be wider than the encoding that claims it: each
+  // attribute costs >= 5 bytes, so an absurd count is corruption, not a
+  // huge allocation.
+  if (lhs_size > (bytes.size() - *pos) / 5) {
+    return Status::InvalidArgument("CFD lhs count exceeds remaining bytes");
+  }
+  c.lhs.reserve(lhs_size);
+  c.lhs_pats.reserve(lhs_size);
+  for (uint32_t i = 0; i < lhs_size; ++i) {
+    AttrIndex attr = kNoAttr;
+    if (!wire::GetU32(bytes, pos, &attr)) {
+      return Status::InvalidArgument("CFD lhs truncated");
+    }
+    CFDPROP_ASSIGN_OR_RETURN(
+        PatternValue pat,
+        PatternValue::FromSnapshotBytes(bytes, pos, value_at));
+    c.lhs.push_back(attr);
+    c.lhs_pats.push_back(pat);
+  }
+  if (!wire::GetU32(bytes, pos, &c.rhs)) {
+    return Status::InvalidArgument("CFD rhs truncated");
+  }
+  CFDPROP_ASSIGN_OR_RETURN(
+      c.rhs_pat, PatternValue::FromSnapshotBytes(bytes, pos, value_at));
+  return c;
 }
 
 std::vector<CFD> DedupeAndDropTrivial(std::vector<CFD> cfds) {

@@ -106,6 +106,25 @@ struct CFD {
   /// Convenience: renders with attribute names from the catalog relation
   /// (source CFDs) or "#i" (view CFDs / out-of-range).
   std::string ToString(const Catalog& catalog) const;
+
+  /// Appends the stable binary encoding of this CFD for cover snapshots
+  /// (src/engine/snapshot.h): relation, LHS attribute/pattern pairs, RHS
+  /// attribute/pattern. Pattern constants are rewritten through
+  /// `value_index` into pool-independent string-table slots.
+  void AppendSnapshotBytes(
+      std::string& out,
+      const std::function<uint32_t(Value)>& value_index) const;
+
+  /// Decodes one CFD encoded by AppendSnapshotBytes from bytes[*pos..],
+  /// advancing *pos past it. `value_at` maps string-table indices to the
+  /// loading pool's Values (see PatternValue::FromSnapshotBytes).
+  /// Structural failures (truncation, bad kind byte, out-of-range index)
+  /// reject cleanly; the decoded CFD is NOT re-validated against a
+  /// schema — callers restoring untrusted data should run Validate()
+  /// with the target arity afterwards.
+  static Result<CFD> FromSnapshotBytes(
+      std::string_view bytes, size_t* pos,
+      const std::function<Result<Value>(uint32_t)>& value_at);
 };
 
 /// Hash functor so covers can dedupe CFDs in unordered containers.

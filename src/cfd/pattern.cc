@@ -1,5 +1,7 @@
 #include "src/cfd/pattern.h"
 
+#include "src/base/wire.h"
+
 namespace cfdprop {
 
 std::string PatternValue::ToString(const ValuePool& pool) const {
@@ -12,6 +14,39 @@ std::string PatternValue::ToString(const ValuePool& pool) const {
       return pool.Text(value_);
   }
   return "?";
+}
+
+void PatternValue::AppendSnapshotBytes(
+    std::string& out, const std::function<uint32_t(Value)>& value_index)
+    const {
+  wire::PutU8(out, static_cast<uint8_t>(kind_));
+  if (kind_ == PatternKind::kConstant) {
+    wire::PutU32(out, value_index(value_));
+  }
+}
+
+Result<PatternValue> PatternValue::FromSnapshotBytes(
+    std::string_view bytes, size_t* pos,
+    const std::function<Result<Value>(uint32_t)>& value_at) {
+  uint8_t kind = 0;
+  if (!wire::GetU8(bytes, pos, &kind)) {
+    return Status::InvalidArgument("pattern entry truncated");
+  }
+  switch (static_cast<PatternKind>(kind)) {
+    case PatternKind::kWildcard:
+      return Wildcard();
+    case PatternKind::kSpecialX:
+      return SpecialX();
+    case PatternKind::kConstant: {
+      uint32_t index = 0;
+      if (!wire::GetU32(bytes, pos, &index)) {
+        return Status::InvalidArgument("pattern constant truncated");
+      }
+      CFDPROP_ASSIGN_OR_RETURN(Value v, value_at(index));
+      return Constant(v);
+    }
+  }
+  return Status::InvalidArgument("unknown pattern kind byte");
 }
 
 }  // namespace cfdprop

@@ -17,9 +17,13 @@
 #define CFDPROP_CFD_PATTERN_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "src/base/status.h"
 #include "src/base/value.h"
 
 namespace cfdprop {
@@ -93,6 +97,26 @@ class PatternValue {
 
   /// "_", "x", or the constant's text.
   std::string ToString(const ValuePool& pool) const;
+
+  /// Appends the stable snapshot encoding of this entry: the kind byte
+  /// (PatternKind's numeric values are part of the wire format and must
+  /// never be renumbered), plus — for constants only — a 32-bit
+  /// string-table index obtained from `value_index`. Value ids are
+  /// process-local, so snapshots never store them directly; the caller's
+  /// `value_index` assigns pool-independent table slots.
+  void AppendSnapshotBytes(
+      std::string& out,
+      const std::function<uint32_t(Value)>& value_index) const;
+
+  /// Decodes one entry encoded by AppendSnapshotBytes from bytes[*pos..],
+  /// advancing *pos past it. `value_at` maps a string-table index to a
+  /// Value of the *loading* process's pool (the snapshot loader interns
+  /// lazily, so only indices a kept cover references ever intern) and
+  /// errors on an out-of-range index. Fails cleanly — never reads out
+  /// of bounds — on truncation or an unknown kind byte.
+  static Result<PatternValue> FromSnapshotBytes(
+      std::string_view bytes, size_t* pos,
+      const std::function<Result<Value>(uint32_t)>& value_at);
 
  private:
   PatternKind kind_;

@@ -117,6 +117,8 @@ CacheStats CoverCache::Stats() const {
     out.invalidations += shard->invalidations;
     out.entries += shard->lru.size();
   }
+  out.restored = restored_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -20,14 +20,17 @@
 #ifndef CFDPROP_ENGINE_COVER_CACHE_H_
 #define CFDPROP_ENGINE_COVER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cfd/cfd.h"
+#include "src/engine/snapshot.h"
 
 namespace cfdprop {
 
@@ -47,6 +50,9 @@ struct CacheStats {
   uint64_t evictions = 0;
   /// Entries dropped by EraseTagged (sigma mutation), not by LRU pressure.
   uint64_t invalidations = 0;
+  /// Lines restored from / rejected by LoadSnapshot (warm starts).
+  uint64_t restored = 0;
+  uint64_t rejected = 0;
   size_t entries = 0;
 
   double HitRate() const {
@@ -92,6 +98,34 @@ class CoverCache {
   /// Drops every entry; counters are preserved.
   void Clear();
 
+  /// Spills every live line to `path` atomically (write-to-temp +
+  /// rename): the snapshot wire format of src/engine/snapshot.h, with
+  /// pattern constants exported as `pool` texts. `sigmas[tag]` supplies
+  /// each sigma's content fingerprint and current generation; lines
+  /// whose tag is unknown or whose generation is stale (an in-flight
+  /// insert that lost to a mutation) are skipped. Returns the number of
+  /// lines written. Thread-safe against concurrent serving.
+  /// Implemented in snapshot.cc.
+  Result<uint64_t> SaveSnapshot(const std::string& path,
+                                const ValuePool& pool,
+                                const std::vector<SigmaSnapshotInfo>& sigmas)
+      const;
+
+  /// Restores a snapshot written by SaveSnapshot: validates magic,
+  /// version and checksum (any failure rejects the whole file), and
+  /// inserts every line whose sigma still matches — same tag
+  /// registered, same content fingerprint — under that sigma's
+  /// *current* generation from `sigmas`. Restored covers' constants
+  /// are interned into `pool` lazily (remapping process-local Value
+  /// ids); rejected lines never intern, so a mismatched snapshot leaves
+  /// the pool untouched. Mismatched lines count as `rejected` and are
+  /// dropped; they can never serve a stale cover.
+  /// NOT thread-safe against serving (it interns into the shared pool);
+  /// call before traffic. Implemented in snapshot.cc.
+  Result<SnapshotLoadStats> LoadSnapshot(
+      const std::string& path, ValuePool& pool,
+      const std::vector<SigmaSnapshotInfo>& sigmas);
+
   CacheStats Stats() const;
 
   size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
@@ -124,6 +158,10 @@ class CoverCache {
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// LoadSnapshot outcomes; cache-global (not per shard) because a load
+  /// happens once per process, not per lookup.
+  std::atomic<uint64_t> restored_{0};
+  std::atomic<uint64_t> rejected_{0};
 };
 
 }  // namespace cfdprop

@@ -380,6 +380,25 @@ std::vector<Result<EngineResult>> Engine::PropagateBatch(
   return results;
 }
 
+std::vector<SigmaSnapshotInfo> Engine::SigmaSnapshotInfos() const {
+  std::shared_lock<std::shared_mutex> lock(sigma_mu_);
+  std::vector<SigmaSnapshotInfo> infos;
+  infos.reserve(sigmas_.size());
+  for (const SigmaEntry& e : sigmas_) {
+    infos.push_back(SigmaSnapshotInfo{
+        FingerprintSigmaSet(catalog_.pool(), *e.minimized), e.generation});
+  }
+  return infos;
+}
+
+Result<uint64_t> Engine::SaveSnapshot(const std::string& path) const {
+  return cache_.SaveSnapshot(path, catalog_.pool(), SigmaSnapshotInfos());
+}
+
+Result<SnapshotLoadStats> Engine::LoadSnapshot(const std::string& path) {
+  return cache_.LoadSnapshot(path, catalog_.pool(), SigmaSnapshotInfos());
+}
+
 EngineStatsSnapshot Engine::Stats() const {
   EngineStatsSnapshot s = stats_.Snapshot();
   s.cache = cache_.Stats();

@@ -178,6 +178,27 @@ class Engine {
   /// Engine + cache counters.
   EngineStatsSnapshot Stats() const;
 
+  /// Spills every live cover-cache line to `path` atomically
+  /// (write-to-temp + rename; snapshot format in src/engine/snapshot.h).
+  /// Each line is bound to its sigma's content fingerprint, so a
+  /// restart whose registered sets differ rejects it instead of serving
+  /// a stale cover. Returns the number of lines written. Thread-safe
+  /// against serving and mutation.
+  Result<uint64_t> SaveSnapshot(const std::string& path) const;
+
+  /// Warm-starts the cover cache from a snapshot: call it after
+  /// registering (in the same order) the sigma sets the saving process
+  /// had, and before serving traffic — it interns snapshot constants
+  /// into the shared pool, which is not thread-safe. Lines restore only
+  /// if their sigma's content fingerprint still matches, and adopt that
+  /// sigma's *current* generation, so later AddCfd/RetractCfd churn
+  /// invalidates them exactly like natively computed lines. A
+  /// version/format mismatch or corrupt file rejects wholesale with a
+  /// Status (the cache is untouched); per-sigma mismatches reject just
+  /// those lines (see SnapshotLoadStats and the restored=/rejected=
+  /// counters in Stats()).
+  Result<SnapshotLoadStats> LoadSnapshot(const std::string& path);
+
   /// Drops all cached covers (handed-out results stay valid).
   void ClearCache();
 
@@ -207,6 +228,10 @@ class Engine {
   /// shared lock; InvalidArgument for unknown ids.
   Result<std::pair<std::shared_ptr<const std::vector<CFD>>, uint64_t>>
   SnapshotSigma(SigmaId sigma_id) const;
+
+  /// (content fingerprint, generation) of every registered sigma, in
+  /// SigmaId order — what Save/LoadSnapshot validate lines against.
+  std::vector<SigmaSnapshotInfo> SigmaSnapshotInfos() const;
 
   Result<EngineResult> Serve(const SPCView& view, SigmaId sigma_id);
   Result<EngineResult> ServeUnion(const SPCUView& view, SigmaId sigma_id);

@@ -5,36 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "src/base/hash.h"
+
 namespace cfdprop {
 
 namespace {
 
-/// FNV-1a, 64 bit.
-class Hasher {
- public:
-  void MixByte(uint8_t b) {
-    h_ ^= b;
-    h_ *= 1099511628211ull;
-  }
-  void Mix(uint64_t x) {
-    for (int i = 0; i < 8; ++i) MixByte(static_cast<uint8_t>(x >> (8 * i)));
-  }
-  void Mix(const std::string& s) {
-    Mix(static_cast<uint64_t>(s.size()));
-    for (char c : s) MixByte(static_cast<uint8_t>(c));
-  }
-  uint64_t digest() const { return h_; }
-
- private:
-  uint64_t h_ = 14695981039346656037ull;
-};
-
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
+using Hasher = Fnv1aHasher;
 
 /// Orients a column-equality selection with the smaller column first
 /// (A = B and B = A denote the same conjunct).

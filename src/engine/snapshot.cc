@@ -1,0 +1,331 @@
+// Cover-cache snapshot serialization: FingerprintSigmaSet plus the
+// CoverCache::SaveSnapshot/LoadSnapshot implementations. The wire
+// format is documented in snapshot.h; the CFD/pattern byte layout lives
+// with the types themselves (CFD::AppendSnapshotBytes).
+
+#include "src/engine/snapshot.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/wire.h"
+#include "src/engine/cover_cache.h"
+
+namespace cfdprop {
+
+namespace {
+
+/// FNV-1a over the raw bytes: the file checksum. (Not cryptographic —
+/// snapshots guard against truncation and stale state, not an
+/// adversary; an untrusted file should simply not be loaded.)
+uint64_t Checksum(std::string_view bytes) {
+  Fnv1aHasher h;
+  for (char c : bytes) h.MixByte(static_cast<uint8_t>(c));
+  return h.digest();
+}
+
+constexpr uint8_t kFlagAlwaysEmpty = 1u << 0;
+constexpr uint8_t kFlagTruncated = 1u << 1;
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("cover snapshot rejected: " + what);
+}
+
+}  // namespace
+
+uint64_t FingerprintSigmaSet(const ValuePool& pool,
+                             const std::vector<CFD>& cfds) {
+  Fnv1aHasher h;
+  h.Mix(static_cast<uint64_t>(cfds.size()));
+  auto mix_pattern = [&](const PatternValue& p) {
+    h.Mix(static_cast<uint64_t>(p.kind()));
+    if (p.is_constant()) h.Mix(pool.Text(p.value()));
+  };
+  for (const CFD& c : cfds) {
+    h.Mix(static_cast<uint64_t>(c.relation));
+    h.Mix(static_cast<uint64_t>(c.lhs.size()));
+    for (size_t i = 0; i < c.lhs.size(); ++i) {
+      h.Mix(static_cast<uint64_t>(c.lhs[i]));
+      mix_pattern(c.lhs_pats[i]);
+    }
+    h.Mix(static_cast<uint64_t>(c.rhs));
+    mix_pattern(c.rhs_pat);
+  }
+  return h.digest();
+}
+
+Result<uint64_t> CoverCache::SaveSnapshot(
+    const std::string& path, const ValuePool& pool,
+    const std::vector<SigmaSnapshotInfo>& sigmas) const {
+  // Copy the live lines shard by shard (shared_ptr copies, never the
+  // covers themselves); serving proceeds on the other shards meanwhile.
+  struct Line {
+    uint64_t fingerprint, check, tag, generation;
+    std::shared_ptr<const CachedCover> cover;
+  };
+  std::vector<Line> lines;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Entry& e : shard->lru) {
+      // Skip lines no lookup could serve: an unknown tag or a stale
+      // generation (an in-flight insert that lost to a mutation).
+      if (e.tag >= sigmas.size()) continue;
+      if (e.generation != sigmas[e.tag].generation) continue;
+      lines.push_back({e.fingerprint, e.check, e.tag, e.generation, e.cover});
+    }
+  }
+  // Deterministic bytes for deterministic content: fingerprints are
+  // unique cache-wide, so (tag, fingerprint) is a total order.
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    return std::tie(a.tag, a.fingerprint) < std::tie(b.tag, b.fingerprint);
+  });
+
+  // Serialize the lines first: the string table is collected lazily in
+  // first-use order, but the format places it before the lines.
+  std::unordered_map<Value, uint32_t> value_slot;
+  std::vector<Value> table_values;
+  auto value_index = [&](Value v) {
+    auto [it, inserted] =
+        value_slot.emplace(v, static_cast<uint32_t>(table_values.size()));
+    if (inserted) table_values.push_back(v);
+    return it->second;
+  };
+  std::string body;
+  wire::PutU64(body, lines.size());
+  for (const Line& line : lines) {
+    wire::PutU64(body, line.fingerprint);
+    wire::PutU64(body, line.check);
+    wire::PutU64(body, line.tag);
+    uint8_t flags = 0;
+    if (line.cover->always_empty) flags |= kFlagAlwaysEmpty;
+    if (line.cover->truncated) flags |= kFlagTruncated;
+    wire::PutU8(body, flags);
+    wire::PutU64(body, line.cover->cover.size());
+    for (const CFD& c : line.cover->cover) {
+      c.AppendSnapshotBytes(body, value_index);
+    }
+  }
+
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  wire::PutU32(out, kSnapshotVersion);
+  wire::PutU32(out, 0);  // reserved
+  wire::PutU64(out, sigmas.size());
+  for (const SigmaSnapshotInfo& s : sigmas) {
+    wire::PutU64(out, s.fingerprint);
+    wire::PutU64(out, s.generation);
+  }
+  wire::PutU64(out, table_values.size());
+  for (Value v : table_values) {
+    const std::string& text = pool.Text(v);
+    wire::PutU64(out, text.size());
+    out.append(text);
+  }
+  out.append(body);
+  wire::PutU64(out, Checksum(out));
+
+  // Atomic publish: write the sibling temp file, then rename over the
+  // target — a reader never observes a half-written snapshot, and a
+  // crash leaves at worst a stale .tmp next to the old (still valid)
+  // file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return Status::InvalidArgument("cannot open " + tmp);
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f) {
+      std::remove(tmp.c_str());
+      return Status::InvalidArgument("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot rename " + tmp + " to " + path);
+  }
+  return static_cast<uint64_t>(lines.size());
+}
+
+Result<SnapshotLoadStats> CoverCache::LoadSnapshot(
+    const std::string& path, ValuePool& pool,
+    const std::vector<SigmaSnapshotInfo>& sigmas) {
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return Status::NotFound("cannot open " + path);
+    std::string buf((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+    if (!f.eof() && !f) return Corrupt("read error on " + path);
+    bytes = std::move(buf);
+  }
+
+  // Header gate: magic, version, checksum — in that order, so the error
+  // names the most specific cause. Everything after runs on a stream
+  // the checksum already vouches for; parse failures past this point
+  // mean a format bug, and still reject cleanly.
+  if (bytes.size() < sizeof(kSnapshotMagic) + 8 + 8) {
+    return Corrupt("file shorter than header + checksum");
+  }
+  if (bytes.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
+                    sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt("bad magic (not a cover snapshot)");
+  }
+  size_t pos = sizeof(kSnapshotMagic);
+  uint32_t version = 0, reserved = 0;
+  wire::GetU32(bytes, &pos, &version);
+  wire::GetU32(bytes, &pos, &reserved);
+  if (version != kSnapshotVersion) {
+    return Corrupt("format version " + std::to_string(version) +
+                   " (this build reads " +
+                   std::to_string(kSnapshotVersion) + ")");
+  }
+  size_t checksum_pos = bytes.size() - 8;
+  uint64_t stored_checksum = 0;
+  wire::GetU64(bytes, &checksum_pos, &stored_checksum);
+  if (Checksum(std::string_view(bytes).substr(0, bytes.size() - 8)) !=
+      stored_checksum) {
+    return Corrupt("checksum mismatch (truncated or corrupt)");
+  }
+  std::string_view payload(bytes.data(), bytes.size() - 8);
+
+  uint64_t num_sigmas = 0;
+  if (!wire::GetU64(payload, &pos, &num_sigmas) ||
+      num_sigmas > (payload.size() - pos) / 16) {
+    return Corrupt("sigma table truncated");
+  }
+  std::vector<SigmaSnapshotInfo> file_sigmas(num_sigmas);
+  for (SigmaSnapshotInfo& s : file_sigmas) {
+    wire::GetU64(payload, &pos, &s.fingerprint);
+    wire::GetU64(payload, &pos, &s.generation);
+  }
+
+  uint64_t num_strings = 0;
+  if (!wire::GetU64(payload, &pos, &num_strings) ||
+      num_strings > (payload.size() - pos) / 8) {
+    return Corrupt("string table truncated");
+  }
+  // Texts stay views into the file bytes; interning is lazy (below), so
+  // a rejected line's constants never pollute the append-only pool —
+  // loading a fully mismatched snapshot leaves the pool untouched.
+  std::vector<std::string_view> texts;
+  texts.reserve(num_strings);
+  for (uint64_t i = 0; i < num_strings; ++i) {
+    uint64_t len = 0;
+    std::string_view text;
+    if (!wire::GetU64(payload, &pos, &len) ||
+        !wire::GetBytes(payload, &pos, len, &text)) {
+      return Corrupt("string table entry truncated");
+    }
+    texts.push_back(text);
+  }
+  std::vector<Value> interned(texts.size(), kNoValue);
+  std::function<Result<Value>(uint32_t)> intern_at =
+      [&](uint32_t index) -> Result<Value> {
+    if (index >= texts.size()) {
+      return Status::InvalidArgument(
+          "pattern constant index out of string-table range");
+    }
+    if (interned[index] == kNoValue) {
+      interned[index] = pool.Intern(texts[index]);
+    }
+    return interned[index];
+  };
+  // Rejected lines still parse (the format has no per-line length to
+  // skip by) but resolve to a placeholder: bounds are checked, nothing
+  // interns, and the decoded cover is discarded.
+  std::function<Result<Value>(uint32_t)> skip_at =
+      [&](uint32_t index) -> Result<Value> {
+    if (index >= texts.size()) {
+      return Status::InvalidArgument(
+          "pattern constant index out of string-table range");
+    }
+    return kNoValue;
+  };
+
+  // Parse every line before inserting any: a structurally bad file is
+  // rejected whole, never half-restored. (Constants of lines accepted
+  // before a — post-checksum, so practically unreachable — parse
+  // failure may already have interned; the pool is append-only and
+  // extra texts are harmless, unlike half a cache.)
+  struct Parsed {
+    uint64_t fingerprint, check, tag;
+    std::shared_ptr<CachedCover> cover;
+    bool accepted;
+  };
+  uint64_t num_lines = 0;
+  if (!wire::GetU64(payload, &pos, &num_lines) ||
+      num_lines > (payload.size() - pos) / 33) {
+    return Corrupt("line table truncated");
+  }
+  std::vector<Parsed> parsed;
+  parsed.reserve(num_lines);
+  for (uint64_t i = 0; i < num_lines; ++i) {
+    Parsed line;
+    uint8_t flags = 0;
+    uint64_t cover_size = 0;
+    if (!wire::GetU64(payload, &pos, &line.fingerprint) ||
+        !wire::GetU64(payload, &pos, &line.check) ||
+        !wire::GetU64(payload, &pos, &line.tag) ||
+        !wire::GetU8(payload, &pos, &flags) ||
+        !wire::GetU64(payload, &pos, &cover_size) ||
+        cover_size > (payload.size() - pos) / 9) {
+      return Corrupt("line " + std::to_string(i) + " truncated");
+    }
+    // Accept only lines whose sigma still exists with the same content:
+    // everything else is a stale cover. (Lines carry no generation of
+    // their own — SaveSnapshot already filtered to each sigma's current
+    // generation, so the content fingerprint is the whole contract.)
+    // The acceptance check runs before the cover decodes so rejected
+    // lines resolve through skip_at and never intern their constants.
+    line.accepted =
+        line.tag < sigmas.size() && line.tag < file_sigmas.size() &&
+        file_sigmas[line.tag].fingerprint == sigmas[line.tag].fingerprint;
+    line.cover = std::make_shared<CachedCover>();
+    line.cover->always_empty = (flags & kFlagAlwaysEmpty) != 0;
+    line.cover->truncated = (flags & kFlagTruncated) != 0;
+    line.cover->cover.reserve(cover_size);
+    for (uint64_t j = 0; j < cover_size; ++j) {
+      auto cfd = CFD::FromSnapshotBytes(payload, &pos,
+                                        line.accepted ? intern_at : skip_at);
+      if (!cfd.ok()) {
+        return Corrupt("line " + std::to_string(i) + ": " +
+                       cfd.status().message());
+      }
+      line.cover->cover.push_back(std::move(cfd).value());
+    }
+    parsed.push_back(std::move(line));
+  }
+  if (pos != payload.size()) {
+    return Corrupt("trailing bytes after line table");
+  }
+
+  // Insert the accepted lines under their sigma's *current* generation —
+  // the loading process counts mutations from zero, and the fingerprint
+  // match is what proves the content is the same.
+  SnapshotLoadStats stats;
+  for (Parsed& line : parsed) {
+    if (!line.accepted) {
+      ++stats.rejected;
+      continue;
+    }
+    Insert(line.fingerprint, line.check, std::move(line.cover), line.tag,
+           sigmas[line.tag].generation);
+    ++stats.restored;
+  }
+  restored_.fetch_add(stats.restored, std::memory_order_relaxed);
+  rejected_.fetch_add(stats.rejected, std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace cfdprop

@@ -1,0 +1,104 @@
+// Persistent cover-cache snapshots: the versioned, self-validating wire
+// format behind CoverCache::SaveSnapshot/LoadSnapshot and
+// Engine::SaveSnapshot/LoadSnapshot.
+//
+// The engine's sharded LRU dies with the process, so every restart used
+// to pay the full one-shot propagation cost per request. A snapshot
+// spills every live cache line — fingerprint, check word, (tag,
+// generation) and the CachedCover payload — to one file that a restart
+// restores atomically, serving warm covers byte-identical to what the
+// cold process computed.
+//
+// Wire format (all integers fixed-width little-endian, see
+// src/base/wire.h):
+//
+//   magic[8]            "CFDPSNP1"
+//   version   u32       kSnapshotVersion; any other value rejects
+//   reserved  u32       0
+//   sigma table:
+//     count   u64       registered sigma sets at save time
+//     per set: fingerprint u64 (FingerprintSigmaSet of the minimized
+//              set, text-level so it is pool-independent),
+//              generation u64 (the set's mutation counter at save;
+//              informational — lines from stale generations are
+//              filtered out at save, so lines carry no generation)
+//   string table:
+//     count   u64
+//     per string: len u64 + raw bytes — every pattern-constant text the
+//              spilled covers reference, in first-use order
+//   lines:
+//     count   u64
+//     per line (sorted by (tag, fingerprint) so identical cache content
+//              serializes to identical bytes):
+//       fingerprint u64, check u64, tag u64,
+//       flags u8 (bit0 always_empty, bit1 truncated),
+//       cover count u64, then each CFD via CFD::AppendSnapshotBytes
+//       (pattern constants as string-table indices, never Value ids —
+//       ids are process-local and are remapped through the table on
+//       load)
+//   checksum  u64       FNV-1a over every preceding byte; catches
+//                       truncation and bit rot before any line parses
+//
+// Validation on load, in order: magic, version, checksum, then per
+// line: the line's tag must name a currently registered sigma whose
+// FingerprintSigmaSet equals the file's — a changed Σ rejects that
+// sigma's lines (they'd be stale covers) while other sigmas' lines
+// still restore. Restored lines are inserted under the *current*
+// generation of their sigma, so a freshly started engine (generation 0)
+// serves them immediately. Any structural failure rejects the whole
+// file with a Status; nothing is ever partially trusted.
+//
+// Versioning policy: kSnapshotVersion bumps on ANY layout change — the
+// format carries no compatibility shims, a version mismatch simply
+// rejects and the restart recomputes (a snapshot is a cache, losing it
+// is never incorrect).
+
+#ifndef CFDPROP_ENGINE_SNAPSHOT_H_
+#define CFDPROP_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/value.h"
+#include "src/cfd/cfd.h"
+
+namespace cfdprop {
+
+/// First bytes of every cover snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'C', 'F', 'D', 'P',
+                                           'S', 'N', 'P', '1'};
+
+/// Bumped on any wire-format change; a mismatch cleanly rejects the file.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// What a snapshot records about one registered sigma set, and what a
+/// loader presents about its own registered sets to validate against.
+struct SigmaSnapshotInfo {
+  /// FingerprintSigmaSet of the minimized set — content-addressed and
+  /// text-level, so two processes that registered the same CFDs agree
+  /// on it regardless of interning order.
+  uint64_t fingerprint = 0;
+  /// The set's mutation counter (Engine generation).
+  uint64_t generation = 0;
+};
+
+/// Outcome of a LoadSnapshot call.
+struct SnapshotLoadStats {
+  /// Lines inserted into the cache.
+  uint64_t restored = 0;
+  /// Lines skipped because their sigma no longer exists or its content
+  /// fingerprint changed (stale-at-save lines never reach the file).
+  uint64_t rejected = 0;
+};
+
+/// Stable, pool-independent fingerprint of a CFD set: hashes relation
+/// ids, attribute positions and pattern entries with constants by their
+/// *text*. Order-sensitive over `cfds` (minimization is deterministic,
+/// so equal registered sets fingerprint equal). Binds snapshot lines to
+/// the sigma content they were computed against.
+uint64_t FingerprintSigmaSet(const ValuePool& pool,
+                             const std::vector<CFD>& cfds);
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_ENGINE_SNAPSHOT_H_

@@ -43,11 +43,12 @@ struct EngineStatsSnapshot {
   CacheStats cache;
 
   std::string ToString() const {
-    char buf[384];
+    char buf[448];
     std::snprintf(buf, sizeof(buf),
                   "requests=%llu errors=%llu batches=%llu "
                   "hit_rate=%.1f%% (hits=%llu misses=%llu evictions=%llu "
-                  "invalidations=%llu entries=%zu) unions=%llu "
+                  "invalidations=%llu entries=%zu restored=%llu "
+                  "rejected=%llu) unions=%llu "
                   "disjunct_hits=%llu/%llu mutations=%llu "
                   "compute=%.1fms total=%.1fms",
                   static_cast<unsigned long long>(requests),
@@ -59,6 +60,8 @@ struct EngineStatsSnapshot {
                   static_cast<unsigned long long>(cache.evictions),
                   static_cast<unsigned long long>(cache.invalidations),
                   cache.entries,
+                  static_cast<unsigned long long>(cache.restored),
+                  static_cast<unsigned long long>(cache.rejected),
                   static_cast<unsigned long long>(union_requests),
                   static_cast<unsigned long long>(disjunct_hits),
                   static_cast<unsigned long long>(disjunct_hits +

@@ -13,6 +13,7 @@
 //                                    and report CFD violations
 //
 //   cfdprop_cli batch SPEC [--threads N] [--repeat K] [--cache N]
+//               [--snapshot-in F] [--snapshot-out F]
 //                                    serve every declared view (SPC and
 //                                    SPCU/union) through the propagation
 //                                    engine: registered Sigma, fingerprint
@@ -24,6 +25,14 @@
 //                                    rounds, re-serving the round after
 //                                    each mutation (selective cache
 //                                    invalidation, see engine stats).
+//                                    --snapshot-in warm-starts the cover
+//                                    cache from a snapshot file before
+//                                    serving (a mismatched/corrupt file
+//                                    is rejected and the run proceeds
+//                                    cold); --snapshot-out spills the
+//                                    cache after the base rounds — the
+//                                    state a restart wants back, before
+//                                    the churn script mutates Sigma.
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 when --validate
 // found violations or --check found a non-propagated declared CFD.
@@ -176,7 +185,8 @@ int RunBatch(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s batch SPEC [--threads N] [--repeat K]"
-                 " [--cache N] [--no-cache] [--quiet]\n",
+                 " [--cache N] [--no-cache] [--quiet]"
+                 " [--snapshot-in FILE] [--snapshot-out FILE]\n",
                  argv[0]);
     return 1;
   }
@@ -186,7 +196,19 @@ int RunBatch(int argc, char** argv) {
   EngineOptions options;
   size_t repeat = 1;
   bool quiet = false;
+  std::string snapshot_in, snapshot_out;
   for (int i = 3; i < argc; ++i) {
+    auto str_arg = [&](const char* flag, std::string* out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a path\n", flag);
+        std::exit(1);
+      }
+      *out = argv[++i];
+      return true;
+    };
+    if (str_arg("--snapshot-in", &snapshot_in)) continue;
+    if (str_arg("--snapshot-out", &snapshot_out)) continue;
     auto int_arg = [&](const char* flag, size_t* out) {
       if (std::strcmp(argv[i], flag) != 0) return false;
       if (i + 1 >= argc) {
@@ -226,6 +248,24 @@ int RunBatch(int argc, char** argv) {
   Engine engine(std::move(spec->catalog), options);
   auto sigma_id = engine.RegisterSigma(spec->source_cfds);
   if (!sigma_id.ok()) return Fail(sigma_id.status());
+
+  // Warm start: restore cached covers spilled by a previous run. A
+  // rejected file (version bump, changed Sigma, corruption) is not an
+  // error — the run just serves cold, exactly as if no snapshot existed.
+  if (!snapshot_in.empty()) {
+    auto loaded = engine.LoadSnapshot(snapshot_in);
+    if (loaded.ok()) {
+      std::printf("== snapshot ==\n  loaded %s: restored=%llu "
+                  "rejected=%llu\n",
+                  snapshot_in.c_str(),
+                  static_cast<unsigned long long>(loaded->restored),
+                  static_cast<unsigned long long>(loaded->rejected));
+    } else {
+      std::printf("== snapshot ==\n  rejected %s: %s (restored=0)\n",
+                  snapshot_in.c_str(),
+                  loaded.status().ToString().c_str());
+    }
+  }
 
   // One request per declared view; the engine serves SPC and SPCU alike
   // (union requests assemble from the per-disjunct cache lines).
@@ -289,6 +329,20 @@ int RunBatch(int argc, char** argv) {
               elapsed_ms > 0 ? 1000.0 * total_requests / elapsed_ms : 0.0,
               // 0 and 1 both serve inline on the calling thread.
               std::max<size_t>(1, engine.options().num_threads));
+
+  // Spill the cache now, before the churn script mutates Sigma: a
+  // restart re-registers the spec's base Sigma, so this is the state it
+  // can actually warm from (post-churn lines would just be rejected).
+  if (!snapshot_out.empty()) {
+    auto saved = engine.SaveSnapshot(snapshot_out);
+    if (saved.ok()) {
+      std::printf("  snapshot saved to %s (lines=%llu)\n",
+                  snapshot_out.c_str(),
+                  static_cast<unsigned long long>(*saved));
+    } else {
+      rc = Fail(saved.status());
+    }
+  }
 
   // Sigma churn script: apply each add-cfd/drop-cfd in file order and
   // re-serve the round after every step. Only the mutated sigma's cache
