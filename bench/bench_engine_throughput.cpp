@@ -18,6 +18,7 @@
 
 #include "src/engine/engine.h"
 #include "src/gen/generators.h"
+#include "src/service/catalog_service.h"
 
 namespace cfdprop_bench {
 
@@ -266,6 +267,79 @@ BENCHMARK(BM_EngineChurn)
     ->Args({4})
     ->Args({1})
     ->Unit(benchmark::kMillisecond);
+
+/// Multi-tenant serving through CatalogService: range(0) tenants, each
+/// its own catalog/engine, one async 95%-repeat batch per tenant per
+/// iteration, all in flight together across the dispatcher pool.
+/// covers/sec aggregates over every tenant, so compare per-tenant cost
+/// against BM_EngineServe/hit_pct:95 for the routing overhead and
+/// against the tenant count for scaling (1-CPU container: expect flat
+/// wall-clock per request, not per tenant).
+void BM_ServiceTenantSweep(benchmark::State& state) {
+  const size_t num_tenants = static_cast<size_t>(state.range(0));
+  ServiceOptions options;
+  options.dispatcher_threads = num_tenants;
+  options.engine.num_threads = 1;
+  options.global_cache_budget = num_tenants * 4 * kStreamLen;
+  options.engine.cover.rbr.on_budget = RBROptions::OnBudget::kTruncate;
+  CatalogService service(options);
+
+  std::vector<std::vector<Engine::Request>> streams;
+  std::vector<TenantHandle> handles;
+  for (size_t t = 0; t < num_tenants; ++t) {
+    EngineWorkload w = MakeEngineWorkload({/*num_cfds=*/160,
+                                           /*num_views=*/kStreamLen,
+                                           /*seed=*/42 + t});
+    streams.push_back(MakeStream(w, UniqueForHitPct(95)));
+    auto opened = service.OpenCatalog("tenant" + std::to_string(t),
+                                      std::move(w.catalog),
+                                      {std::move(w.sigma)});
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().ToString().c_str());
+      return;
+    }
+    handles.push_back(std::move(opened).value());
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& h : handles) h->engine().ClearCache();
+    state.ResumeTiming();
+    std::vector<std::future<BatchReply>> futures;
+    futures.reserve(num_tenants);
+    for (size_t t = 0; t < num_tenants; ++t) {
+      auto submitted = service.SubmitBatch("tenant" + std::to_string(t),
+                                           streams[t]);
+      if (!submitted.ok()) {
+        state.SkipWithError(submitted.status().ToString().c_str());
+        return;
+      }
+      futures.push_back(std::move(submitted).value());
+    }
+    for (auto& f : futures) {
+      BatchReply reply = f.get();
+      for (auto& r : reply.results) {
+        if (!r.ok()) {
+          state.SkipWithError(r.status().ToString().c_str());
+          return;
+        }
+      }
+      benchmark::DoNotOptimize(reply.results.data());
+    }
+  }
+  const auto total = static_cast<int64_t>(state.iterations()) *
+                     static_cast<int64_t>(num_tenants * kStreamLen);
+  state.SetItemsProcessed(total);
+  state.counters["covers_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServiceTenantSweep)
+    ->ArgNames({"tenants"})
+    ->Args({1})
+    ->Args({2})
+    ->Args({4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 /// Baseline: the uncached one-shot pipeline over the same stream (every
 /// request recomputes MinCover/ComputeEQ/RBR). Compare covers_per_sec

@@ -10,8 +10,10 @@ CoverCache::CoverCache(size_t capacity, size_t num_shards) {
   // least one shard, and at most 256 — ShardFor selects by the key's
   // top byte, so shards past 256 could never be addressed.
   num_shards = std::clamp<size_t>(std::min(num_shards, capacity), 1, 256);
-  per_shard_capacity_ = std::max<size_t>(1, (capacity + num_shards - 1) /
-                                                num_shards);
+  // Round DOWN to a shard multiple (min 1 per shard): `capacity` is a
+  // budget, i.e. an upper bound — a multi-tenant split that rounded up
+  // would overshoot its global budget by up to shards-1 per tenant.
+  per_shard_capacity_ = std::max<size_t>(1, capacity / num_shards);
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -73,11 +75,35 @@ void CoverCache::Insert(uint64_t fingerprint, uint64_t check,
                              std::move(cover)});
   shard.index.emplace(fingerprint, shard.lru.begin());
   ++shard.insertions;
-  if (shard.lru.size() > per_shard_capacity_) {
+  if (shard.lru.size() > per_shard_capacity_.load(std::memory_order_relaxed)) {
     shard.index.erase(shard.lru.back().fingerprint);
     shard.lru.pop_back();
     ++shard.evictions;
   }
+}
+
+size_t CoverCache::SetBudget(size_t capacity) {
+  const size_t num_shards = shards_.size();
+  // Same floor-to-shard-multiple policy as the constructor: a budget is
+  // an upper bound, so never round it up.
+  const size_t per_shard = std::max<size_t>(1, capacity / num_shards);
+  per_shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  // Trim each shard to the bound just computed (not a re-load: racing
+  // SetBudget calls each stay internally consistent), oldest first. A
+  // concurrent Insert that lands between the store above and a shard's
+  // trim enforces the new bound itself, so the cache can only
+  // transiently exceed it.
+  size_t evicted = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    while (shard->lru.size() > per_shard) {
+      shard->index.erase(shard->lru.back().fingerprint);
+      shard->lru.pop_back();
+      ++shard->evictions;
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 size_t CoverCache::EraseTagged(uint64_t tag) {
@@ -101,6 +127,10 @@ size_t CoverCache::EraseTagged(uint64_t tag) {
 void CoverCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    // Counted as invalidations so content-change tracking (e.g. the
+    // service's snapshot dirtiness) sees an explicit clear — otherwise
+    // a stale snapshot of the cleared entries would look up to date.
+    shard->invalidations += shard->lru.size();
     shard->lru.clear();
     shard->index.clear();
   }

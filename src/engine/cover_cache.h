@@ -63,8 +63,9 @@ struct CacheStats {
 
 class CoverCache {
  public:
-  /// `capacity` = total number of cached covers, split evenly across
-  /// `num_shards` shards (each shard gets at least one slot).
+  /// `capacity` = total budget of cached covers, split evenly across
+  /// `num_shards` shards (rounded down to a shard multiple — a budget
+  /// is an upper bound — but each shard gets at least one slot).
   explicit CoverCache(size_t capacity, size_t num_shards = 8);
 
   CoverCache(const CoverCache&) = delete;
@@ -95,7 +96,20 @@ class CoverCache {
   /// Thread-safe.
   size_t EraseTagged(uint64_t tag);
 
-  /// Drops every entry; counters are preserved.
+  /// Resizes the cache to `capacity` total entries (the shard count is
+  /// fixed at construction; each shard keeps at least one slot, so the
+  /// effective floor is num_shards() entries — a budget below that
+  /// over-delivers, see capacity() for the honored value). A shrink
+  /// evicts deterministically — shard 0..N-1 in order, each shard's
+  /// least recently used entries first — so rebalancing tenant budgets
+  /// at runtime always drops the same lines for the same access
+  /// history. Handed-out covers stay valid. Returns how many entries
+  /// were evicted (counted in `evictions`). Thread-safe.
+  size_t SetBudget(size_t capacity);
+
+  /// Drops every entry; hit/miss counters are preserved and the dropped
+  /// entries count as `invalidations` (so dirtiness tracking built on
+  /// the change counters registers an explicit clear).
   void Clear();
 
   /// Spills every live line to `path` atomically (write-to-temp +
@@ -128,7 +142,10 @@ class CoverCache {
 
   CacheStats Stats() const;
 
-  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t capacity() const {
+    return per_shard_capacity_.load(std::memory_order_relaxed) *
+           shards_.size();
+  }
   size_t num_shards() const { return shards_.size(); }
 
  private:
@@ -156,7 +173,9 @@ class CoverCache {
     return *shards_[(fingerprint >> 56) % shards_.size()];
   }
 
-  size_t per_shard_capacity_;
+  /// Atomic: Insert reads it under its own shard's lock only, while
+  /// SetBudget rewrites it without holding every shard lock at once.
+  std::atomic<size_t> per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// LoadSnapshot outcomes; cache-global (not per shard) because a load
   /// happens once per process, not per lookup.

@@ -315,6 +315,21 @@ Result<EngineResult> Engine::ServeRequest(const Request& request) {
   return ServeUnion(request.view, request.sigma_id);
 }
 
+Result<EngineResult> Engine::ServeRequestNoThrow(const Request& request) {
+  // An exception escaping a worker task would std::terminate the worker
+  // thread and leave the batch waiting forever; escaping the inline
+  // loop it would tear down whatever serving thread (e.g. a service
+  // dispatcher) called PropagateBatch. Surface it as a Status either
+  // way.
+  try {
+    return ServeRequest(request);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("worker exception: ") + e.what());
+  } catch (...) {
+    return Status::Internal("worker exception");
+  }
+}
+
 Result<EngineResult> Engine::Propagate(const SPCView& view,
                                        SigmaId sigma_id) {
   return Serve(view, sigma_id);
@@ -331,13 +346,14 @@ Result<EngineResult> Engine::PropagateUnion(const SPCUView& view,
 std::vector<Result<EngineResult>> Engine::PropagateBatch(
     const std::vector<Request>& requests) {
   stats_.RecordBatch();
+  const auto wall_start = Clock::now();
   // Result slots are indexed by request position: output order is the
   // request order no matter which worker finishes first.
   std::vector<std::optional<Result<EngineResult>>> slots(requests.size());
 
   if (options_.num_threads <= 1 || workers_.empty() || requests.size() <= 1) {
     for (size_t i = 0; i < requests.size(); ++i) {
-      slots[i] = ServeRequest(requests[i]);
+      slots[i] = ServeRequestNoThrow(requests[i]);
     }
   } else {
     struct BatchState {
@@ -345,24 +361,25 @@ std::vector<Result<EngineResult>> Engine::PropagateBatch(
       std::condition_variable done_cv;
       size_t remaining;
     };
+    // Chunked fan-out: queue one task per contiguous index range rather
+    // than one per request, cutting queue-mutex traffic by the chunk
+    // length while the position-indexed slots keep output order exact.
+    // ~4 chunks per worker leaves enough pieces to rebalance when
+    // request costs are skewed.
+    const size_t target_chunks =
+        std::min(requests.size(), options_.num_threads * 4);
+    const size_t chunk_len =
+        (requests.size() + target_chunks - 1) / target_chunks;
+    const size_t num_chunks = (requests.size() + chunk_len - 1) / chunk_len;
     auto state = std::make_shared<BatchState>();
-    state->remaining = requests.size();
+    state->remaining = num_chunks;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (size_t i = 0; i < requests.size(); ++i) {
-        queue_.push_back([this, &requests, &slots, state, i] {
-          // A throwing task would std::terminate the worker thread and
-          // leave the batch waiting forever; surface it as a Status like
-          // the inline path surfaces errors, and always decrement.
-          try {
-            slots[i] = ServeRequest(requests[i]);
-          } catch (const std::exception& e) {
-            slots[i] = Result<EngineResult>(
-                Status::Internal(std::string("worker exception: ") +
-                                 e.what()));
-          } catch (...) {
-            slots[i] =
-                Result<EngineResult>(Status::Internal("worker exception"));
+      for (size_t begin = 0; begin < requests.size(); begin += chunk_len) {
+        const size_t end = std::min(begin + chunk_len, requests.size());
+        queue_.push_back([this, &requests, &slots, state, begin, end] {
+          for (size_t i = begin; i < end; ++i) {
+            slots[i] = ServeRequestNoThrow(requests[i]);
           }
           std::lock_guard<std::mutex> done_lock(state->mu);
           if (--state->remaining == 0) state->done_cv.notify_one();
@@ -373,6 +390,14 @@ std::vector<Result<EngineResult>> Engine::PropagateBatch(
     std::unique_lock<std::mutex> lock(state->mu);
     state->done_cv.wait(lock, [&] { return state->remaining == 0; });
   }
+
+  // Wall vs. summed per-request time = the parallelism this batch
+  // actually achieved (par_eff in the stats line).
+  double busy_us = 0;
+  for (const auto& slot : slots) {
+    if (slot->ok()) busy_us += (*slot)->timing.total_us;
+  }
+  stats_.RecordBatchTiming(MicrosSince(wall_start), busy_us);
 
   std::vector<Result<EngineResult>> results;
   results.reserve(requests.size());
@@ -406,6 +431,12 @@ EngineStatsSnapshot Engine::Stats() const {
 }
 
 void Engine::ClearCache() { cache_.Clear(); }
+
+size_t Engine::SetCacheBudget(size_t entries) {
+  return cache_.SetBudget(entries);
+}
+
+size_t Engine::cache_capacity() const { return cache_.capacity(); }
 
 void Engine::StartWorkers() {
   // Guard against pathological configs: more workers than can do useful

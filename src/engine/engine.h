@@ -202,6 +202,18 @@ class Engine {
   /// Drops all cached covers (handed-out results stay valid).
   void ClearCache();
 
+  /// Resizes the cover cache to `entries` total slots (shard count is
+  /// fixed). A shrink evicts in deterministic LRU order; handed-out
+  /// covers stay valid. Returns how many entries were evicted. This is
+  /// the hook a multi-tenant service uses to rebalance per-tenant
+  /// budgets at runtime. Thread-safe.
+  size_t SetCacheBudget(size_t entries);
+
+  /// Current cover-cache capacity in entries (reflects SetCacheBudget,
+  /// unlike options().cache_capacity which records the construction-time
+  /// value).
+  size_t cache_capacity() const;
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -236,6 +248,10 @@ class Engine {
   Result<EngineResult> Serve(const SPCView& view, SigmaId sigma_id);
   Result<EngineResult> ServeUnion(const SPCUView& view, SigmaId sigma_id);
   Result<EngineResult> ServeRequest(const Request& request);
+  /// ServeRequest with exceptions surfaced as Status::Internal — the
+  /// batch contract ("errors come back as the slot's Status") for both
+  /// the inline and the worker-chunk path.
+  Result<EngineResult> ServeRequestNoThrow(const Request& request);
   void WorkerLoop();
   void StartWorkers();
 

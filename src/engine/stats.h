@@ -40,6 +40,17 @@ struct EngineStatsSnapshot {
   double total_us = 0;
   double fingerprint_us = 0;
   double compute_us = 0;
+  /// PropagateBatch accounting: wall-clock time spent inside batch calls
+  /// and the sum of the per-request serve times within them. Their ratio
+  /// is the *effective* parallelism actually achieved — on a 1-CPU box it
+  /// honestly reports ~1.0 no matter how many workers are configured
+  /// (ROADMAP "Multi-core validation").
+  double batch_wall_us = 0;
+  double batch_busy_us = 0;
+
+  double BatchParallelism() const {
+    return batch_wall_us > 0 ? batch_busy_us / batch_wall_us : 0.0;
+  }
   CacheStats cache;
 
   std::string ToString() const {
@@ -50,7 +61,7 @@ struct EngineStatsSnapshot {
                   "invalidations=%llu entries=%zu restored=%llu "
                   "rejected=%llu) unions=%llu "
                   "disjunct_hits=%llu/%llu mutations=%llu "
-                  "compute=%.1fms total=%.1fms",
+                  "par_eff=%.2f compute=%.1fms total=%.1fms",
                   static_cast<unsigned long long>(requests),
                   static_cast<unsigned long long>(errors),
                   static_cast<unsigned long long>(batches),
@@ -67,7 +78,8 @@ struct EngineStatsSnapshot {
                   static_cast<unsigned long long>(disjunct_hits +
                                                   disjunct_misses),
                   static_cast<unsigned long long>(sigma_mutations),
-                  compute_us / 1000.0, total_us / 1000.0);
+                  BatchParallelism(), compute_us / 1000.0,
+                  total_us / 1000.0);
     return buf;
   }
 };
@@ -83,6 +95,13 @@ class EngineStats {
   }
 
   void RecordBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// One PropagateBatch completed: `wall_us` is its wall-clock span,
+  /// `busy_us` the sum of its requests' serve times.
+  void RecordBatchTiming(double wall_us, double busy_us) {
+    AddDouble(batch_wall_us_, wall_us);
+    AddDouble(batch_busy_us_, busy_us);
+  }
 
   void RecordUnion(size_t disjunct_hits, size_t disjunct_misses) {
     union_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +126,8 @@ class EngineStats {
     s.total_us = total_us_.load(std::memory_order_relaxed);
     s.fingerprint_us = fingerprint_us_.load(std::memory_order_relaxed);
     s.compute_us = compute_us_.load(std::memory_order_relaxed);
+    s.batch_wall_us = batch_wall_us_.load(std::memory_order_relaxed);
+    s.batch_busy_us = batch_busy_us_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -128,6 +149,8 @@ class EngineStats {
   std::atomic<double> total_us_{0};
   std::atomic<double> fingerprint_us_{0};
   std::atomic<double> compute_us_{0};
+  std::atomic<double> batch_wall_us_{0};
+  std::atomic<double> batch_busy_us_{0};
 };
 
 }  // namespace cfdprop

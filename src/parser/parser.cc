@@ -142,6 +142,8 @@ class Parser {
         CFDPROP_RETURN_NOT_OK(ParseView());
       } else if (head.text == "insert") {
         CFDPROP_RETURN_NOT_OK(ParseInsert());
+      } else if (head.text == "serve") {
+        CFDPROP_RETURN_NOT_OK(ParseServe());
       } else {
         return Error(head, "unknown statement '" + head.text + "'");
       }
@@ -539,6 +541,20 @@ class Parser {
     CFDPROP_RETURN_NOT_OK(view.Validate(spec_.catalog));
     spec_.view_names.push_back(name.text);
     spec_.views.emplace(name.text, std::move(view));
+    return Status::OK();
+  }
+
+  // serve VIEW (',' VIEW)* — declares the request round a serving CLI
+  // mode replays (repeats allowed; multiple statements append). Views
+  // must already be declared.
+  Status ParseServe() {
+    do {
+      CFDPROP_ASSIGN_OR_RETURN(Token name, ExpectWord("view name"));
+      if (!spec_.views.count(name.text)) {
+        return Error(name, "serve names undeclared view '" + name.text + "'");
+      }
+      spec_.round_views.push_back(name.text);
+    } while (Accept(","));
     return Status::OK();
   }
 

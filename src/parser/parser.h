@@ -26,6 +26,10 @@
 //   union U = V1, V2                    # SPCU over declared views'
 //                                       # disjuncts (union-compatible)
 //
+//   serve V1, U, V1                     # request round for the serving
+//                                       # CLI modes (repeats allowed;
+//                                       # default: all views once)
+//
 //   add-cfd R1: [AC=20] -> city=LDN     # sigma churn script: applied by
 //   drop-cfd R1: [zip] -> street        # the CLI batch mode between
 //                                       # serving rounds, in order
@@ -79,6 +83,18 @@ struct Spec {
   /// The CLI batch mode replays these against the engine's registered
   /// sigma between serving rounds.
   std::vector<SigmaMutation> sigma_mutations;
+
+  /// Serving round declared by `serve V1, V2, V1` statements (in file
+  /// order, repeats allowed — a view listed twice models a hot request).
+  /// Empty = serve every declared view once, in declaration order,
+  /// which is what the batch/serve CLI modes fall back to.
+  std::vector<std::string> round_views;
+
+  /// The request round a serving CLI mode should replay: `round_views`
+  /// when declared, else every view once in declaration order.
+  const std::vector<std::string>& ServingRound() const {
+    return round_views.empty() ? view_names : round_views;
+  }
 
   /// The output-column index of `column` in view `view_name`, or kNoAttr.
   AttrIndex FindViewColumn(const std::string& view_name,

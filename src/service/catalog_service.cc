@@ -1,0 +1,465 @@
+#include "src/service/catalog_service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <utility>
+
+namespace cfdprop {
+
+namespace {
+
+/// Tenant names become snapshot file names, so the alphabet is locked
+/// down: [A-Za-z0-9_.-], first character alphanumeric or '_'. This
+/// rules out path separators, ".." prefixes and empty names without any
+/// escaping scheme to maintain.
+Status ValidateTenantName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenant name must not be empty");
+  }
+  // Names become "<name>.ccsnap.tmp" files: far below NAME_MAX (255),
+  // or every spill would fail with ENAMETOOLONG — and since a failed
+  // flush fails DropCatalog, an unspillable tenant could never close.
+  constexpr size_t kMaxTenantNameLen = 100;
+  if (name.size() > kMaxTenantNameLen) {
+    return Status::InvalidArgument("tenant name longer than 100 characters");
+  }
+  char first = name.front();
+  if (!std::isalnum(static_cast<unsigned char>(first)) && first != '_') {
+    return Status::InvalidArgument(
+        "tenant name must start with a letter, digit or '_': '" + name + "'");
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-') {
+      return Status::InvalidArgument(
+          "tenant name may only contain [A-Za-z0-9_.-]: '" + name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+/// Case-folded name for duplicate detection: tenant names become
+/// snapshot file names, and on a case-insensitive filesystem
+/// (macOS/Windows) "EU" and "eu" would silently share one .ccsnap file,
+/// each spill overwriting the other's. The registry itself stays
+/// case-preserving.
+std::string FoldTenantName(const std::string& name) {
+  std::string folded = name;
+  for (char& c : folded) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return folded;
+}
+
+/// Monotone count of cache content changes: anything that adds or
+/// removes a line. The delta against a tenant's spill_marker is its
+/// dirtiness (restored lines count via `insertions`).
+uint64_t CacheChangeCounter(const CacheStats& c) {
+  return c.insertions + c.evictions + c.invalidations;
+}
+
+}  // namespace
+
+std::string TenantStatsSnapshot::ToString() const {
+  // Sized like EngineStatsSnapshot::ToString's buffer: the 100-char
+  // name cap plus six full-width counters must never truncate.
+  char buf[448];
+  std::snprintf(buf, sizeof(buf),
+                "tenant %s: budget=%zu batches=%llu spills=%llu "
+                "policy_spills=%llu last_spill_lines=%llu dirty=%llu ",
+                name.c_str(), cache_budget,
+                static_cast<unsigned long long>(batches_submitted),
+                static_cast<unsigned long long>(spills),
+                static_cast<unsigned long long>(policy_spills),
+                static_cast<unsigned long long>(last_spill_lines),
+                static_cast<unsigned long long>(dirty_lines));
+  return std::string(buf) + engine.ToString();
+}
+
+CatalogService::CatalogService(ServiceOptions options)
+    : options_(std::move(options)) {
+  // Same guard as the engine's worker pool: a dispatcher count past any
+  // plausible hardware just burns thread stacks.
+  constexpr size_t kMaxDispatchers = 256;
+  options_.dispatcher_threads =
+      std::clamp<size_t>(options_.dispatcher_threads, 1, kMaxDispatchers);
+  // Threshold 0 would re-spill every clean tenant each interval (0
+  // dirty lines >= 0); the meaningful minimum is "any change at all".
+  options_.policy.dirty_line_threshold =
+      std::max<uint64_t>(1, options_.policy.dirty_line_threshold);
+  dispatchers_.reserve(options_.dispatcher_threads);
+  for (size_t i = 0; i < options_.dispatcher_threads; ++i) {
+    dispatchers_.emplace_back([this] { DispatcherLoop(); });
+  }
+  if (!options_.snapshot_dir.empty() &&
+      options_.policy.interval.count() > 0) {
+    policy_thread_ = std::thread([this] { PolicyLoop(); });
+  }
+}
+
+CatalogService::~CatalogService() {
+  // Stop serving first (dispatchers drain the queue before exiting, so
+  // every submitted future still resolves), then the policy thread, and
+  // only then take the final flush — its snapshots see the last batch's
+  // insertions.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  if (policy_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(policy_mu_);
+      policy_stop_ = true;
+    }
+    policy_cv_.notify_all();
+    policy_thread_.join();
+  }
+  if (!options_.snapshot_dir.empty()) {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    for (auto& [name, tenant] : tenants_) {
+      // Any dirtiness flushes — the policy threshold only gates the
+      // background thread, never whether a computed cover survives. A
+      // destructor cannot return the error, so at least say what was
+      // lost.
+      auto spilled = Spill(*tenant, /*from_policy=*/false, /*min_dirty=*/1);
+      if (!spilled.ok()) {
+        std::fprintf(stderr,
+                     "cfdprop: shutdown flush of tenant '%s' failed: %s\n",
+                     name.c_str(), spilled.status().ToString().c_str());
+      }
+    }
+  }
+}
+
+std::string CatalogService::SnapshotPath(const std::string& name) const {
+  return options_.snapshot_dir + "/" + name + ".ccsnap";
+}
+
+void CatalogService::RebalanceBudgets(size_t num_tenants) {
+  if (num_tenants == 0) return;
+  const size_t share = ShareFor(num_tenants);
+  for (auto& [name, tenant] : tenants_) {
+    tenant->engine_->SetCacheBudget(share);
+    // Record what the cache actually honors (shares round down to shard
+    // multiples), so budget= in stats never overstates real capacity.
+    tenant->cache_budget_.store(tenant->engine_->cache_capacity(),
+                                std::memory_order_relaxed);
+  }
+}
+
+Result<TenantHandle> CatalogService::OpenCatalog(
+    const std::string& name, Catalog catalog,
+    std::vector<std::vector<CFD>> sigmas) {
+  CFDPROP_RETURN_NOT_OK(ValidateTenantName(name));
+  // open_mu_ serializes the slow path (engine build, Σ minimization,
+  // snapshot I/O) outside registry_mu_, and makes the duplicate check
+  // race-free against a concurrent open of the same name.
+  std::lock_guard<std::mutex> open_lock(open_mu_);
+  size_t tenants_after;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    const std::string folded = FoldTenantName(name);
+    for (const auto& [existing, tenant] : tenants_) {
+      if (FoldTenantName(existing) == folded) {
+        return Status::InvalidArgument(
+            "tenant '" + name + "' collides with open tenant '" + existing +
+            "' (names are case-folded: snapshot files must stay distinct "
+            "on case-insensitive filesystems)");
+      }
+    }
+    tenants_after = tenants_.size() + 1;
+  }
+
+  EngineOptions engine_options = options_.engine;
+  engine_options.cache_capacity = ShareFor(tenants_after);
+  auto engine =
+      std::make_unique<Engine>(std::move(catalog), std::move(engine_options));
+  for (auto& sigma : sigmas) {
+    auto id = engine->RegisterSigma(std::move(sigma));
+    if (!id.ok()) return id.status();
+  }
+
+  // The open is now certain to succeed (warm-start failures are
+  // non-fatal), so shrink the existing tenants to the post-open share
+  // BEFORE the snapshot load fills the new cache: the fresh engine
+  // holds zero entries, so total live capacity never exceeds the
+  // global budget — and a failed open above never evicted anything.
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mu_);
+    RebalanceBudgets(tenants_after);
+  }
+
+  TenantHandle tenant(new Tenant(name, std::move(engine)));
+  if (!options_.snapshot_dir.empty()) {
+    // Warm start. Any failure — no file yet, version bump, changed Σ,
+    // corruption — just means a cold cache; LoadSnapshot already
+    // guarantees a rejected file restores nothing. Runs before the
+    // tenant is published, so the pool-interning load never races
+    // serving.
+    (void)tenant->engine_->LoadSnapshot(SnapshotPath(name));
+    // A freshly restored cache is not dirty: its content IS the file.
+    tenant->spill_marker.store(
+        CacheChangeCounter(tenant->engine_->Stats().cache),
+        std::memory_order_relaxed);
+  }
+
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  tenants_.emplace(name, tenant);
+  // The existing tenants were already resized to this share before the
+  // build; only the newcomer's budget field needs recording (its engine
+  // was constructed at exactly the share).
+  tenant->cache_budget_.store(tenant->engine_->cache_capacity(),
+                              std::memory_order_relaxed);
+  return tenant;
+}
+
+Status CatalogService::DropCatalog(const std::string& name) {
+  std::lock_guard<std::mutex> open_lock(open_mu_);
+  TenantHandle tenant;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::NotFound("unknown tenant '" + name + "'");
+    }
+    tenant = it->second;
+  }
+  if (!options_.snapshot_dir.empty()) {
+    // Final flush (any dirtiness, regardless of the policy threshold)
+    // so a reopen warm-starts from everything this tenant computed —
+    // BEFORE the registry erase, so a failed spill fails the drop and
+    // the tenant stays open for a retry instead of losing its covers.
+    // Batches still in flight hold the handle and complete, but lines
+    // they insert after this point are not re-spilled.
+    auto spilled = Spill(*tenant, /*from_policy=*/false, /*min_dirty=*/1);
+    if (!spilled.ok()) return spilled.status();
+  }
+  {
+    // Under spill_mu so it cannot interleave with an in-flight policy
+    // spill: from here on, late batch insertions on this (now stale)
+    // handle must never rewrite the snapshot file — a same-name tenant
+    // may re-open and own it.
+    std::lock_guard<std::mutex> spill_lock(tenant->spill_mu);
+    tenant->dropped.store(true, std::memory_order_relaxed);
+  }
+  // The survivors are about to be raised to global/(N-1), so release
+  // this tenant's share: shrink its capacity to the floor (bounding
+  // what in-flight batches can re-insert) and drop the just-spilled
+  // entries. Handed-out covers and the handle's engine stay valid.
+  tenant->engine_->SetCacheBudget(0);
+  tenant->engine_->ClearCache();
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  tenants_.erase(name);
+  RebalanceBudgets(tenants_.size());
+  return Status::OK();
+}
+
+Result<TenantHandle> CatalogService::ResolveCatalog(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  return it->second;
+}
+
+size_t CatalogService::num_tenants() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  return tenants_.size();
+}
+
+std::vector<std::string> CatalogService::TenantNames() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+Status CatalogService::Enqueue(const std::string& tenant_name, Job job) {
+  CFDPROP_ASSIGN_OR_RETURN(job.tenant, ResolveCatalog(tenant_name));
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return Status::Unsupported("service is shutting down");
+    }
+    // Counters and the per-tenant sequence move only once the batch is
+    // definitely accepted (and under queue_mu_, so a rejected submit
+    // can never skew them or leave a sequence gap).
+    job.sequence = job.tenant->batches_submitted.fetch_add(
+        1, std::memory_order_relaxed);
+    queue_.push_back(std::move(job));
+    batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+Result<std::future<BatchReply>> CatalogService::SubmitBatch(
+    const std::string& tenant, std::vector<Engine::Request> requests) {
+  Job job;
+  job.requests = std::move(requests);
+  std::future<BatchReply> future = job.promise.get_future();
+  CFDPROP_RETURN_NOT_OK(Enqueue(tenant, std::move(job)));
+  return future;
+}
+
+Status CatalogService::SubmitBatch(const std::string& tenant,
+                                   std::vector<Engine::Request> requests,
+                                   std::function<void(BatchReply)> done) {
+  if (!done) {
+    return Status::InvalidArgument("SubmitBatch callback must be set");
+  }
+  Job job;
+  job.requests = std::move(requests);
+  job.callback = std::move(done);
+  return Enqueue(tenant, std::move(job));
+}
+
+void CatalogService::DispatcherLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    BatchReply reply;
+    reply.tenant = job.tenant->name();
+    reply.sequence = job.sequence;
+    // PropagateBatch already converts per-request exceptions to Status;
+    // this guard is for anything outside that contract — one tenant's
+    // failure must never std::terminate the whole service.
+    try {
+      reply.results = job.tenant->engine_->PropagateBatch(job.requests);
+    } catch (...) {
+      reply.results.clear();
+      for (size_t i = 0; i < job.requests.size(); ++i) {
+        reply.results.emplace_back(
+            Status::Internal("batch dispatch exception"));
+      }
+    }
+    batches_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!job.callback) {
+      job.promise.set_value(std::move(reply));
+    } else {
+      // A throwing callback would std::terminate the dispatcher; the
+      // contract says "must not throw", the catch makes a violation
+      // lose one reply instead of the whole service.
+      try {
+        job.callback(std::move(reply));
+      } catch (...) {
+      }
+    }
+  }
+}
+
+Result<uint64_t> CatalogService::Spill(Tenant& tenant, bool from_policy,
+                                       uint64_t min_dirty) {
+  std::lock_guard<std::mutex> lock(tenant.spill_mu);
+  if (tenant.dropped.load(std::memory_order_relaxed)) {
+    // A stale handle (the policy thread snapshots the registry before a
+    // concurrent DropCatalog): the drop already took the final flush,
+    // and the file may belong to a re-opened same-name tenant now.
+    return tenant.last_spill_lines.load(std::memory_order_relaxed);
+  }
+  // The marker is read before the save: lines inserted while the save
+  // runs miss the file but keep the tenant dirty, so the next pass
+  // picks them up.
+  const uint64_t changes =
+      CacheChangeCounter(tenant.engine_->Stats().cache);
+  const uint64_t dirty =
+      changes - tenant.spill_marker.load(std::memory_order_relaxed);
+  if (dirty < min_dirty) {
+    return tenant.last_spill_lines.load(std::memory_order_relaxed);
+  }
+  CFDPROP_ASSIGN_OR_RETURN(
+      uint64_t lines, tenant.engine_->SaveSnapshot(SnapshotPath(tenant.name_)));
+  // Counters first, marker last with release ordering: a Stats() reader
+  // that observes the new marker (dirty == 0, "settled") is then
+  // guaranteed to also see the spill counters this spill bumped — so
+  // "settled with policy_spills=0" can never be reported for a spill
+  // that actually ran.
+  tenant.last_spill_lines.store(lines, std::memory_order_relaxed);
+  tenant.spills.fetch_add(1, std::memory_order_relaxed);
+  if (from_policy) {
+    tenant.policy_spills.fetch_add(1, std::memory_order_relaxed);
+  }
+  tenant.spill_marker.store(changes, std::memory_order_release);
+  return lines;
+}
+
+Result<uint64_t> CatalogService::SpillTenant(const std::string& name) {
+  if (options_.snapshot_dir.empty()) {
+    return Status::Unsupported("service has no snapshot directory");
+  }
+  CFDPROP_ASSIGN_OR_RETURN(TenantHandle tenant, ResolveCatalog(name));
+  return Spill(*tenant, /*from_policy=*/false, /*min_dirty=*/0);
+}
+
+void CatalogService::PolicyLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(policy_mu_);
+      policy_cv_.wait_for(lock, options_.policy.interval,
+                          [&] { return policy_stop_; });
+      if (policy_stop_) return;
+    }
+    // Snapshot the handles first: spilling under registry_mu_ would
+    // block OpenCatalog on snapshot I/O.
+    std::vector<TenantHandle> tenants;
+    {
+      std::shared_lock<std::shared_mutex> lock(registry_mu_);
+      tenants.reserve(tenants_.size());
+      for (const auto& [name, tenant] : tenants_) {
+        tenants.push_back(tenant);
+      }
+    }
+    for (const TenantHandle& tenant : tenants) {
+      // Best effort: an unwritable directory surfaces on the explicit
+      // SpillTenant/DropCatalog paths; the background thread just keeps
+      // trying (the tenant stays dirty).
+      (void)Spill(*tenant, /*from_policy=*/true,
+                  options_.policy.dirty_line_threshold);
+    }
+  }
+}
+
+ServiceStatsSnapshot CatalogService::Stats() const {
+  ServiceStatsSnapshot s;
+  s.global_cache_budget = options_.global_cache_budget;
+  s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
+  s.batches_completed = batches_completed_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  s.tenants.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStatsSnapshot t;
+    t.name = name;
+    // Lock-free reads: the spill thread may be mid-SaveSnapshot holding
+    // spill_mu, and stats must not wait out the disk write. The marker
+    // loads FIRST (acquire, pairing with Spill's release store): seeing
+    // a spill's marker implies seeing its counter bumps below.
+    const uint64_t marker =
+        tenant->spill_marker.load(std::memory_order_acquire);
+    t.cache_budget = tenant->cache_budget();
+    t.batches_submitted =
+        tenant->batches_submitted.load(std::memory_order_relaxed);
+    t.spills = tenant->spills.load(std::memory_order_relaxed);
+    t.policy_spills = tenant->policy_spills.load(std::memory_order_relaxed);
+    t.last_spill_lines =
+        tenant->last_spill_lines.load(std::memory_order_relaxed);
+    t.engine = tenant->engine_->Stats();
+    const uint64_t changes = CacheChangeCounter(t.engine.cache);
+    t.dirty_lines = changes > marker ? changes - marker : 0;
+    s.tenants.push_back(std::move(t));
+  }
+  return s;
+}
+
+}  // namespace cfdprop

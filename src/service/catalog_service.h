@@ -1,0 +1,327 @@
+// Multi-tenant catalog service: the routing/serving layer above the
+// propagation engine.
+//
+// One Engine serves one catalog; the ROADMAP north star is many
+// catalogs (tenants) behind one front end. CatalogService owns N named
+// tenants — each a catalog, its registered Σ sets and a private Engine —
+// and adds the three things the engine alone does not have:
+//
+//   * a tenant registry (OpenCatalog / DropCatalog / ResolveCatalog)
+//     that carves per-tenant cover-cache budgets out of one global
+//     entry budget, rebalancing live caches (deterministic LRU
+//     eviction, CoverCache::SetBudget) whenever a tenant opens or
+//     drops, and rolls every tenant's engine counters up into one
+//     service stats snapshot;
+//
+//   * an async front end — SubmitBatch returns a std::future<BatchReply>
+//     (or invokes a callback) and a service-level dispatcher pool fans
+//     the batches out across tenant engines, so a network front end can
+//     overlap many batches without blocking on any of them; results
+//     come back in request order within each batch, exactly as
+//     Engine::PropagateBatch orders them;
+//
+//   * a snapshot *policy* — PR 3 built the snapshot mechanism (when
+//     asked, spill/restore the cover cache byte-stably); the service
+//     decides WHEN: a background thread spills each tenant's cache to
+//     <snapshot_dir>/<tenant>.ccsnap once at least
+//     SnapshotPolicy::dirty_line_threshold cache changes accrued since
+//     its last spill, checked every SnapshotPolicy::interval;
+//     OpenCatalog warm-starts a tenant from its file (after registering
+//     the Σ sets, so content fingerprints validate), and DropCatalog /
+//     service shutdown flush dirty tenants so no computed cover is
+//     lost.
+//
+// Thread-safety: every public method is safe to call concurrently once
+// the service is constructed. Tenants are held by shared_ptr — a drop
+// never frees an engine an in-flight batch (or a caller-held handle)
+// still uses. The one caveat inherited from Engine: building the
+// Catalog and CFDs *passed to* OpenCatalog interns into that tenant's
+// pool and must happen-before the call; from then on serving never
+// mutates it.
+
+#ifndef CFDPROP_SERVICE_CATALOG_SERVICE_H_
+#define CFDPROP_SERVICE_CATALOG_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/engine.h"
+
+namespace cfdprop {
+
+/// When the background thread spills a tenant's cover cache.
+struct SnapshotPolicy {
+  /// How often dirtiness is checked. 0 disables the background thread —
+  /// tenants then spill only on DropCatalog/shutdown (and explicit
+  /// SpillTenant calls), which keeps tests and scripts deterministic.
+  std::chrono::milliseconds interval{0};
+
+  /// Minimum cache changes (insertions + evictions + invalidations)
+  /// since the tenant's last spill before the *background* thread
+  /// considers it dirty (clamped to >= 1 at construction — a clean
+  /// tenant is never re-spilled: equal content writes equal bytes, so
+  /// skipping is purely an I/O saving). The DropCatalog/shutdown
+  /// flushes ignore this bar and spill on ANY dirtiness, so a computed
+  /// cover is never lost to a high threshold.
+  uint64_t dirty_line_threshold = 1;
+};
+
+struct ServiceOptions {
+  /// Dispatcher pool size: how many batches can be in flight across all
+  /// tenants at once (each dispatcher blocks inside one
+  /// Engine::PropagateBatch at a time).
+  size_t dispatcher_threads = 2;
+
+  /// Total cover-cache entries split evenly across open tenants (each
+  /// tenant gets at least 1; re-split on every open/drop). Per-tenant
+  /// shares round down to shard multiples, so this is a true upper
+  /// bound — with one caveat: a cache's shard count is fixed when its
+  /// tenant opens (clamped to its share at that moment), and each shard
+  /// keeps >= 1 slot, so if later opens shrink a tenant's share below
+  /// its shard count (engine.cache_shards, default 8) that tenant
+  /// floors at one entry per shard. Keep the budget >= tenants x shards
+  /// (the default 4096 allows 512 such tenants) to stay within bound.
+  size_t global_cache_budget = 4096;
+
+  /// Per-tenant engine template. `cache_capacity` is overridden by the
+  /// budget split above; everything else (worker threads, cover
+  /// options, shard count) applies to every tenant's engine as-is.
+  EngineOptions engine;
+
+  /// Directory for per-tenant snapshot files ("" disables persistence
+  /// entirely: no warm starts, no spills). Must exist.
+  std::string snapshot_dir;
+
+  SnapshotPolicy policy;
+};
+
+/// One open tenant: a named catalog with its own engine. Handles are
+/// shared_ptr — they (and the covers they served) outlive DropCatalog.
+class Tenant {
+ public:
+  const std::string& name() const { return name_; }
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  /// Current cover-cache budget (entries) as actually honored by the
+  /// cache after the service's global-budget split (shares round down
+  /// to shard multiples, so this never overstates capacity).
+  size_t cache_budget() const {
+    return cache_budget_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CatalogService;
+
+  Tenant(std::string name, std::unique_ptr<Engine> engine)
+      : name_(std::move(name)), engine_(std::move(engine)) {}
+
+  std::string name_;
+  std::unique_ptr<Engine> engine_;
+  std::atomic<size_t> cache_budget_{0};
+
+  /// Serializes spills of this tenant (policy thread vs. Drop vs.
+  /// explicit SpillTenant): SaveSnapshot writes path.tmp, so two
+  /// concurrent saves of one tenant would race on the temp file. Held
+  /// across the disk write — which is why the counters below are
+  /// atomics: Stats() must never stall behind snapshot I/O.
+  std::mutex spill_mu;
+  /// Cache-change counter (insertions+evictions+invalidations) observed
+  /// at the last spill; the delta against it is the dirtiness. Written
+  /// under spill_mu, read lock-free by Stats().
+  std::atomic<uint64_t> spill_marker{0};
+  std::atomic<uint64_t> last_spill_lines{0};
+  std::atomic<uint64_t> spills{0};    // total spills (policy + flush)
+  /// Set by DropCatalog after its final flush (under spill_mu): the
+  /// policy thread may still hold this handle from a pre-drop snapshot
+  /// of the registry, and must not rewrite the tenant's file — a
+  /// same-name tenant may have re-opened and own it now.
+  std::atomic<bool> dropped{false};
+  std::atomic<uint64_t> policy_spills{0};  // spills by the background thread
+  std::atomic<uint64_t> batches_submitted{0};
+};
+
+using TenantHandle = std::shared_ptr<Tenant>;
+
+/// One completed batch, delivered through the future or callback.
+struct BatchReply {
+  std::string tenant;
+  /// Per-tenant submission sequence number (0-based): replies to one
+  /// tenant can be re-ordered by the dispatcher pool, the sequence says
+  /// which submit each reply answers.
+  uint64_t sequence = 0;
+  /// results[i] answers requests[i] of the submitted batch.
+  std::vector<Result<EngineResult>> results;
+};
+
+/// Per-tenant rollup inside ServiceStatsSnapshot.
+struct TenantStatsSnapshot {
+  std::string name;
+  size_t cache_budget = 0;
+  uint64_t batches_submitted = 0;
+  uint64_t spills = 0;         // all snapshot spills (policy + flush)
+  uint64_t policy_spills = 0;  // spills initiated by the background thread
+  uint64_t last_spill_lines = 0;
+  /// Cache changes since the last spill — what the policy compares to
+  /// dirty_line_threshold. 0 means the snapshot file is up to date (a
+  /// warm-started tenant that only ever hit stays clean forever).
+  uint64_t dirty_lines = 0;
+  EngineStatsSnapshot engine;
+
+  /// "tenant <name>: budget=... batches=... spills=... <engine stats>".
+  std::string ToString() const;
+};
+
+struct ServiceStatsSnapshot {
+  size_t global_cache_budget = 0;
+  uint64_t batches_submitted = 0;
+  uint64_t batches_completed = 0;
+  /// In tenant-name order.
+  std::vector<TenantStatsSnapshot> tenants;
+};
+
+class CatalogService {
+ public:
+  explicit CatalogService(ServiceOptions options = {});
+
+  /// Stops the dispatchers (draining every queued batch first, so no
+  /// future is ever broken) and the policy thread, then flushes every
+  /// dirty tenant to the snapshot directory.
+  ~CatalogService();
+
+  CatalogService(const CatalogService&) = delete;
+  CatalogService& operator=(const CatalogService&) = delete;
+
+  /// Opens a tenant: builds its engine (per-tenant budget carved from
+  /// the global one), registers `sigmas` in order (their SigmaIds are
+  /// 0, 1, ... as Engine::RegisterSigma assigns them), then — when a
+  /// snapshot directory is configured and <dir>/<name>.ccsnap exists —
+  /// warm-starts the cover cache from it (a rejected/corrupt file is
+  /// not an error: the tenant just starts cold). Tenant names are file
+  /// names, so only [A-Za-z0-9_.-] is accepted, and not starting with
+  /// '.'. Fails on duplicate names. Rebalances every tenant's cache
+  /// budget to global/N.
+  Result<TenantHandle> OpenCatalog(const std::string& name, Catalog catalog,
+                                   std::vector<std::vector<CFD>> sigmas = {});
+
+  /// Closes a tenant: flushes its cache to the snapshot directory (when
+  /// configured), then removes it from the registry and rebalances the
+  /// remaining tenants' budgets. A failed flush fails the drop — the
+  /// tenant stays open for a retry rather than silently losing its
+  /// covers. Batches already submitted still complete — they hold the
+  /// tenant handle — but their late cache insertions are not
+  /// re-spilled. NotFound for unknown names.
+  Status DropCatalog(const std::string& name);
+
+  /// Looks a tenant up by name. The handle stays valid across a later
+  /// DropCatalog.
+  Result<TenantHandle> ResolveCatalog(const std::string& name) const;
+
+  size_t num_tenants() const;
+  /// Open tenant names, sorted.
+  std::vector<std::string> TenantNames() const;
+
+  /// Submits a batch for async serving on `tenant`'s engine; the future
+  /// resolves with results in request order once a dispatcher has run
+  /// it. Resolution failures (unknown tenant, service shutting down)
+  /// surface synchronously as the Result's status.
+  Result<std::future<BatchReply>> SubmitBatch(
+      const std::string& tenant, std::vector<Engine::Request> requests);
+
+  /// Callback overload: `done` runs on a dispatcher thread when the
+  /// batch completes. It must not block for long (it occupies the
+  /// dispatcher) and must not throw.
+  Status SubmitBatch(const std::string& tenant,
+                     std::vector<Engine::Request> requests,
+                     std::function<void(BatchReply)> done);
+
+  /// Spills one tenant's cover cache to the snapshot directory now,
+  /// regardless of dirtiness. Returns the number of lines written.
+  /// Fails when no snapshot directory is configured.
+  Result<uint64_t> SpillTenant(const std::string& name);
+
+  /// Per-tenant and service-level counters.
+  ServiceStatsSnapshot Stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    TenantHandle tenant;
+    std::vector<Engine::Request> requests;
+    uint64_t sequence = 0;
+    std::promise<BatchReply> promise;
+    /// Empty = future overload (reply goes to `promise`); set = the
+    /// callback overload.
+    std::function<void(BatchReply)> callback;
+  };
+
+  std::string SnapshotPath(const std::string& name) const;
+  /// The single definition of the per-tenant budget split (every site —
+  /// engine construction, rebalance, the newcomer's recorded budget —
+  /// must agree or cache_budget() drifts from real capacity).
+  size_t ShareFor(size_t num_tenants) const {
+    return std::max<size_t>(
+        1, options_.global_cache_budget / std::max<size_t>(1, num_tenants));
+  }
+  /// The spill primitive behind the policy thread, DropCatalog,
+  /// SpillTenant and shutdown. `from_policy` attributes the spill in
+  /// the stats; the tenant is skipped (its last spill count returned)
+  /// when it has fewer than `min_dirty` cache changes since its last
+  /// spill — the policy thread passes its threshold, the drop/shutdown
+  /// flushes pass 1, and SpillTenant passes 0 (unconditional).
+  Result<uint64_t> Spill(Tenant& tenant, bool from_policy,
+                         uint64_t min_dirty);
+  /// Applies share = global_budget / num_tenants to every registered
+  /// tenant; `num_tenants` may be the prospective count (OpenCatalog
+  /// shrinks existing tenants *before* the new engine fills, so the
+  /// global budget holds even mid-open). Caller holds registry_mu_
+  /// (shared or exclusive is fine: budgets are atomics and resize is
+  /// thread-safe).
+  void RebalanceBudgets(size_t num_tenants);
+  /// Resolves job.tenant from `tenant`, assigns the sequence and queues
+  /// the (fully populated) job.
+  Status Enqueue(const std::string& tenant, Job job);
+  void DispatcherLoop();
+  void PolicyLoop();
+
+  ServiceOptions options_;
+
+  mutable std::shared_mutex registry_mu_;
+  std::map<std::string, TenantHandle> tenants_;
+  /// Serializes OpenCatalog/DropCatalog against each other so the slow
+  /// parts (engine construction, Σ minimization, snapshot I/O) never
+  /// run under registry_mu_.
+  std::mutex open_mu_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> dispatchers_;
+  bool stopping_ = false;  // guarded by queue_mu_
+
+  std::mutex policy_mu_;
+  std::condition_variable policy_cv_;
+  std::thread policy_thread_;
+  bool policy_stop_ = false;  // guarded by policy_mu_
+
+  std::atomic<uint64_t> batches_submitted_{0};
+  std::atomic<uint64_t> batches_completed_{0};
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_SERVICE_CATALOG_SERVICE_H_

@@ -537,6 +537,95 @@ TEST(CoverCacheTest, GenerationMismatchIsAMiss) {
   EXPECT_EQ(cache.Lookup(1, 10, /*tag=*/0, /*generation=*/0), nullptr);
 }
 
+TEST(CoverCacheTest, SetBudgetEvictsInLruOrder) {
+  CoverCache cache(/*capacity=*/8, /*num_shards=*/1);
+  for (uint64_t f = 1; f <= 8; ++f) {
+    cache.Insert(f, 10 * f, CacheEntry(f));
+  }
+  ASSERT_NE(cache.Lookup(3, 30), nullptr);  // 3 becomes MRU
+  EXPECT_EQ(cache.capacity(), 8u);
+
+  // Shrink to 4: exactly the 4 least recently used entries (1, 2, 4, 5)
+  // go, in LRU order; the refreshed 3 and the newest 6..8 stay.
+  EXPECT_EQ(cache.SetBudget(4), 4u);
+  EXPECT_EQ(cache.capacity(), 4u);
+  for (uint64_t f : {1u, 2u, 4u, 5u}) {
+    EXPECT_EQ(cache.Lookup(f, 10 * f), nullptr) << f;
+  }
+  for (uint64_t f : {3u, 6u, 7u, 8u}) {
+    EXPECT_NE(cache.Lookup(f, 10 * f), nullptr) << f;
+  }
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 4u) << "budget eviction counts as eviction";
+  EXPECT_EQ(stats.entries, 4u);
+
+  // The shrunk bound is enforced by later inserts...
+  cache.Insert(9, 90, CacheEntry(9));
+  EXPECT_EQ(cache.Stats().entries, 4u);
+  // ...and growing back evicts nothing but opens the slots again.
+  EXPECT_EQ(cache.SetBudget(6), 0u);
+  cache.Insert(10, 100, CacheEntry(10));
+  cache.Insert(11, 110, CacheEntry(11));
+  EXPECT_EQ(cache.Stats().entries, 6u);
+
+  // A zero budget clamps to one entry per shard, never zero.
+  EXPECT_EQ(cache.SetBudget(0), 5u);
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(EngineTest, SetCacheBudgetShrinksLiveCacheDeterministically) {
+  EngineOptions options;
+  options.cache_capacity = 8;
+  options.cache_shards = 1;
+  Engine engine(MakeCatalog(), options);
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+
+  // Four distinct lines, then resize to 2: the two oldest go, the two
+  // newest keep serving, and a held cover survives its own eviction.
+  std::vector<SPCView> views;
+  for (const char* d : {"1", "2", "3", "4"}) {
+    views.push_back(MakeView(engine.catalog(), d));
+  }
+  auto held = engine.Propagate(views[0], *sigma_id);
+  ASSERT_TRUE(held.ok());
+  for (size_t i = 1; i < views.size(); ++i) {
+    ASSERT_TRUE(engine.Propagate(views[i], *sigma_id).ok());
+  }
+  EXPECT_EQ(engine.Stats().cache.entries, 4u);
+
+  EXPECT_EQ(engine.SetCacheBudget(2), 2u);
+  EXPECT_EQ(engine.cache_capacity(), 2u);
+  auto r0 = engine.Propagate(views[0], *sigma_id);
+  auto r3 = engine.Propagate(views[3], *sigma_id);
+  ASSERT_TRUE(r0.ok() && r3.ok());
+  EXPECT_FALSE(r0->cache_hit) << "oldest line must have been evicted";
+  EXPECT_TRUE(r3->cache_hit) << "newest line must have survived";
+  EXPECT_EQ(r0->cover->cover, held->cover->cover)
+      << "recompute after budget eviction is byte-identical";
+}
+
+TEST(EngineTest, BatchStatsReportEffectiveParallelism) {
+  Engine engine(MakeCatalog(), {});
+  auto sigma_id = engine.RegisterSigma(MakeSigma());
+  ASSERT_TRUE(sigma_id.ok());
+  std::vector<Engine::Request> requests;
+  for (const char* d : {"1", "2", "3", "4", "5", "6"}) {
+    requests.push_back({MakeView(engine.catalog(), d), *sigma_id});
+  }
+  for (auto& r : engine.PropagateBatch(requests)) ASSERT_TRUE(r.ok());
+
+  EngineStatsSnapshot stats = engine.Stats();
+  EXPECT_GT(stats.batch_wall_us, 0.0);
+  EXPECT_GT(stats.batch_busy_us, 0.0);
+  // Effective parallelism can never exceed the worker count (and on a
+  // 1-CPU container it honestly sits near 1.0 regardless of workers).
+  EXPECT_LE(stats.BatchParallelism(),
+            static_cast<double>(engine.options().num_threads) + 0.5);
+  EXPECT_NE(stats.ToString().find("par_eff="), std::string::npos);
+}
+
 TEST(CoverCacheTest, EraseTaggedDropsOnlyThatTag) {
   CoverCache cache(/*capacity=*/8, /*num_shards=*/1);
   cache.Insert(1, 10, CacheEntry(1), /*tag=*/0, /*generation=*/0);

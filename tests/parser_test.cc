@@ -230,6 +230,38 @@ TEST(ParserTest, UnionStatementComposesDeclaredViews) {
                    .ok());
 }
 
+TEST(ParserTest, ServeStatementDeclaresTheRound) {
+  auto spec = ParseSpec(
+      "relation R(A, B)\n"
+      "cfd R: [A] -> B\n"
+      "view V1 = pi(0.A as A) from(R)\n"
+      "view V2 = pi(0.B as B) from(R)\n"
+      "serve V2, V1, V2\n"
+      "serve V1\n");  // a second statement appends
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->round_views,
+            (std::vector<std::string>{"V2", "V1", "V2", "V1"}));
+  EXPECT_EQ(spec->ServingRound(), spec->round_views);
+
+  // Without a serve statement the round is every view once, in order.
+  auto plain = ParseSpec(
+      "relation R(A, B)\n"
+      "view V1 = pi(0.A as A) from(R)\n"
+      "view V2 = pi(0.B as B) from(R)\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->round_views.empty());
+  EXPECT_EQ(plain->ServingRound(), plain->view_names);
+
+  // serve must name declared views.
+  auto bad = ParseSpec(
+      "relation R(A, B)\n"
+      "view V1 = pi(0.A as A) from(R)\n"
+      "serve V1, Nope\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("undeclared view 'Nope'"),
+            std::string::npos);
+}
+
 TEST(ParserTest, FullPaperSpecDrivesPropagation) {
   // A compact version of examples/specs/customers.spec.
   auto spec = ParseSpec(

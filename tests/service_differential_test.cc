@@ -1,0 +1,230 @@
+// Routing correctness: everything served through
+// CatalogService::SubmitBatch must be byte-identical to driving each
+// tenant's own Engine::PropagateBatch directly — across tenants, SPC and
+// SPCU requests, repeated rounds, and under concurrent churn on one
+// tenant (where the unchurned tenants must stay byte-identical and the
+// churned one must match one of the two legal sigma states). Runs under
+// the ASan/TSan CI matrix like the engine stress test.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "src/gen/generators.h"
+#include "src/service/catalog_service.h"
+
+namespace cfdprop {
+namespace {
+
+struct Workload {
+  Catalog catalog;
+  std::vector<CFD> sigma;
+  std::vector<SPCView> views;
+};
+
+/// Deterministic generated workload: the same seed always produces the
+/// same catalog, sigma and views — and the same ValuePool interning
+/// order, so CFDs from two same-seed workloads compare equal with ==.
+Workload MakeWorkload(uint64_t seed) {
+  SchemaGenOptions schema_options;
+  schema_options.num_relations = 4;
+  Workload w{GenerateSchema(schema_options, seed), {}, {}};
+  CFDGenOptions cfd_options;
+  cfd_options.count = 24;
+  w.sigma = GenerateCFDs(w.catalog, cfd_options, seed + 1);
+  ViewGenOptions view_options;
+  view_options.num_atoms = 2;
+  for (size_t i = 0; i < 10; ++i) {
+    auto view = GenerateSPCView(w.catalog, view_options, seed + 10 + i);
+    EXPECT_TRUE(view.ok()) << view.status();
+    // Generation is seed-deterministic, so a (never observed) failure
+    // skips the same view on both the service and the reference side.
+    if (view.ok()) w.views.push_back(std::move(view).value());
+  }
+  return w;
+}
+
+/// The request stream for one tenant: every view as an SPC request plus
+/// two-disjunct unions over neighbors, with repeats.
+std::vector<Engine::Request> MakeStream(const Workload& w) {
+  std::vector<Engine::Request> stream;
+  for (size_t i = 0; i < w.views.size(); ++i) {
+    stream.push_back({w.views[i], 0});
+  }
+  for (size_t i = 0; i + 1 < w.views.size(); i += 2) {
+    // Generated views vary in output arity; only compatible neighbors
+    // form a valid union.
+    if (w.views[i].OutputArity() != w.views[i + 1].OutputArity()) continue;
+    SPCUView u;
+    u.disjuncts = {w.views[i], w.views[i + 1]};
+    stream.push_back({std::move(u), 0});
+  }
+  for (size_t i = 0; i < w.views.size(); i += 3) {
+    stream.push_back({w.views[i], 0});  // repeats -> cache hits
+  }
+  return stream;
+}
+
+void ExpectSameResults(const std::vector<Result<EngineResult>>& got,
+                       const std::vector<Result<EngineResult>>& want,
+                       const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].ok(), want[i].ok()) << what << " [" << i << "]";
+    if (!got[i].ok()) continue;
+    EXPECT_EQ(got[i]->fingerprint, want[i]->fingerprint)
+        << what << " [" << i << "]";
+    EXPECT_EQ(got[i]->cover->cover, want[i]->cover->cover)
+        << what << " [" << i << "]";
+    EXPECT_EQ(got[i]->cover->always_empty, want[i]->cover->always_empty);
+    EXPECT_EQ(got[i]->cover->truncated, want[i]->cover->truncated);
+  }
+}
+
+TEST(ServiceDifferentialTest, SubmitBatchMatchesDirectEngines) {
+  constexpr size_t kTenants = 3;
+  ServiceOptions options;
+  options.dispatcher_threads = kTenants;  // all tenants in flight at once
+  CatalogService service(options);
+
+  // Service tenants and direct reference engines are built from
+  // *separate* same-seed workloads: identical content, independent
+  // catalogs/pools — exactly the restart situation the fingerprints and
+  // CFD comparisons must be stable across.
+  std::vector<std::vector<Engine::Request>> streams;
+  std::vector<std::unique_ptr<Engine>> direct;
+  for (size_t t = 0; t < kTenants; ++t) {
+    const uint64_t seed = 1000 + 100 * t;
+    Workload for_service = MakeWorkload(seed);
+    std::string name = "tenant" + std::to_string(t);
+    streams.push_back(MakeStream(for_service));
+    auto opened = service.OpenCatalog(name, std::move(for_service.catalog),
+                                      {std::move(for_service.sigma)});
+    ASSERT_TRUE(opened.ok()) << opened.status();
+
+    Workload for_direct = MakeWorkload(seed);
+    auto engine = std::make_unique<Engine>(std::move(for_direct.catalog),
+                                           EngineOptions{});
+    auto sigma_id = engine->RegisterSigma(std::move(for_direct.sigma));
+    ASSERT_TRUE(sigma_id.ok());
+    direct.push_back(std::move(engine));
+  }
+
+  // Two rounds (cold then warm) of all tenants' streams in flight
+  // together; each round's replies must match the direct engines
+  // request-for-request.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::future<BatchReply>> futures;
+    for (size_t t = 0; t < kTenants; ++t) {
+      auto submitted =
+          service.SubmitBatch("tenant" + std::to_string(t), streams[t]);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    for (size_t t = 0; t < kTenants; ++t) {
+      BatchReply reply = futures[t].get();
+      auto want = direct[t]->PropagateBatch(streams[t]);
+      ExpectSameResults(reply.results, want,
+                        ("round " + std::to_string(round) + " tenant " +
+                         std::to_string(t))
+                            .c_str());
+    }
+  }
+}
+
+TEST(ServiceDifferentialTest, ChurnOnOneTenantLeavesOthersByteIdentical) {
+  ServiceOptions options;
+  options.dispatcher_threads = 4;
+  CatalogService service(options);
+
+  Workload churned = MakeWorkload(7);
+  Workload stable = MakeWorkload(77);
+  std::vector<Engine::Request> churned_stream = MakeStream(churned);
+  std::vector<Engine::Request> stable_stream = MakeStream(stable);
+  // The churn toggles an FD over relation 0; pre-build it so no
+  // interning happens mid-run.
+  const CFD toggled = CFD::FD(0, {0, 1}, 2).value();
+
+  auto churned_tenant =
+      service.OpenCatalog("churned", std::move(churned.catalog),
+                          {churned.sigma});
+  ASSERT_TRUE(churned_tenant.ok());
+  auto stable_tenant = service.OpenCatalog(
+      "stable", std::move(stable.catalog), {std::move(stable.sigma)});
+  ASSERT_TRUE(stable_tenant.ok());
+
+  // Legal covers for the churned tenant in both sigma states, computed
+  // on reference engines from same-seed workloads.
+  Workload ref_base = MakeWorkload(7);
+  Workload ref_added = MakeWorkload(7);
+  Engine base_engine(std::move(ref_base.catalog), {});
+  ASSERT_TRUE(base_engine.RegisterSigma(std::move(ref_base.sigma)).ok());
+  auto base_want = base_engine.PropagateBatch(churned_stream);
+  Engine added_engine(std::move(ref_added.catalog), {});
+  {
+    std::vector<CFD> with_added = std::move(ref_added.sigma);
+    with_added.push_back(toggled);
+    ASSERT_TRUE(added_engine.RegisterSigma(std::move(with_added)).ok());
+  }
+  auto added_want = added_engine.PropagateBatch(churned_stream);
+
+  // Baseline for the stable tenant (its own engine, no churn anywhere).
+  Workload ref_stable = MakeWorkload(77);
+  Engine stable_engine(std::move(ref_stable.catalog), {});
+  ASSERT_TRUE(stable_engine.RegisterSigma(std::move(ref_stable.sigma)).ok());
+  auto stable_want = stable_engine.PropagateBatch(stable_stream);
+
+  // Hammer both tenants while the churned one's sigma toggles.
+  constexpr int kRounds = 12;
+  std::vector<std::future<BatchReply>> churned_futures, stable_futures;
+  std::thread mutator([&] {
+    bool added = false;
+    for (int i = 0; i < kRounds / 2; ++i) {
+      Status s = added
+                     ? (*churned_tenant)->engine().RetractCfd(0, toggled)
+                     : (*churned_tenant)->engine().AddCfd(0, toggled);
+      ASSERT_TRUE(s.ok()) << s;
+      added = !added;
+      std::this_thread::yield();
+    }
+    // End on the base state so late batches have a known answer too.
+    if (added) {
+      ASSERT_TRUE((*churned_tenant)->engine().RetractCfd(0, toggled).ok());
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    auto c = service.SubmitBatch("churned", churned_stream);
+    auto s = service.SubmitBatch("stable", stable_stream);
+    ASSERT_TRUE(c.ok() && s.ok());
+    churned_futures.push_back(std::move(c).value());
+    stable_futures.push_back(std::move(s).value());
+  }
+  mutator.join();
+
+  // The stable tenant must be byte-identical in every round: churn on a
+  // different tenant can never leak into its covers.
+  for (auto& f : stable_futures) {
+    ExpectSameResults(f.get().results, stable_want, "stable tenant");
+  }
+  // Every churned-tenant result must equal one of the two legal states.
+  for (auto& f : churned_futures) {
+    BatchReply reply = f.get();
+    ASSERT_EQ(reply.results.size(), base_want.size());
+    for (size_t i = 0; i < reply.results.size(); ++i) {
+      const auto& r = reply.results[i];
+      ASSERT_TRUE(r.ok()) << r.status();
+      ASSERT_TRUE(base_want[i].ok() && added_want[i].ok());
+      const bool matches_base =
+          r->cover->cover == base_want[i]->cover->cover;
+      const bool matches_added =
+          r->cover->cover == added_want[i]->cover->cover;
+      EXPECT_TRUE(matches_base || matches_added)
+          << "churned request " << i
+          << " served a cover from neither legal sigma state";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfdprop

@@ -33,6 +33,28 @@
 //                                    cache after the base rounds — the
 //                                    state a restart wants back, before
 //                                    the churn script mutates Sigma.
+//                                    A `serve V1, V2, ...` statement in
+//                                    the spec overrides which views make
+//                                    up a serving round.
+//
+//   cfdprop_cli serve --tenant NAME=SPEC [--tenant NAME=SPEC ...]
+//               [--rounds K] [--threads N] [--dispatchers N]
+//               [--budget N] [--snapshot-dir DIR] [--interval-ms N]
+//               [--dirty N] [--quiet] [--no-churn]
+//                                    multi-tenant mode: each --tenant
+//                                    loads one spec as a named catalog
+//                                    behind one CatalogService and the
+//                                    tenants' rounds are submitted as
+//                                    overlapping async batches for
+//                                    --rounds rounds; each tenant's
+//                                    churn script then replays while
+//                                    every other tenant keeps serving.
+//                                    --budget is the global cover-cache
+//                                    entry budget split across tenants;
+//                                    --snapshot-dir enables warm starts
+//                                    from (and background spills to)
+//                                    per-tenant snapshot files, with the
+//                                    policy knobs --interval-ms/--dirty.
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 when --validate
 // found violations or --check found a non-propagated declared CFD.
@@ -48,6 +70,12 @@
 #include <cstdlib>
 #include <vector>
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <future>
+#include <thread>
+
 #include "src/cover/propcfd_spc.h"
 #include "src/data/eval.h"
 #include "src/data/validate.h"
@@ -55,6 +83,7 @@
 #include "src/parser/parser.h"
 #include "src/propagation/emptiness.h"
 #include "src/propagation/propagation.h"
+#include "src/service/catalog_service.h"
 
 using namespace cfdprop;
 
@@ -181,6 +210,30 @@ int RunValidate(Spec& spec) {
   return 2;
 }
 
+/// `--flag N` parsing shared by the batch and serve modes: digits only
+/// in [0, 2^24] (strtoul would silently wrap '-1' to ULONG_MAX), exits
+/// with a message on misuse. Advances *i past the consumed value.
+bool ParseSizeFlag(int argc, char** argv, int* i, const char* flag,
+                   size_t* out) {
+  if (std::strcmp(argv[*i], flag) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s needs a value\n", flag);
+    std::exit(1);
+  }
+  const char* text = argv[++*i];
+  const size_t kMaxFlagValue = 1u << 24;
+  char* end = nullptr;
+  unsigned long value = std::strtoul(text, &end, 10);
+  if (*text == '\0' || end == text || *end != '\0' || *text == '-' ||
+      *text == '+' || value > kMaxFlagValue) {
+    std::fprintf(stderr, "error: %s needs a number in [0, %zu], got '%s'\n",
+                 flag, kMaxFlagValue, text);
+    std::exit(1);
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
 int RunBatch(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
@@ -210,24 +263,7 @@ int RunBatch(int argc, char** argv) {
     if (str_arg("--snapshot-in", &snapshot_in)) continue;
     if (str_arg("--snapshot-out", &snapshot_out)) continue;
     auto int_arg = [&](const char* flag, size_t* out) {
-      if (std::strcmp(argv[i], flag) != 0) return false;
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", flag);
-        std::exit(1);
-      }
-      // Digits only: strtoul would silently wrap '-1' to ULONG_MAX.
-      const char* text = argv[++i];
-      const size_t kMaxFlagValue = 1u << 24;
-      char* end = nullptr;
-      unsigned long value = std::strtoul(text, &end, 10);
-      if (*text == '\0' || end == text || *end != '\0' || *text == '-' ||
-          *text == '+' || value > kMaxFlagValue) {
-        std::fprintf(stderr, "error: %s needs a number in [0, %zu], got"
-                     " '%s'\n", flag, kMaxFlagValue, text);
-        std::exit(1);
-      }
-      *out = static_cast<size_t>(value);
-      return true;
+      return ParseSizeFlag(argc, argv, &i, flag, out);
     };
     if (int_arg("--threads", &options.num_threads)) continue;
     if (int_arg("--repeat", &repeat)) continue;
@@ -267,11 +303,12 @@ int RunBatch(int argc, char** argv) {
     }
   }
 
-  // One request per declared view; the engine serves SPC and SPCU alike
+  // The serving round: the spec's `serve` list when declared, else one
+  // request per declared view. The engine serves SPC and SPCU alike
   // (union requests assemble from the per-disjunct cache lines).
   std::vector<Engine::Request> round;
   std::vector<std::string> round_names;
-  for (const std::string& name : spec->view_names) {
+  for (const std::string& name : spec->ServingRound()) {
     round.push_back({spec->views.at(name), *sigma_id});
     round_names.push_back(name);
   }
@@ -373,11 +410,329 @@ int RunBatch(int argc, char** argv) {
   return rc;
 }
 
+// ---------------------------------------------------------------------
+// serve mode: many specs as tenants behind one CatalogService
+// ---------------------------------------------------------------------
+
+/// One loaded tenant: the spec (its views stay valid after the catalog
+/// moves into the engine), the service handle, and the request round.
+struct TenantCtx {
+  std::string name;
+  std::string spec_path;
+  Spec spec;
+  TenantHandle handle;
+  std::vector<Engine::Request> round;
+  std::vector<std::string> round_names;
+};
+
+int RunServe(int argc, char** argv) {
+  auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s serve --tenant NAME=SPEC [--tenant NAME=SPEC...]"
+                 " [--rounds K] [--threads N] [--dispatchers N] [--budget N]"
+                 " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]"
+                 " [--quiet] [--no-churn]\n",
+                 argv[0]);
+    return 1;
+  };
+
+  std::vector<std::pair<std::string, std::string>> tenant_args;
+  ServiceOptions options;
+  options.engine.num_threads = 1;
+  size_t rounds = 2, interval_ms = 0, dirty = 1;
+  bool quiet = false, churn = true, dispatchers_set = false;
+  for (int i = 2; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, size_t* out) {
+      return ParseSizeFlag(argc, argv, &i, flag, out);
+    };
+    if (!std::strcmp(argv[i], "--tenant")) {
+      if (i + 1 >= argc) return usage();
+      std::string arg = argv[++i];
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+        std::fprintf(stderr, "error: --tenant needs NAME=SPEC, got '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+      tenant_args.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
+      if (i + 1 >= argc) return usage();
+      options.snapshot_dir = argv[++i];
+    } else if (int_arg("--dispatchers", &options.dispatcher_threads)) {
+      dispatchers_set = true;
+    } else if (int_arg("--rounds", &rounds) ||
+               int_arg("--threads", &options.engine.num_threads) ||
+               int_arg("--budget", &options.global_cache_budget) ||
+               int_arg("--interval-ms", &interval_ms) ||
+               int_arg("--dirty", &dirty)) {
+      continue;
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(argv[i], "--no-churn")) {
+      churn = false;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (tenant_args.empty()) return usage();
+  // Fail fast on an unusable snapshot directory (create it if missing):
+  // the service's background spills would otherwise fail silently and
+  // the settle wait below would stall out with a misleading message.
+  if (!options.snapshot_dir.empty()) {
+    if (mkdir(options.snapshot_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "error: cannot create snapshot dir %s: %s\n",
+                   options.snapshot_dir.c_str(), std::strerror(errno));
+      return 1;
+    }
+    struct stat st;
+    if (stat(options.snapshot_dir.c_str(), &st) != 0 ||
+        !S_ISDIR(st.st_mode)) {
+      std::fprintf(stderr, "error: snapshot dir %s is not a directory\n",
+                   options.snapshot_dir.c_str());
+      return 1;
+    }
+  }
+  // 0 would make the settle check below unsatisfiable (and the service
+  // clamps the policy threshold to >= 1 anyway).
+  dirty = std::max<size_t>(1, dirty);
+  options.policy.interval = std::chrono::milliseconds(interval_ms);
+  options.policy.dirty_line_threshold = dirty;
+  if (options.dispatcher_threads < tenant_args.size()) {
+    // One dispatcher per tenant so every tenant's batch of a round can
+    // be in flight at once — the async-overlap point of serve mode.
+    // Only warn when this overrides an explicit --dispatchers.
+    if (dispatchers_set) {
+      std::fprintf(stderr,
+                   "note: raising --dispatchers from %zu to %zu (one per "
+                   "tenant)\n",
+                   options.dispatcher_threads, tenant_args.size());
+    }
+    options.dispatcher_threads = tenant_args.size();
+  }
+
+  CatalogService service(options);
+  std::vector<TenantCtx> tenants;
+  tenants.reserve(tenant_args.size());
+  for (auto& [name, path] : tenant_args) {
+    auto spec = LoadSpec(path.c_str());
+    if (!spec.ok()) return Fail(spec.status());
+    TenantCtx ctx;
+    ctx.name = name;
+    ctx.spec_path = path;
+    ctx.spec = std::move(spec).value();
+    auto handle = service.OpenCatalog(name, std::move(ctx.spec.catalog),
+                                      {ctx.spec.source_cfds});
+    if (!handle.ok()) return Fail(handle.status());
+    ctx.handle = std::move(handle).value();
+    for (const std::string& view : ctx.spec.ServingRound()) {
+      ctx.round.push_back({ctx.spec.views.at(view), /*sigma_id=*/0});
+      ctx.round_names.push_back(view);
+    }
+    tenants.push_back(std::move(ctx));
+  }
+
+  // Budgets settle only after the last open (every open rebalances), so
+  // the tenant banner prints once all are up.
+  std::printf("== tenants ==\n");
+  for (const TenantCtx& t : tenants) {
+    CacheStats cache = t.handle->engine().Stats().cache;
+    std::printf("tenant %s: opened %s budget=%zu restored=%llu "
+                "rejected=%llu\n",
+                t.name.c_str(), t.spec_path.c_str(),
+                t.handle->cache_budget(),
+                static_cast<unsigned long long>(cache.restored),
+                static_cast<unsigned long long>(cache.rejected));
+  }
+
+  int rc = 0;
+  auto print_tenant_covers = [&](const TenantCtx& t,
+                                 const std::vector<Result<EngineResult>>&
+                                     results) {
+    for (size_t i = 0; i < t.round_names.size() && i < results.size(); ++i) {
+      const Result<EngineResult>& r = results[i];
+      if (!r.ok()) continue;  // already reported by the drain loop
+      const std::string& view_name = t.round_names[i];
+      std::string union_info;
+      if (r->disjunct_count > 1) {
+        union_info = ", union " + std::to_string(r->disjunct_hits) + "/" +
+                     std::to_string(r->disjunct_count) + " disjunct hits";
+      }
+      std::printf("view %s/%s (%zu CFDs%s%s%s, fp=%016llx):\n",
+                  t.name.c_str(), view_name.c_str(), r->cover->cover.size(),
+                  r->cover->always_empty ? ", ALWAYS EMPTY" : "",
+                  r->cover->truncated ? ", TRUNCATED" : "",
+                  union_info.c_str(),
+                  static_cast<unsigned long long>(r->fingerprint));
+      if (quiet) continue;
+      const SPCUView& view = t.spec.views.at(view_name);
+      for (const CFD& c : r->cover->cover) {
+        std::printf("  %s\n",
+                    FormatCFD(c, t.handle->engine().catalog().pool(),
+                              view_name, ViewAttrNames(view))
+                        .c_str());
+      }
+    }
+  };
+
+  // One round = one async batch per tenant, all in flight together; the
+  // futures are drained in submission order, so output (and each
+  // tenant's hit pattern) is deterministic while the serving itself
+  // overlaps across tenants. `print_idx` selects whose covers print:
+  // every tenant, none, or just one (the churned tenant's re-serve).
+  constexpr int kPrintAll = -1, kPrintNone = -2;
+  auto serve_round = [&](int print_idx) {
+    std::vector<std::pair<size_t, std::future<BatchReply>>> inflight;
+    inflight.reserve(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      auto submitted = service.SubmitBatch(tenants[i].name,
+                                           tenants[i].round);
+      if (!submitted.ok()) {
+        rc = Fail(submitted.status());
+        continue;
+      }
+      inflight.emplace_back(i, std::move(submitted).value());
+    }
+    for (auto& [idx, future] : inflight) {
+      BatchReply reply = future.get();
+      for (size_t i = 0; i < reply.results.size(); ++i) {
+        if (!reply.results[i].ok()) {
+          std::fprintf(stderr, "error: tenant %s request %zu: %s\n",
+                       tenants[idx].name.c_str(), i,
+                       reply.results[i].status().ToString().c_str());
+          rc = 1;
+        }
+      }
+      if (print_idx == kPrintAll || static_cast<size_t>(print_idx) == idx) {
+        print_tenant_covers(tenants[idx], reply.results);
+      }
+    }
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < rounds; ++k) {
+    serve_round(k == 0 ? kPrintAll : kPrintNone);
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  size_t round_requests = 0;
+  for (const TenantCtx& t : tenants) round_requests += t.round.size();
+  std::printf("== base rounds ==\n  %zu requests in %.2f ms (%.0f "
+              "covers/sec, %zu tenants, %zu dispatchers)\n",
+              round_requests * rounds, elapsed_ms,
+              elapsed_ms > 0
+                  ? 1000.0 * static_cast<double>(round_requests * rounds) /
+                        elapsed_ms
+                  : 0.0,
+              tenants.size(), service.options().dispatcher_threads);
+  for (const TenantCtx& t : tenants) {
+    std::printf("tenant %s base: %s\n", t.name.c_str(),
+                t.handle->engine().Stats().ToString().c_str());
+  }
+
+  // When the background policy is on, prove it settles before moving
+  // on: every tenant must drop below the dirty threshold, which on a
+  // cold run means the policy thread actually spilled it (a warm-started
+  // tenant that only hit was never dirty and settles at 0 spills).
+  if (!options.snapshot_dir.empty() && interval_ms > 0) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(30);
+    bool settled = false;
+    std::vector<TenantStatsSnapshot> policy_stats;
+    while (!settled && std::chrono::steady_clock::now() < deadline) {
+      settled = true;
+      policy_stats = service.Stats().tenants;
+      for (const TenantStatsSnapshot& t : policy_stats) {
+        if (t.dirty_lines >= dirty) settled = false;
+      }
+      if (!settled) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    if (settled) {
+      for (const TenantStatsSnapshot& t : policy_stats) {
+        std::printf("policy: tenant %s settled (policy_spills=%llu "
+                    "dirty=%llu)\n",
+                    t.name.c_str(),
+                    static_cast<unsigned long long>(t.policy_spills),
+                    static_cast<unsigned long long>(t.dirty_lines));
+      }
+    } else {
+      std::fprintf(stderr,
+                   "error: snapshot policy did not settle every tenant\n");
+      rc = 1;
+    }
+  }
+
+  // Churn replay: each tenant's add-cfd/drop-cfd script runs in spec
+  // order while EVERY tenant's round stays in flight — the mutated
+  // sigma's lines recompute, the other tenants keep hitting their own
+  // caches (the isolation claim of the registry).
+  if (churn) {
+    for (size_t ti = 0; ti < tenants.size(); ++ti) {
+      TenantCtx& t = tenants[ti];
+      for (const SigmaMutation& m : t.spec.sigma_mutations) {
+        Engine& engine = t.handle->engine();
+        const RelationSchema& rel = engine.catalog().relation(m.cfd.relation);
+        std::string rendered =
+            FormatCFD(m.cfd, engine.catalog().pool(), rel.name(),
+                      [&rel](AttrIndex a) {
+                        return a < rel.arity() ? rel.attr(a).name
+                                               : "#" + std::to_string(a);
+                      });
+        Status applied = m.add ? engine.AddCfd(0, m.cfd)
+                               : engine.RetractCfd(0, m.cfd);
+        if (!applied.ok()) {
+          rc = Fail(applied);
+          continue;
+        }
+        std::printf("== churn tenant %s: applied %s-cfd (%s) ==\n",
+                    t.name.c_str(), m.add ? "add" : "drop",
+                    rendered.c_str());
+        // Every tenant's round stays in flight during the churned
+        // tenant's re-serve; only the churned covers print.
+        serve_round(static_cast<int>(ti));
+        std::printf("  %s\n", engine.Stats().ToString().c_str());
+      }
+    }
+  }
+
+  // Explicit final spill: deterministic line counts for scripts/CI (the
+  // destructor's flush would do the same work, silently).
+  if (!options.snapshot_dir.empty()) {
+    for (const TenantCtx& t : tenants) {
+      auto spilled = service.SpillTenant(t.name);
+      if (!spilled.ok()) {
+        rc = Fail(spilled.status());
+        continue;
+      }
+      std::printf("spill tenant %s: lines=%llu\n", t.name.c_str(),
+                  static_cast<unsigned long long>(*spilled));
+    }
+  }
+
+  ServiceStatsSnapshot stats = service.Stats();
+  std::printf("== service stats ==\n");
+  for (const TenantStatsSnapshot& t : stats.tenants) {
+    std::printf("  %s\n", t.ToString().c_str());
+  }
+  std::printf("  service: tenants=%zu budget=%zu submitted=%llu "
+              "completed=%llu\n",
+              stats.tenants.size(), stats.global_cache_budget,
+              static_cast<unsigned long long>(stats.batches_submitted),
+              static_cast<unsigned long long>(stats.batches_completed));
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && !std::strcmp(argv[1], "batch")) {
     return RunBatch(argc, argv);
+  }
+  if (argc >= 2 && !std::strcmp(argv[1], "serve")) {
+    return RunServe(argc, argv);
   }
   if (argc < 2) {
     std::fprintf(stderr,
