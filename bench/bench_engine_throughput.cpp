@@ -12,12 +12,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
 #include "src/gen/generators.h"
+#include "src/net/cover_client.h"
+#include "src/net/cover_server.h"
+#include "src/parser/parser.h"
 #include "src/service/catalog_service.h"
 
 namespace cfdprop_bench {
@@ -334,6 +341,120 @@ void BM_ServiceTenantSweep(benchmark::State& state) {
       static_cast<double>(total), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ServiceTenantSweep)
+    ->ArgNames({"tenants"})
+    ->Args({1})
+    ->Args({2})
+    ->Args({4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Network serving: the BM_ServiceTenantSweep workload driven through
+/// CoverServer/CoverClient over loopback TCP — each iteration is one
+/// client→server→client round-trip batch per tenant (kStreamLen
+/// requests at 95% hits), with one client thread per tenant so batches
+/// overlap exactly as the in-process sweep's futures do. The delta
+/// against BM_ServiceTenantSweep is the wire tax: framing, checksums,
+/// cover encode/decode and the socket round-trip. (1-CPU container
+/// caveat: client threads, server connection threads and dispatchers
+/// all share one core, so this is protocol overhead, not scaling.)
+void BM_NetLoopbackBatch(benchmark::State& state) {
+  const size_t num_tenants = static_cast<size_t>(state.range(0));
+  ServiceOptions options;
+  options.dispatcher_threads = num_tenants;
+  options.engine.num_threads = 1;
+  options.global_cache_budget = num_tenants * 4 * kStreamLen;
+  options.engine.cover.rbr.on_budget = RBROptions::OnBudget::kTruncate;
+  CatalogService service(options);
+  net::CoverServer server(service);
+  if (Status started = server.Start(); !started.ok()) {
+    state.SkipWithError(started.ToString().c_str());
+    return;
+  }
+
+  // Per-tenant spec built programmatically (no parse): generated views
+  // under names V0..Vn, requested as a 95%-hit name stream mirroring
+  // MakeStream.
+  const size_t unique = UniqueForHitPct(95);
+  std::vector<std::string> names;
+  names.reserve(kStreamLen);
+  for (size_t i = 0; i < kStreamLen; ++i) {
+    names.push_back("V" + std::to_string(i % unique));
+  }
+  std::vector<TenantHandle> handles;
+  for (size_t t = 0; t < num_tenants; ++t) {
+    EngineWorkload w = MakeEngineWorkload({/*num_cfds=*/160,
+                                           /*num_views=*/kStreamLen,
+                                           /*seed=*/42 + t});
+    Spec spec;
+    spec.catalog = std::move(w.catalog);
+    spec.source_cfds = std::move(w.sigma);
+    for (size_t i = 0; i < w.views.size(); ++i) {
+      std::string name = "V" + std::to_string(i);
+      spec.view_names.push_back(name);
+      spec.views.emplace(std::move(name), SPCUView(std::move(w.views[i])));
+    }
+    const std::string tenant = "tenant" + std::to_string(t);
+    auto opened = server.OpenParsedSpec(tenant, std::move(spec));
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().ToString().c_str());
+      return;
+    }
+    handles.push_back(std::move(service.ResolveCatalog(tenant)).value());
+  }
+
+  // One connected client (with its own decode pool) per tenant, reused
+  // across iterations.
+  struct ClientCtx {
+    std::unique_ptr<net::CoverClient> client;
+    Catalog scratch;  // decode pool
+  };
+  std::vector<ClientCtx> clients(num_tenants);
+  for (size_t t = 0; t < num_tenants; ++t) {
+    net::CoverClientOptions client_options;
+    client_options.port = server.port();
+    clients[t].client =
+        std::make_unique<net::CoverClient>(client_options);
+    if (Status connected = clients[t].client->Connect(); !connected.ok()) {
+      state.SkipWithError(connected.ToString().c_str());
+      return;
+    }
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& h : handles) h->engine().ClearCache();
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    std::atomic<bool> failed{false};
+    threads.reserve(num_tenants);
+    for (size_t t = 0; t < num_tenants; ++t) {
+      threads.emplace_back([&, t] {
+        auto reply = clients[t].client->SubmitBatch(
+            "tenant" + std::to_string(t), names,
+            clients[t].scratch.pool());
+        if (!reply.ok() || !reply->status.ok() ||
+            reply->results.size() != kStreamLen) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        benchmark::DoNotOptimize(reply->results.data());
+      });
+    }
+    for (auto& th : threads) th.join();
+    if (failed.load(std::memory_order_relaxed)) {
+      state.SkipWithError("network batch failed");
+      return;
+    }
+  }
+  const auto total = static_cast<int64_t>(state.iterations()) *
+                     static_cast<int64_t>(num_tenants * kStreamLen);
+  state.SetItemsProcessed(total);
+  state.counters["covers_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+  clients.clear();
+  server.Stop();
+}
+BENCHMARK(BM_NetLoopbackBatch)
     ->ArgNames({"tenants"})
     ->Args({1})
     ->Args({2})

@@ -1,9 +1,42 @@
 #include "src/data/validate.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/hash.h"
 
 namespace cfdprop {
+
+namespace {
+
+/// Hash for LHS key vectors: FNV-1a over the Values, each spread through
+/// SplitMix64 first so near-identical small ids (interned constants are
+/// dense from 0) don't cluster the buckets.
+struct KeyVectorHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    Fnv1aHasher h;
+    for (Value v : key) h.Mix(SplitMix64(v));
+    return static_cast<size_t>(h.digest());
+  }
+};
+
+/// True iff the tuple matches tp[X] (all LHS pattern entries).
+bool MatchesLhs(const Tuple& t, const CFD& cfd) {
+  for (size_t k = 0; k < cfd.lhs.size(); ++k) {
+    if (!cfd.lhs_pats[k].MatchesValue(t[cfd.lhs[k]])) return false;
+  }
+  return true;
+}
+
+std::vector<Value> LhsKey(const Tuple& t, const CFD& cfd) {
+  std::vector<Value> key;
+  key.reserve(cfd.lhs.size());
+  for (AttrIndex a : cfd.lhs) key.push_back(t[a]);
+  return key;
+}
+
+}  // namespace
 
 Result<std::vector<Violation>> FindViolations(const std::vector<Tuple>& rows,
                                               const CFD& cfd, size_t arity) {
@@ -18,22 +51,14 @@ Result<std::vector<Violation>> FindViolations(const std::vector<Tuple>& rows,
   }
 
   // Group the tuples matching tp[X] by their X values; within a group
-  // every RHS value must be identical and match tp[A].
-  std::map<std::vector<Value>, std::vector<size_t>> groups;
+  // every RHS value must be identical and match tp[A]. Hash-grouped:
+  // the final sort below fixes the report order, so the ordered map the
+  // grouping used to pay for brought nothing.
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyVectorHash>
+      groups;
   for (size_t i = 0; i < rows.size(); ++i) {
-    const Tuple& t = rows[i];
-    bool matches = true;
-    for (size_t k = 0; k < cfd.lhs.size(); ++k) {
-      if (!cfd.lhs_pats[k].MatchesValue(t[cfd.lhs[k]])) {
-        matches = false;
-        break;
-      }
-    }
-    if (!matches) continue;
-    std::vector<Value> key;
-    key.reserve(cfd.lhs.size());
-    for (AttrIndex a : cfd.lhs) key.push_back(t[a]);
-    groups[std::move(key)].push_back(i);
+    if (!MatchesLhs(rows[i], cfd)) continue;
+    groups[LhsKey(rows[i], cfd)].push_back(i);
   }
 
   for (const auto& [key, members] : groups) {
@@ -59,9 +84,37 @@ Result<std::vector<Violation>> FindViolations(const std::vector<Tuple>& rows,
 
 Result<bool> Satisfies(const std::vector<Tuple>& rows, const CFD& cfd,
                        size_t arity) {
-  CFDPROP_ASSIGN_OR_RETURN(std::vector<Violation> v,
-                           FindViolations(rows, cfd, arity));
-  return v.empty();
+  CFDPROP_RETURN_NOT_OK(cfd.Validate(arity));
+
+  if (cfd.is_special_x()) {
+    for (const Tuple& t : rows) {
+      if (t[cfd.lhs[0]] != t[cfd.rhs]) return false;
+    }
+    return true;
+  }
+
+  // Early exit: deciding satisfaction never needs the violation list
+  // FindViolations builds — the first offending tuple settles it.
+  if (cfd.rhs_pat.is_constant()) {
+    // With a constant RHS, group disagreement is impossible among
+    // non-offending tuples (they all equal the constant), so the
+    // single-tuple check alone decides — no grouping map at all.
+    for (const Tuple& t : rows) {
+      if (MatchesLhs(t, cfd) && t[cfd.rhs] != cfd.rhs_pat.value()) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Wildcard RHS: one representative RHS per LHS group; the first
+  // tuple that disagrees with its group's representative decides.
+  std::unordered_map<std::vector<Value>, Value, KeyVectorHash> group_rhs;
+  for (const Tuple& t : rows) {
+    if (!MatchesLhs(t, cfd)) continue;
+    auto [it, inserted] = group_rhs.emplace(LhsKey(t, cfd), t[cfd.rhs]);
+    if (!inserted && it->second != t[cfd.rhs]) return false;
+  }
+  return true;
 }
 
 Result<bool> Satisfies(const Database& db, const CFD& cfd) {

@@ -28,7 +28,10 @@ using Violation = std::pair<size_t, size_t>;
 Result<std::vector<Violation>> FindViolations(const std::vector<Tuple>& rows,
                                               const CFD& cfd, size_t arity);
 
-/// True iff the tuple set satisfies `cfd`.
+/// True iff the tuple set satisfies `cfd`. Decides in one pass with an
+/// early exit at the first violation — it never materializes the
+/// violation list, so prefer it over FindViolations().empty() on hot
+/// paths (repair loops, generators).
 Result<bool> Satisfies(const std::vector<Tuple>& rows, const CFD& cfd,
                        size_t arity);
 

@@ -1,0 +1,160 @@
+#include "src/net/cover_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/net/socket_io.h"
+
+namespace cfdprop {
+namespace net {
+
+CoverClient::CoverClient(CoverClientOptions options)
+    : options_(std::move(options)) {}
+
+CoverClient::~CoverClient() { Close(); }
+
+Status CoverClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address '" + options_.host +
+                                   "'");
+  }
+  std::string last_error = "no attempts made";
+  const size_t attempts = std::max<size_t>(1, options_.connect_attempts);
+  for (size_t i = 0; i < attempts; ++i) {
+    if (i > 0) std::this_thread::sleep_for(options_.retry_delay);
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      fd_ = fd;
+      return Status::OK();
+    }
+    last_error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+  }
+  return Status::NotFound("cannot reach " + options_.host + ":" +
+                          std::to_string(options_.port) + " after " +
+                          std::to_string(attempts) + " attempts (" +
+                          last_error + ")");
+}
+
+void CoverClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> CoverClient::RoundTrip(FrameType request,
+                                           std::string_view payload,
+                                           FrameType expected_reply) {
+  if (fd_ < 0) return Status::NotFound("client is not connected");
+  if (payload.size() > kMaxFramePayload) {
+    // The server would reject the header anyway; fail with a typed
+    // error before shipping megabytes it will never parse.
+    return Status::ResourceExhausted(
+        "request payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte frame bound");
+  }
+  CFDPROP_RETURN_NOT_OK(WriteAll(fd_, EncodeFrame(request, payload)));
+  auto reply = ReadFrame(fd_);
+  if (!reply.ok()) {
+    // A failed read leaves the stream unsynchronized — drop the
+    // connection so the next call reconnects instead of misparsing.
+    Close();
+    return reply.status();
+  }
+  if (reply->first != expected_reply) {
+    Close();
+    return Status::InvalidArgument(
+        "wire frame rejected: unexpected reply type " +
+        std::to_string(static_cast<int>(reply->first)));
+  }
+  return std::move(reply->second);
+}
+
+Result<OpenCatalogReplyInfo> CoverClient::OpenCatalog(
+    const std::string& tenant, const std::string& spec_text) {
+  OpenCatalogRequest request{tenant, spec_text};
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kOpenCatalog, EncodeOpenCatalogRequest(request),
+                FrameType::kOpenCatalogReply));
+  return DecodeOpenCatalogReply(payload);
+}
+
+Result<WireBatchResult> CoverClient::SubmitBatch(
+    const std::string& tenant, const std::vector<std::string>& views,
+    ValuePool& pool) {
+  CFDPROP_ASSIGN_OR_RETURN(std::vector<WireBatchResult> batches,
+                           SubmitBatches(tenant, {views}, pool));
+  if (batches.size() != 1) {
+    return Status::Internal("server answered " +
+                            std::to_string(batches.size()) +
+                            " batches for a single submit");
+  }
+  return std::move(batches.front());
+}
+
+Result<std::vector<WireBatchResult>> CoverClient::SubmitBatches(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool) {
+  SubmitBatchRequest request;
+  request.tenant = tenant;
+  request.batches = batches;
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kSubmitBatch, EncodeSubmitBatchRequest(request),
+                FrameType::kSubmitBatchReply));
+  CFDPROP_ASSIGN_OR_RETURN(std::vector<WireBatchResult> decoded,
+                           DecodeSubmitBatchReply(payload, pool));
+  if (decoded.size() != batches.size()) {
+    return Status::Internal(
+        "server answered " + std::to_string(decoded.size()) +
+        " batches for a " + std::to_string(batches.size()) + "-batch submit");
+  }
+  return decoded;
+}
+
+Result<WireServiceStats> CoverClient::Stats() {
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kStats, "", FrameType::kStatsReply));
+  return DecodeStatsReply(payload);
+}
+
+Status CoverClient::DropCatalog(const std::string& tenant) {
+  auto payload = RoundTrip(FrameType::kDropCatalog,
+                           EncodeStringRequest(tenant),
+                           FrameType::kDropCatalogReply);
+  if (!payload.ok()) return payload.status();
+  return DecodeStatusReply(*payload);
+}
+
+Status CoverClient::Shutdown() {
+  auto payload =
+      RoundTrip(FrameType::kShutdown, "", FrameType::kShutdownReply);
+  if (!payload.ok()) return payload.status();
+  return DecodeStatusReply(*payload);
+}
+
+}  // namespace net
+}  // namespace cfdprop

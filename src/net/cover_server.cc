@@ -1,0 +1,396 @@
+#include "src/net/cover_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/net/socket_io.h"
+
+namespace cfdprop {
+namespace net {
+
+namespace {
+
+/// Error replies carry no covers, so their encoder never touches the
+/// pool — one shared empty pool keeps the signature honest.
+const ValuePool& EmptyPool() {
+  static const ValuePool pool;
+  return pool;
+}
+
+}  // namespace
+
+CoverServer::CoverServer(CatalogService& service, CoverServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+CoverServer::~CoverServer() { Stop(); }
+
+Status CoverServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::InvalidArgument(std::string("socket: ") +
+                                   std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s = Status::InvalidArgument(
+        "bind " + options_.host + ":" + std::to_string(options_.port) + ": " +
+        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, /*backlog=*/16) != 0) {
+    Status s =
+        Status::InvalidArgument(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void CoverServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Unblock the acceptor first (shutdown on a listening socket makes
+  // accept() fail on Linux), then every connection's blocking recv.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  // A Stop also releases anyone parked in WaitForShutdown.
+  RequestShutdown();
+}
+
+void CoverServer::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CoverServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      const bool transient = errno == EMFILE || errno == ENFILE ||
+                             errno == EAGAIN || errno == EWOULDBLOCK;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        if (stopping_ || !transient) return;
+        // Descriptor pressure: the fds most likely to be reclaimable
+        // are our own finished connections. Reap and retry — exiting
+        // here would silently stop the server accepting forever.
+        ReapFinishedLocked();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ReapFinishedLocked();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void CoverServer::ServeConnection(Connection* conn) {
+  const int fd = conn->fd;
+  for (;;) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // InvalidArgument = the codec rejected the bytes (corruption);
+      // NotFound = the peer just went away. Either way this connection
+      // is done — but only the former is a protocol failure.
+      if (frame.status().code() == StatusCode::kInvalidArgument) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    frames_served_.fetch_add(1, std::memory_order_relaxed);
+    std::string reply;
+    const bool keep = HandleFrame(frame->first, frame->second, &reply);
+    Status written = WriteAll(fd, reply);
+    // A shutdown request is honored only after its confirmation reply
+    // reached the socket — firing it earlier would let the owner's
+    // Stop() sever this connection mid-write and fail the client's
+    // Shutdown() call.
+    if (frame->first == FrameType::kShutdown) RequestShutdown();
+    if (!written.ok() || !keep) break;
+  }
+  // The fd is closed after the join (by the acceptor's reap or by
+  // Stop()) — never here, so a racing Stop can't shut down a recycled
+  // descriptor. `done` is this thread's last store.
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
+                              std::string* reply) {
+  // Every reply payload begins with a Status, so an over-bound payload
+  // (a burst whose covers exceed the 16 MiB frame limit) degrades to a
+  // typed status-only reply instead of a frame the peer must reject as
+  // corrupt.
+  auto frame = [](FrameType reply_type, std::string reply_payload) {
+    if (reply_payload.size() > kMaxFramePayload) {
+      reply_payload = EncodeStatusReply(Status::ResourceExhausted(
+          "reply payload of " + std::to_string(reply_payload.size()) +
+          " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+          "-byte frame bound; split the request"));
+    }
+    return EncodeFrame(reply_type, reply_payload);
+  };
+  switch (type) {
+    case FrameType::kOpenCatalog:
+      *reply = frame(FrameType::kOpenCatalogReply,
+                     HandleOpenCatalog(payload));
+      return true;
+    case FrameType::kSubmitBatch:
+      *reply = frame(FrameType::kSubmitBatchReply,
+                     HandleSubmitBatch(payload));
+      return true;
+    case FrameType::kStats:
+      *reply = frame(FrameType::kStatsReply, HandleStats());
+      return true;
+    case FrameType::kDropCatalog:
+      *reply = frame(FrameType::kDropCatalogReply,
+                     HandleDropCatalog(payload));
+      return true;
+    case FrameType::kShutdown:
+      // The caller (ServeConnection) requests the actual shutdown after
+      // this confirmation reply is on the wire.
+      *reply = EncodeFrame(FrameType::kShutdownReply,
+                           EncodeStatusReply(Status::OK()));
+      return false;
+    default:
+      // A reply type sent *to* the server: not a conversation this
+      // protocol has. Treat like corruption — close.
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      *reply = EncodeFrame(
+          FrameType::kShutdownReply,
+          EncodeStatusReply(Status::InvalidArgument(
+              "reply frame type sent to server")));
+      return false;
+  }
+}
+
+std::string CoverServer::HandleOpenCatalog(std::string_view payload) {
+  auto request = DecodeOpenCatalogRequest(payload);
+  if (!request.ok()) {
+    return EncodeOpenCatalogReply(request.status(), {});
+  }
+  auto info = OpenSpec(request->tenant, request->spec_text);
+  if (!info.ok()) return EncodeOpenCatalogReply(info.status(), {});
+  return EncodeOpenCatalogReply(Status::OK(), *info);
+}
+
+Result<OpenCatalogReplyInfo> CoverServer::OpenSpec(
+    const std::string& tenant, const std::string& spec_text) {
+  CFDPROP_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
+  return OpenParsedSpec(tenant, std::move(spec));
+}
+
+Result<OpenCatalogReplyInfo> CoverServer::OpenParsedSpec(
+    const std::string& tenant, Spec spec) {
+  // Σ 0 is the spec's source CFDs — the id every submit-batch request
+  // serves against. Copy them out before the catalog moves: Value ids
+  // are indices into the pool, stable across the move.
+  std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
+  Catalog catalog = std::move(spec.catalog);
+  CFDPROP_ASSIGN_OR_RETURN(
+      TenantHandle handle,
+      service_.OpenCatalog(tenant, std::move(catalog), std::move(sigmas)));
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    specs_[tenant] = std::make_shared<const Spec>(std::move(spec));
+  }
+  OpenCatalogReplyInfo info;
+  const CacheStats cache = handle->engine().Stats().cache;
+  info.restored = cache.restored;
+  info.rejected = cache.rejected;
+  info.cache_budget = handle->cache_budget();
+  return info;
+}
+
+std::string CoverServer::HandleSubmitBatch(std::string_view payload) {
+  auto request = DecodeSubmitBatchRequest(payload);
+  if (!request.ok()) {
+    return EncodeSubmitBatchReply(request.status(), {}, EmptyPool());
+  }
+  auto handle = service_.ResolveCatalog(request->tenant);
+  if (!handle.ok()) {
+    return EncodeSubmitBatchReply(handle.status(), {}, EmptyPool());
+  }
+  std::shared_ptr<const Spec> spec;
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    auto it = specs_.find(request->tenant);
+    if (it != specs_.end()) spec = it->second;
+  }
+  if (!spec) {
+    return EncodeSubmitBatchReply(
+        Status::NotFound("tenant '" + request->tenant +
+                         "' has no spec registered with this server"),
+        {}, EmptyPool());
+  }
+
+  // Resolve view names per batch; a batch naming an unknown view fails
+  // alone (typed NotFound) and is never submitted — its siblings still
+  // run, so one bad name can't waste a whole pipeline.
+  std::vector<WireBatchResult> outcomes(request->batches.size());
+  std::vector<std::vector<Engine::Request>> to_submit;
+  std::vector<size_t> submit_slot;
+  for (size_t i = 0; i < request->batches.size(); ++i) {
+    std::vector<Engine::Request> requests;
+    requests.reserve(request->batches[i].size());
+    Status resolved = Status::OK();
+    for (const std::string& view : request->batches[i]) {
+      auto it = spec->views.find(view);
+      if (it == spec->views.end()) {
+        resolved = Status::NotFound("unknown view '" + view +
+                                    "' in tenant '" + request->tenant + "'");
+        break;
+      }
+      requests.emplace_back(it->second, /*sigma_id=*/0);
+    }
+    if (!resolved.ok()) {
+      outcomes[i].status = std::move(resolved);
+      continue;
+    }
+    submit_slot.push_back(i);
+    to_submit.push_back(std::move(requests));
+  }
+
+  // One SubmitBatches call for the whole frame: admission for every
+  // batch is decided under one lock, which is what makes a pipelined
+  // burst's admit/reject pattern deterministic.
+  auto submitted =
+      service_.SubmitBatches(request->tenant, std::move(to_submit));
+  for (size_t k = 0; k < submitted.size(); ++k) {
+    WireBatchResult& out = outcomes[submit_slot[k]];
+    if (!submitted[k].ok()) {
+      out.status = submitted[k].status();
+      continue;
+    }
+    out.results = submitted[k].value().get().results;
+  }
+  return EncodeSubmitBatchReply(Status::OK(), outcomes,
+                                handle.value()->engine().catalog().pool());
+}
+
+std::string CoverServer::HandleStats() {
+  const ServiceStatsSnapshot s = service_.Stats();
+  WireServiceStats w;
+  w.global_cache_budget = s.global_cache_budget;
+  w.batches_submitted = s.batches_submitted;
+  w.batches_completed = s.batches_completed;
+  w.batches_rejected = s.batches_rejected;
+  w.tenants.reserve(s.tenants.size());
+  for (const TenantStatsSnapshot& t : s.tenants) {
+    WireTenantStats wt;
+    wt.name = t.name;
+    wt.cache_budget = t.cache_budget;
+    wt.batches_submitted = t.batches_submitted;
+    wt.admitted = t.admitted;
+    wt.admission_rejected = t.admission_rejected;
+    wt.queued = t.queued;
+    wt.running = t.running;
+    wt.engine_text = t.engine.ToString();
+    w.tenants.push_back(std::move(wt));
+  }
+  return EncodeStatsReply(Status::OK(), w);
+}
+
+std::string CoverServer::HandleDropCatalog(std::string_view payload) {
+  auto tenant = DecodeStringRequest(payload);
+  if (!tenant.ok()) return EncodeStatusReply(tenant.status());
+  Status dropped = service_.DropCatalog(*tenant);
+  if (dropped.ok()) {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    specs_.erase(*tenant);
+  }
+  return EncodeStatusReply(dropped);
+}
+
+void CoverServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+  }
+  shutdown_cv_.notify_all();
+}
+
+void CoverServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [&] {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  });
+}
+
+CoverServerStats CoverServer::Stats() const {
+  CoverServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.frames_served = frames_served_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace net
+}  // namespace cfdprop

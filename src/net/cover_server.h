@@ -1,0 +1,162 @@
+// CoverServer: the TCP front end of the multi-tenant CatalogService —
+// the first process boundary in the stack.
+//
+// A POSIX acceptor thread hands each connection to its own thread,
+// which loops: read one frame (src/net/wire_protocol.h), dispatch,
+// write one reply. Malformed input — bad magic or version, an
+// oversized length prefix, a truncated frame, a checksum mismatch —
+// surfaces as a clean Status on that connection only: the connection
+// is closed (a byte stream that lied once has no trustworthy resync
+// point) and counted in decode_errors, while the acceptor and every
+// other connection keep serving.
+//
+// Tenants are opened from *spec text* (the src/parser syntax): the
+// server parses it, opens the catalog on the service with the spec's
+// source CFDs as Σ 0, and keeps the parsed Spec to resolve submit-batch
+// view names against. Clients therefore never ship view structures —
+// just names — and covers travel back in the snapshot string-table
+// encoding, so the two processes' ValuePools never need to agree.
+//
+// Admission control is the service's (AdmissionOptions): a multi-batch
+// submit frame maps onto CatalogService::SubmitBatches, whose one-lock
+// admission makes the admit/reject pattern of a pipelined burst
+// deterministic; rejected batches come back as typed ResourceExhausted
+// replies, and the counters land in ServiceStatsSnapshot.
+//
+// Thread-safety: Start/Stop/WaitForShutdown are for the owning thread;
+// everything the connection threads touch is internally locked.
+
+#ifndef CFDPROP_NET_COVER_SERVER_H_
+#define CFDPROP_NET_COVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/net/wire_protocol.h"
+#include "src/parser/parser.h"
+#include "src/service/catalog_service.h"
+
+namespace cfdprop {
+namespace net {
+
+struct CoverServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks; read the bound port from port().
+  uint16_t port = 0;
+};
+
+/// Network-level counters (protocol health; serving counters live in
+/// ServiceStatsSnapshot).
+struct CoverServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t frames_served = 0;
+  /// Connections dropped for malformed frames (the corruption battery's
+  /// observable).
+  uint64_t decode_errors = 0;
+};
+
+class CoverServer {
+ public:
+  /// The service must outlive the server.
+  explicit CoverServer(CatalogService& service,
+                       CoverServerOptions options = {});
+  /// Stops (idempotent with an explicit Stop()).
+  ~CoverServer();
+
+  CoverServer(const CoverServer&) = delete;
+  CoverServer& operator=(const CoverServer&) = delete;
+
+  /// Binds, listens and starts the acceptor thread. InvalidArgument on
+  /// an unusable host/port (address in use, bad address, ...).
+  Status Start();
+
+  /// Closes the listener and every live connection, then joins all
+  /// threads. Safe to call twice; the destructor calls it.
+  void Stop();
+
+  /// The bound port (after a successful Start). With options.port == 0
+  /// this is the kernel-assigned ephemeral port.
+  uint16_t port() const { return port_; }
+
+  /// Opens a tenant from spec text through exactly the code path a
+  /// network open-catalog frame takes — the CLI listen mode preloads
+  /// its --tenant flags with this. Also the hook the benchmarks use
+  /// with a programmatically built Spec (OpenParsedSpec).
+  Result<OpenCatalogReplyInfo> OpenSpec(const std::string& tenant,
+                                        const std::string& spec_text);
+  Result<OpenCatalogReplyInfo> OpenParsedSpec(const std::string& tenant,
+                                              Spec spec);
+
+  /// Blocks until a client's shutdown frame arrives (or Stop() runs).
+  /// The frame only *requests* shutdown — the owner decides to Stop(),
+  /// so a connection thread never joins itself.
+  void WaitForShutdown();
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  CoverServerStats Stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    /// Set (release) as the serving thread's last act; the acceptor
+    /// reaps done connections — join + close — so a long-lived server
+    /// does not accumulate one fd and one joinable thread per client
+    /// that ever connected.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  /// Joins and closes every finished connection. Caller holds conns_mu_.
+  void ReapFinishedLocked();
+  void ServeConnection(Connection* conn);
+  /// Dispatches one decoded frame; fills `reply` with the complete
+  /// encoded reply frame. Returns false when the connection should
+  /// close afterwards (shutdown frame).
+  bool HandleFrame(FrameType type, std::string_view payload,
+                   std::string* reply);
+  std::string HandleOpenCatalog(std::string_view payload);
+  std::string HandleSubmitBatch(std::string_view payload);
+  std::string HandleStats();
+  std::string HandleDropCatalog(std::string_view payload);
+  void RequestShutdown();
+
+  CatalogService& service_;
+  CoverServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+  std::thread acceptor_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  bool stopping_ = false;  // guarded by conns_mu_
+
+  /// Tenant name -> parsed spec, for view-name resolution. shared_ptr so
+  /// a submit in flight survives a concurrent drop of its tenant.
+  mutable std::mutex specs_mu_;
+  std::map<std::string, std::shared_ptr<const Spec>> specs_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_served_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+};
+
+}  // namespace net
+}  // namespace cfdprop
+
+#endif  // CFDPROP_NET_COVER_SERVER_H_

@@ -1,0 +1,86 @@
+// Blocking POSIX socket I/O shared by CoverServer and CoverClient:
+// exact-length reads/writes and whole-frame reassembly on top of the
+// wire protocol's codec.
+//
+// Error taxonomy matters here: a peer that closes between frames is
+// normal teardown (NotFound, message "connection closed"), while a
+// malformed byte stream — bad magic/version, oversized length prefix,
+// mid-frame truncation, checksum mismatch — comes back as the codec's
+// InvalidArgument. The server counts only the latter as decode errors.
+
+#ifndef CFDPROP_NET_SOCKET_IO_H_
+#define CFDPROP_NET_SOCKET_IO_H_
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/base/status.h"
+#include "src/net/wire_protocol.h"
+
+namespace cfdprop {
+namespace net {
+
+/// Reads exactly `n` bytes. A clean peer close *before the first byte*
+/// is NotFound("connection closed"); a close mid-buffer is
+/// InvalidArgument (the stream was truncated inside something).
+inline Status ReadExact(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::InvalidArgument(
+          "wire frame rejected: connection closed mid-frame after " +
+          std::to_string(got) + " of " + std::to_string(n) + " bytes");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::NotFound(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+/// Writes all of `data` (MSG_NOSIGNAL: a vanished peer surfaces as a
+/// Status, never as SIGPIPE).
+inline Status WriteAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t w =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::NotFound(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+/// Reads and fully validates one frame; returns its type and payload.
+/// The header is decoded (and its length bound enforced) before the
+/// payload read is sized, so an oversized length prefix can never drive
+/// a giant allocation — it rejects straight off the 13 header bytes.
+inline Result<std::pair<FrameType, std::string>> ReadFrame(int fd) {
+  std::string frame(kFrameHeaderBytes, '\0');
+  CFDPROP_RETURN_NOT_OK(ReadExact(fd, frame.data(), kFrameHeaderBytes));
+  CFDPROP_ASSIGN_OR_RETURN(FrameHeader header, DecodeFrameHeader(frame));
+  const size_t rest = header.payload_len + kFrameTrailerBytes;
+  frame.resize(kFrameHeaderBytes + rest);
+  CFDPROP_RETURN_NOT_OK(ReadExact(fd, frame.data() + kFrameHeaderBytes, rest));
+  CFDPROP_ASSIGN_OR_RETURN(std::string_view payload, VerifyFrame(frame));
+  return std::make_pair(header.type, std::string(payload));
+}
+
+}  // namespace net
+}  // namespace cfdprop
+
+#endif  // CFDPROP_NET_SOCKET_IO_H_

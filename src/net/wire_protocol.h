@@ -1,0 +1,202 @@
+// The cover-serving wire protocol: versioned, checksummed, little-endian
+// frames carrying catalog-service requests and replies over a byte
+// stream (TCP in practice — the codec itself never touches a socket).
+//
+// Frame layout (all integers fixed-width little-endian, helpers in
+// src/base/wire.h):
+//
+//   magic[4]    "CFDW"
+//   version u32 kWireVersion; any other value rejects the frame
+//   type    u8  FrameType
+//   length  u32 payload byte count; bounded by kMaxFramePayload, so a
+//               corrupt prefix can never coax a reader into a
+//               multi-gigabyte allocation
+//   payload     `length` bytes
+//   checksum u64 FNV-1a (src/base/hash.h) over every preceding byte of
+//               the frame; catches truncation and bit rot before any
+//               payload field is trusted
+//
+// Every request frame gets exactly one reply frame (type = request type
+// with kReplyBit set). Every reply payload begins with a wire-encoded
+// Status — StatusCode survives the trip, so CoverClient hands callers
+// the same typed errors (NotFound, ResourceExhausted, ...) an
+// in-process CatalogService call would return.
+//
+// Covers travel in the PR 3 snapshot encoding: pattern constants are
+// string-table indices into a per-reply first-use-ordered table, never
+// process-local Value ids — the decoding side re-interns into its own
+// ValuePool (CFD::FromSnapshotBytes), so client and server pools need
+// share nothing. Equal covers encode to equal bytes, which is what the
+// loopback differential test diffs.
+//
+// Decode discipline: every reader is bounds-checked and returns a clean
+// Status on malformed input (oversized length, truncation, bad
+// magic/version, checksum mismatch). A server maps such a Status to
+// "close this connection"; it never crashes or trusts a partial frame.
+//
+// Versioning policy matches the snapshot format: kWireVersion bumps on
+// ANY layout change, no compatibility shims — a version-mismatched peer
+// is simply refused.
+
+#ifndef CFDPROP_NET_WIRE_PROTOCOL_H_
+#define CFDPROP_NET_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/value.h"
+#include "src/engine/engine.h"
+
+namespace cfdprop {
+namespace net {
+
+inline constexpr char kWireMagic[4] = {'C', 'F', 'D', 'W'};
+inline constexpr uint32_t kWireVersion = 1;
+
+/// magic + version + type + payload length.
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 1 + 4;
+inline constexpr size_t kFrameTrailerBytes = 8;
+
+/// Upper bound on one frame's payload (16 MiB): far above any real
+/// request or reply, far below anything that could hurt the process.
+inline constexpr uint32_t kMaxFramePayload = 1u << 24;
+
+/// Reply types are the request type with this bit set.
+inline constexpr uint8_t kReplyBit = 0x80;
+
+enum class FrameType : uint8_t {
+  kOpenCatalog = 1,
+  kSubmitBatch = 2,
+  kStats = 3,
+  kDropCatalog = 4,
+  kShutdown = 5,
+
+  kOpenCatalogReply = kOpenCatalog | kReplyBit,
+  kSubmitBatchReply = kSubmitBatch | kReplyBit,
+  kStatsReply = kStats | kReplyBit,
+  kDropCatalogReply = kDropCatalog | kReplyBit,
+  kShutdownReply = kShutdown | kReplyBit,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kShutdown;
+  uint32_t payload_len = 0;
+};
+
+/// Assembles a complete frame (header + payload + checksum trailer).
+/// Precondition: payload.size() <= kMaxFramePayload.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Parses and validates the fixed-size header (magic, version, length
+/// bound, known type). `bytes` must hold at least kFrameHeaderBytes.
+/// This is what a stream reader calls first, to learn how many payload
+/// bytes to read — so it runs before any checksum can be verified.
+Result<FrameHeader> DecodeFrameHeader(std::string_view bytes);
+
+/// Validates a complete frame end to end (header + checksum) and
+/// returns a view of its payload.
+Result<std::string_view> VerifyFrame(std::string_view frame);
+
+// --------------------------------------------------------------------
+// Payload codecs. Requests are tiny and flat; replies all start with a
+// wire-encoded Status.
+// --------------------------------------------------------------------
+
+struct OpenCatalogRequest {
+  std::string tenant;
+  /// Spec text (src/parser syntax): the server parses it, opens the
+  /// tenant with the spec's source CFDs as sigma 0, and resolves later
+  /// submit-batch view names against the spec's declared views.
+  std::string spec_text;
+};
+
+struct OpenCatalogReplyInfo {
+  /// Warm-start outcome (cover-cache lines) and the tenant's cache
+  /// budget after the open's rebalance.
+  uint64_t restored = 0;
+  uint64_t rejected = 0;
+  uint64_t cache_budget = 0;
+};
+
+struct SubmitBatchRequest {
+  std::string tenant;
+  /// One entry per batch (a multi-entry request is a pipelined burst:
+  /// the server decides every batch's admission atomically, so the
+  /// admit/reject pattern is deterministic); each batch is a list of
+  /// view names from the tenant's spec, served in order.
+  std::vector<std::vector<std::string>> batches;
+};
+
+/// One batch's outcome: the admission/resolution status, and — when
+/// admitted — per-request results carrying decoded covers.
+struct WireBatchResult {
+  Status status = Status::OK();
+  std::vector<Result<EngineResult>> results;
+};
+
+struct WireTenantStats {
+  std::string name;
+  uint64_t cache_budget = 0;
+  uint64_t batches_submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t admission_rejected = 0;
+  uint64_t queued = 0;
+  uint64_t running = 0;
+  /// The engine's EngineStatsSnapshot::ToString() line — the CLI prints
+  /// it verbatim, so network and in-process serving grep identically.
+  std::string engine_text;
+};
+
+struct WireServiceStats {
+  uint64_t global_cache_budget = 0;
+  uint64_t batches_submitted = 0;
+  uint64_t batches_completed = 0;
+  uint64_t batches_rejected = 0;
+  std::vector<WireTenantStats> tenants;
+};
+
+void EncodeStatus(std::string& out, const Status& status);
+/// Bounds-checked; decodes the StatusCode back to the typed Status.
+bool DecodeStatus(std::string_view in, size_t* pos, Status* status);
+
+std::string EncodeOpenCatalogRequest(const OpenCatalogRequest& request);
+Result<OpenCatalogRequest> DecodeOpenCatalogRequest(std::string_view payload);
+
+std::string EncodeOpenCatalogReply(const Status& status,
+                                   const OpenCatalogReplyInfo& info);
+Result<OpenCatalogReplyInfo> DecodeOpenCatalogReply(std::string_view payload);
+
+std::string EncodeSubmitBatchRequest(const SubmitBatchRequest& request);
+Result<SubmitBatchRequest> DecodeSubmitBatchRequest(std::string_view payload);
+
+/// `status` is the whole-frame outcome (unknown tenant, unknown view);
+/// per-batch admission rejections ride inside `batches`. `pool` is the
+/// serving tenant's pool, used to export pattern-constant texts into
+/// the reply's string table. Deterministic: equal outcomes and covers
+/// encode to equal bytes.
+std::string EncodeSubmitBatchReply(const Status& status,
+                                   const std::vector<WireBatchResult>& batches,
+                                   const ValuePool& pool);
+/// Decoded covers intern their constants into `pool` (the caller's own,
+/// typically a client-side catalog's). Timing fields come back zeroed —
+/// the wire carries results, not the server's clock.
+Result<std::vector<WireBatchResult>> DecodeSubmitBatchReply(
+    std::string_view payload, ValuePool& pool);
+
+std::string EncodeStringRequest(std::string_view text);
+Result<std::string> DecodeStringRequest(std::string_view payload);
+
+std::string EncodeStatusReply(const Status& status);
+Status DecodeStatusReply(std::string_view payload);
+
+std::string EncodeStatsReply(const Status& status,
+                             const WireServiceStats& stats);
+Result<WireServiceStats> DecodeStatsReply(std::string_view payload);
+
+}  // namespace net
+}  // namespace cfdprop
+
+#endif  // CFDPROP_NET_WIRE_PROTOCOL_H_

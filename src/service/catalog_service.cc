@@ -63,17 +63,23 @@ uint64_t CacheChangeCounter(const CacheStats& c) {
 
 std::string TenantStatsSnapshot::ToString() const {
   // Sized like EngineStatsSnapshot::ToString's buffer: the 100-char
-  // name cap plus six full-width counters must never truncate.
-  char buf[448];
+  // name cap plus ten full-width counters must never truncate.
+  char buf[576];
   std::snprintf(buf, sizeof(buf),
                 "tenant %s: budget=%zu batches=%llu spills=%llu "
-                "policy_spills=%llu last_spill_lines=%llu dirty=%llu ",
+                "policy_spills=%llu last_spill_lines=%llu dirty=%llu "
+                "admitted=%llu admission_rejected=%llu queued=%llu "
+                "running=%llu ",
                 name.c_str(), cache_budget,
                 static_cast<unsigned long long>(batches_submitted),
                 static_cast<unsigned long long>(spills),
                 static_cast<unsigned long long>(policy_spills),
                 static_cast<unsigned long long>(last_spill_lines),
-                static_cast<unsigned long long>(dirty_lines));
+                static_cast<unsigned long long>(dirty_lines),
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(admission_rejected),
+                static_cast<unsigned long long>(queued),
+                static_cast<unsigned long long>(running));
   return std::string(buf) + engine.ToString();
 }
 
@@ -280,20 +286,46 @@ std::vector<std::string> CatalogService::TenantNames() const {
   return names;  // std::map iterates sorted
 }
 
+Status CatalogService::EnqueueLocked(Job job) {
+  if (stopping_) {
+    return Status::Unsupported("service is shutting down");
+  }
+  Tenant& tenant = *job.tenant;
+  const AdmissionOptions& adm = options_.admission;
+  if (adm.max_inflight_batches > 0) {
+    // In-service count = running + queued; both gauges only move under
+    // queue_mu_, so this comparison — and therefore the admit/reject
+    // pattern of a SubmitBatches burst — is deterministic.
+    const uint64_t in_service =
+        tenant.admission_running.load(std::memory_order_relaxed) +
+        tenant.admission_queued.load(std::memory_order_relaxed);
+    if (in_service >= adm.max_inflight_batches + adm.max_queued_batches) {
+      tenant.admission_rejected.fetch_add(1, std::memory_order_relaxed);
+      batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission: tenant '" + tenant.name() + "' is over its in-flight "
+          "cap (" + std::to_string(adm.max_inflight_batches) + " running + " +
+          std::to_string(adm.max_queued_batches) + " queued)");
+    }
+  }
+  // Counters and the per-tenant sequence move only once the batch is
+  // definitely accepted (and under queue_mu_, so a rejected submit
+  // can never skew them or leave a sequence gap).
+  tenant.admission_admitted.fetch_add(1, std::memory_order_relaxed);
+  tenant.admission_queued.fetch_add(1, std::memory_order_relaxed);
+  job.sequence =
+      tenant.batches_submitted.fetch_add(1, std::memory_order_relaxed);
+  queues_[tenant.name()].push_back(std::move(job));
+  ++total_queued_;
+  batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status CatalogService::Enqueue(const std::string& tenant_name, Job job) {
   CFDPROP_ASSIGN_OR_RETURN(job.tenant, ResolveCatalog(tenant_name));
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_) {
-      return Status::Unsupported("service is shutting down");
-    }
-    // Counters and the per-tenant sequence move only once the batch is
-    // definitely accepted (and under queue_mu_, so a rejected submit
-    // can never skew them or leave a sequence gap).
-    job.sequence = job.tenant->batches_submitted.fetch_add(
-        1, std::memory_order_relaxed);
-    queue_.push_back(std::move(job));
-    batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+    CFDPROP_RETURN_NOT_OK(EnqueueLocked(std::move(job)));
   }
   queue_cv_.notify_one();
   return Status::OK();
@@ -308,6 +340,41 @@ Result<std::future<BatchReply>> CatalogService::SubmitBatch(
   return future;
 }
 
+std::vector<Result<std::future<BatchReply>>> CatalogService::SubmitBatches(
+    const std::string& tenant,
+    std::vector<std::vector<Engine::Request>> batches) {
+  std::vector<Result<std::future<BatchReply>>> out;
+  out.reserve(batches.size());
+  auto resolved = ResolveCatalog(tenant);
+  if (!resolved.ok()) {
+    for (size_t i = 0; i < batches.size(); ++i) out.push_back(resolved.status());
+    return out;
+  }
+  size_t admitted = 0;
+  {
+    // One lock hold across every decision: no dispatcher can pop or
+    // complete a batch (both need queue_mu_) between the first and the
+    // last admission check, so a burst's outcome depends only on the
+    // caps and the in-service count at entry.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    for (auto& requests : batches) {
+      Job job;
+      job.tenant = *resolved;
+      job.requests = std::move(requests);
+      std::future<BatchReply> future = job.promise.get_future();
+      Status enq = EnqueueLocked(std::move(job));
+      if (enq.ok()) {
+        out.push_back(std::move(future));
+        ++admitted;
+      } else {
+        out.push_back(std::move(enq));
+      }
+    }
+  }
+  for (size_t i = 0; i < admitted; ++i) queue_cv_.notify_one();
+  return out;
+}
+
 Status CatalogService::SubmitBatch(const std::string& tenant,
                                    std::vector<Engine::Request> requests,
                                    std::function<void(BatchReply)> done) {
@@ -320,15 +387,53 @@ Status CatalogService::SubmitBatch(const std::string& tenant,
   return Enqueue(tenant, std::move(job));
 }
 
+bool CatalogService::PopEligibleLocked(Job* job) {
+  if (queues_.empty()) return false;
+  const uint64_t running_cap = options_.admission.max_inflight_batches;
+  // Round-robin: scan tenant queues starting just past the last tenant
+  // served, wrapping — under saturation every tenant with queued work
+  // gets a dispatcher in name order, regardless of who floods the queue.
+  auto start = queues_.upper_bound(rr_cursor_);
+  if (start == queues_.end()) start = queues_.begin();
+  auto it = start;
+  do {
+    std::deque<Job>& q = it->second;
+    if (!q.empty()) {
+      Tenant& tenant = *q.front().tenant;
+      // A tenant at its running cap keeps its queue until a completion
+      // frees a slot (the completing dispatcher notifies).
+      if (running_cap == 0 ||
+          tenant.admission_running.load(std::memory_order_relaxed) <
+              running_cap) {
+        *job = std::move(q.front());
+        q.pop_front();
+        --total_queued_;
+        tenant.admission_queued.fetch_sub(1, std::memory_order_relaxed);
+        tenant.admission_running.fetch_add(1, std::memory_order_relaxed);
+        rr_cursor_ = it->first;
+        if (q.empty()) queues_.erase(it);
+        return true;
+      }
+    }
+    ++it;
+    if (it == queues_.end()) it = queues_.begin();
+  } while (it != start);
+  return false;
+}
+
 void CatalogService::DispatcherLoop() {
   for (;;) {
     Job job;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      for (;;) {
+        if (PopEligibleLocked(&job)) break;
+        // Drained means *empty queues*, not just "none eligible": a
+        // queued batch behind a running-cap waits for the completion
+        // notify below, even during shutdown, so no future ever breaks.
+        if (stopping_ && total_queued_ == 0) return;
+        queue_cv_.wait(lock);
+      }
     }
     BatchReply reply;
     reply.tenant = job.tenant->name();
@@ -357,6 +462,15 @@ void CatalogService::DispatcherLoop() {
       } catch (...) {
       }
     }
+    // Release the running slot only after the reply is delivered (a
+    // batch "in flight" admission-wise is one whose caller hasn't heard
+    // back yet), and notify: a queued batch of this tenant may have been
+    // waiting on the cap, and the shutdown drain waits on exactly this.
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      job.tenant->admission_running.fetch_sub(1, std::memory_order_relaxed);
+    }
+    queue_cv_.notify_all();
   }
 }
 
@@ -436,6 +550,7 @@ ServiceStatsSnapshot CatalogService::Stats() const {
   s.global_cache_budget = options_.global_cache_budget;
   s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
   s.batches_completed = batches_completed_.load(std::memory_order_relaxed);
+  s.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> lock(registry_mu_);
   s.tenants.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) {
@@ -454,6 +569,11 @@ ServiceStatsSnapshot CatalogService::Stats() const {
     t.policy_spills = tenant->policy_spills.load(std::memory_order_relaxed);
     t.last_spill_lines =
         tenant->last_spill_lines.load(std::memory_order_relaxed);
+    t.admitted = tenant->admission_admitted.load(std::memory_order_relaxed);
+    t.admission_rejected =
+        tenant->admission_rejected.load(std::memory_order_relaxed);
+    t.queued = tenant->admission_queued.load(std::memory_order_relaxed);
+    t.running = tenant->admission_running.load(std::memory_order_relaxed);
     t.engine = tenant->engine_->Stats();
     const uint64_t changes = CacheChangeCounter(t.engine.cache);
     t.dirty_lines = changes > marker ? changes - marker : 0;

@@ -79,11 +79,32 @@ struct SnapshotPolicy {
   uint64_t dirty_line_threshold = 1;
 };
 
+/// Per-tenant admission control: how many batches one tenant may have in
+/// the service at once before further submissions are rejected instead
+/// of queued. The point is fairness under saturation — with N tenants
+/// sharing a dispatcher pool, one tenant flooding SubmitBatch must not
+/// starve the others (dispatch is round-robin across tenants, and this
+/// cap bounds how much of the queue a single tenant can occupy).
+struct AdmissionOptions {
+  /// Batches of one tenant the dispatchers may be running at once.
+  /// 0 = unlimited (admission control off; nothing is ever rejected).
+  uint64_t max_inflight_batches = 0;
+
+  /// Waiting room beyond the running cap: a tenant's submissions are
+  /// admitted while its total in-service count (running + queued) is
+  /// below max_inflight_batches + max_queued_batches, and rejected with
+  /// a deterministic ResourceExhausted Status at the bound. Ignored
+  /// while max_inflight_batches is 0.
+  uint64_t max_queued_batches = 0;
+};
+
 struct ServiceOptions {
   /// Dispatcher pool size: how many batches can be in flight across all
   /// tenants at once (each dispatcher blocks inside one
   /// Engine::PropagateBatch at a time).
   size_t dispatcher_threads = 2;
+
+  AdmissionOptions admission;
 
   /// Total cover-cache entries split evenly across open tenants (each
   /// tenant gets at least 1; re-split on every open/drop). Per-tenant
@@ -152,6 +173,15 @@ class Tenant {
   std::atomic<bool> dropped{false};
   std::atomic<uint64_t> policy_spills{0};  // spills by the background thread
   std::atomic<uint64_t> batches_submitted{0};
+
+  /// Admission state. The gauges (queued/running) are only ever written
+  /// under the service's queue_mu_ — which is what makes burst admission
+  /// decisions deterministic — but are atomics so Stats() can read them
+  /// without taking the queue lock.
+  std::atomic<uint64_t> admission_admitted{0};
+  std::atomic<uint64_t> admission_rejected{0};
+  std::atomic<uint64_t> admission_queued{0};   // waiting in the tenant queue
+  std::atomic<uint64_t> admission_running{0};  // held by a dispatcher
 };
 
 using TenantHandle = std::shared_ptr<Tenant>;
@@ -179,6 +209,12 @@ struct TenantStatsSnapshot {
   /// dirty_line_threshold. 0 means the snapshot file is up to date (a
   /// warm-started tenant that only ever hit stays clean forever).
   uint64_t dirty_lines = 0;
+  /// Admission control (see AdmissionOptions): batches admitted/rejected
+  /// over the tenant's lifetime, and the current queued/running gauges.
+  uint64_t admitted = 0;
+  uint64_t admission_rejected = 0;
+  uint64_t queued = 0;
+  uint64_t running = 0;
   EngineStatsSnapshot engine;
 
   /// "tenant <name>: budget=... batches=... spills=... <engine stats>".
@@ -189,6 +225,9 @@ struct ServiceStatsSnapshot {
   size_t global_cache_budget = 0;
   uint64_t batches_submitted = 0;
   uint64_t batches_completed = 0;
+  /// Submissions refused by per-tenant admission control, service-wide
+  /// (rejected batches do not count in batches_submitted).
+  uint64_t batches_rejected = 0;
   /// In tenant-name order.
   std::vector<TenantStatsSnapshot> tenants;
 };
@@ -236,10 +275,23 @@ class CatalogService {
 
   /// Submits a batch for async serving on `tenant`'s engine; the future
   /// resolves with results in request order once a dispatcher has run
-  /// it. Resolution failures (unknown tenant, service shutting down)
+  /// it. Resolution failures (unknown tenant, service shutting down, an
+  /// admission rejection — ResourceExhausted, see AdmissionOptions)
   /// surface synchronously as the Result's status.
   Result<std::future<BatchReply>> SubmitBatch(
       const std::string& tenant, std::vector<Engine::Request> requests);
+
+  /// Pipelined submit: every batch's admission is decided under one
+  /// queue-lock hold, before any of them can be dispatched or complete —
+  /// so the admit/reject pattern of a burst is a pure function of the
+  /// caps and the tenant's in-service count at the call, never of
+  /// dispatcher timing. slot i answers batches[i]: either a future (the
+  /// batch was admitted and will resolve) or the synchronous rejection
+  /// Status. This is what the network front end maps a multi-batch
+  /// submit frame onto.
+  std::vector<Result<std::future<BatchReply>>> SubmitBatches(
+      const std::string& tenant,
+      std::vector<std::vector<Engine::Request>> batches);
 
   /// Callback overload: `done` runs on a dispatcher thread when the
   /// batch completes. It must not block for long (it occupies the
@@ -295,6 +347,14 @@ class CatalogService {
   /// Resolves job.tenant from `tenant`, assigns the sequence and queues
   /// the (fully populated) job.
   Status Enqueue(const std::string& tenant, Job job);
+  /// Admission decision + queue insertion; caller holds queue_mu_.
+  Status EnqueueLocked(Job job);
+  /// The next job a dispatcher should run, round-robin across tenant
+  /// queues starting after rr_cursor_, skipping tenants at their running
+  /// cap. Pops it (updating the admission gauges and the cursor) or
+  /// returns false when nothing is currently eligible. Caller holds
+  /// queue_mu_.
+  bool PopEligibleLocked(Job* job);
   void DispatcherLoop();
   void PolicyLoop();
 
@@ -309,7 +369,13 @@ class CatalogService {
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
+  /// One FIFO per tenant name; dispatchers drain them round-robin (see
+  /// PopEligibleLocked) so a flooding tenant cannot starve the others.
+  /// Jobs hold their TenantHandle, so a drop + same-name reopen sharing
+  /// one queue entry is benign. Guarded by queue_mu_.
+  std::map<std::string, std::deque<Job>> queues_;
+  size_t total_queued_ = 0;           // guarded by queue_mu_
+  std::string rr_cursor_;             // last tenant served; guarded by queue_mu_
   std::vector<std::thread> dispatchers_;
   bool stopping_ = false;  // guarded by queue_mu_
 
@@ -320,6 +386,7 @@ class CatalogService {
 
   std::atomic<uint64_t> batches_submitted_{0};
   std::atomic<uint64_t> batches_completed_{0};
+  std::atomic<uint64_t> batches_rejected_{0};
 };
 
 }  // namespace cfdprop

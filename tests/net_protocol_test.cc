@@ -1,0 +1,377 @@
+// Wire-protocol unit tests and the corruption battery (the network
+// sibling of the snapshot one in engine_snapshot_test.cc): every
+// malformed byte stream — truncations at each structural boundary, bad
+// magic, a future version, an oversized length prefix, bit flips under
+// the checksum — must surface as a clean Status, and a CoverServer fed
+// such bytes must drop that connection only, never stop serving.
+
+#include "src/net/wire_protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/cover_client.h"
+#include "src/net/cover_server.h"
+#include "src/net/socket_io.h"
+#include "src/parser/parser.h"
+
+namespace cfdprop {
+namespace net {
+namespace {
+
+constexpr char kSpecText[] = R"(
+relation T(region, cust, tier, rep)
+
+cfd T: [region] -> rep
+cfd T: [tier] -> rep
+
+view ByRegion = pi("r" as tag, 0.region as region, 0.rep as rep) from(T)
+view GoldReps = pi("g" as tag, 0.cust as cust, 0.rep as rep) sigma(0.tier = "gold") from(T)
+)";
+
+TEST(WireProtocolTest, FrameRoundTrip) {
+  const std::string payload = "hello, covers";
+  std::string frame = EncodeFrame(FrameType::kStats, payload);
+  EXPECT_EQ(frame.size(),
+            kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+
+  auto header = DecodeFrameHeader(frame);
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header->type, FrameType::kStats);
+  EXPECT_EQ(header->payload_len, payload.size());
+
+  auto verified = VerifyFrame(frame);
+  ASSERT_TRUE(verified.ok()) << verified.status();
+  EXPECT_EQ(*verified, payload);
+
+  // An empty payload is a legal frame (stats/shutdown requests).
+  auto empty = VerifyFrame(EncodeFrame(FrameType::kShutdown, ""));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(WireProtocolTest, CorruptionBattery) {
+  const std::string frame = EncodeFrame(FrameType::kSubmitBatch, "payload!");
+
+  // Truncation at every structural boundary (and a few mid-field).
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{7}, size_t{8}, size_t{12},
+                     kFrameHeaderBytes, kFrameHeaderBytes + 4,
+                     frame.size() - kFrameTrailerBytes, frame.size() - 1}) {
+    std::string t = frame.substr(0, cut);
+    if (cut < kFrameHeaderBytes) {
+      EXPECT_FALSE(DecodeFrameHeader(t).ok()) << "cut at " << cut;
+    }
+    EXPECT_FALSE(VerifyFrame(t).ok()) << "cut at " << cut;
+  }
+
+  // Bad magic.
+  {
+    std::string t = frame;
+    t[0] = 'X';
+    auto r = DecodeFrameHeader(t);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+  }
+  // Future version.
+  {
+    std::string t = frame;
+    t[4] = 0x7f;
+    auto r = DecodeFrameHeader(t);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("version"), std::string::npos);
+  }
+  // Unknown frame type.
+  {
+    std::string t = frame;
+    t[8] = 0x3f;
+    EXPECT_FALSE(DecodeFrameHeader(t).ok());
+  }
+  // Oversized length prefix: rejected straight from the header, before
+  // any reader would size a buffer by it.
+  {
+    std::string t = frame;
+    t[9] = static_cast<char>(0xff);
+    t[10] = static_cast<char>(0xff);
+    t[11] = static_cast<char>(0xff);
+    t[12] = static_cast<char>(0xff);
+    auto r = DecodeFrameHeader(t);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("frame bound"), std::string::npos);
+  }
+  // Bit flips in the payload and in the checksum itself.
+  for (size_t at : {kFrameHeaderBytes + 1, frame.size() - 1}) {
+    std::string t = frame;
+    t[at] = static_cast<char>(t[at] ^ 0x40);
+    auto r = VerifyFrame(t);
+    ASSERT_FALSE(r.ok()) << "flip at " << at;
+    EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+  }
+  // Length understating the payload: byte count and header disagree.
+  {
+    std::string t = frame;
+    t[9] = 1;
+    EXPECT_FALSE(VerifyFrame(t).ok());
+  }
+}
+
+TEST(WireProtocolTest, StatusCodesSurviveTheTrip) {
+  const Status statuses[] = {
+      Status::OK(),
+      Status::InvalidArgument("bad"),
+      Status::NotFound("missing"),
+      Status::Inconsistent("contradiction"),
+      Status::ResourceExhausted("over cap"),
+      Status::Unsupported("not here"),
+      Status::Internal("bug"),
+  };
+  for (const Status& s : statuses) {
+    std::string bytes;
+    EncodeStatus(bytes, s);
+    size_t pos = 0;
+    Status decoded;
+    ASSERT_TRUE(DecodeStatus(bytes, &pos, &decoded));
+    EXPECT_EQ(pos, bytes.size());
+    EXPECT_EQ(decoded.code(), s.code());
+    EXPECT_EQ(decoded.message(), s.message());
+  }
+  // Truncated status bytes fail the bounds check, never read past.
+  std::string bytes;
+  EncodeStatus(bytes, Status::NotFound("missing"));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    size_t pos = 0;
+    Status decoded;
+    EXPECT_FALSE(DecodeStatus(bytes.substr(0, cut), &pos, &decoded));
+  }
+}
+
+TEST(WireProtocolTest, RequestCodecsRoundTrip) {
+  OpenCatalogRequest open{"eu", "relation R(a, b)\n"};
+  auto open2 = DecodeOpenCatalogRequest(EncodeOpenCatalogRequest(open));
+  ASSERT_TRUE(open2.ok());
+  EXPECT_EQ(open2->tenant, open.tenant);
+  EXPECT_EQ(open2->spec_text, open.spec_text);
+
+  SubmitBatchRequest submit;
+  submit.tenant = "eu";
+  submit.batches = {{"V1", "V2"}, {}, {"V1"}};
+  auto submit2 = DecodeSubmitBatchRequest(EncodeSubmitBatchRequest(submit));
+  ASSERT_TRUE(submit2.ok());
+  EXPECT_EQ(submit2->tenant, submit.tenant);
+  EXPECT_EQ(submit2->batches, submit.batches);
+
+  // Truncation sweep over the submit request.
+  const std::string bytes = EncodeSubmitBatchRequest(submit);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeSubmitBatchRequest(bytes.substr(0, cut)).ok());
+  }
+
+  WireServiceStats stats;
+  stats.global_cache_budget = 4096;
+  stats.batches_submitted = 7;
+  stats.batches_completed = 6;
+  stats.batches_rejected = 2;
+  stats.tenants.push_back(
+      {"eu", 128, 7, 5, 2, 1, 1, "requests=7 errors=0"});
+  auto stats2 = DecodeStatsReply(EncodeStatsReply(Status::OK(), stats));
+  ASSERT_TRUE(stats2.ok());
+  ASSERT_EQ(stats2->tenants.size(), 1u);
+  EXPECT_EQ(stats2->tenants[0].name, "eu");
+  EXPECT_EQ(stats2->tenants[0].admission_rejected, 2u);
+  EXPECT_EQ(stats2->tenants[0].engine_text, "requests=7 errors=0");
+  EXPECT_EQ(stats2->batches_rejected, 2u);
+
+  // A non-OK stats reply decodes to its typed status.
+  auto failed = DecodeStatsReply(
+      EncodeStatsReply(Status::Unsupported("no stats"), {}));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(WireProtocolTest, SubmitReplyCoversRemapAcrossPools) {
+  // Server side: a cover whose CFDs carry pattern constants.
+  Catalog server_cat;
+  ASSERT_TRUE(server_cat.AddRelation("R", {"A", "B"}).ok());
+  const Value lion = server_cat.pool().Intern("lion");
+  const Value puma = server_cat.pool().Intern("puma");
+
+  CFD cfd;
+  cfd.relation = 0;
+  cfd.lhs = {0};
+  cfd.lhs_pats = {PatternValue::Constant(lion)};
+  cfd.rhs = 1;
+  cfd.rhs_pat = PatternValue::Constant(puma);
+
+  EngineResult result;
+  result.fingerprint = 0xfeedfacecafebeefull;
+  result.cache_hit = true;
+  result.disjunct_hits = 2;
+  result.disjunct_count = 3;
+  auto cover = std::make_shared<CachedCover>();
+  cover->cover = {cfd};
+  cover->truncated = true;
+  result.cover = cover;
+
+  std::vector<WireBatchResult> batches(2);
+  batches[0].results.emplace_back(result);
+  batches[0].results.emplace_back(Status::Internal("request blew up"));
+  batches[1].status = Status::ResourceExhausted("admission: over cap");
+
+  const std::string payload =
+      EncodeSubmitBatchReply(Status::OK(), batches, server_cat.pool());
+
+  // Client side: a pool with a *different* interning history — decoded
+  // constants must remap by text, never by id.
+  Catalog client_cat;
+  ASSERT_TRUE(client_cat.AddRelation("R", {"A", "B"}).ok());
+  client_cat.pool().Intern("zebra");
+  client_cat.pool().Intern("puma");  // different id than the server's
+
+  auto decoded = DecodeSubmitBatchReply(payload, client_cat.pool());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[1].status.code(), StatusCode::kResourceExhausted);
+  ASSERT_EQ((*decoded)[0].results.size(), 2u);
+  EXPECT_EQ((*decoded)[0].results[1].status().code(), StatusCode::kInternal);
+
+  const Result<EngineResult>& r = (*decoded)[0].results[0];
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fingerprint, result.fingerprint);
+  EXPECT_TRUE(r->cache_hit);
+  EXPECT_EQ(r->disjunct_hits, 2u);
+  EXPECT_EQ(r->disjunct_count, 3u);
+  EXPECT_TRUE(r->cover->truncated);
+  ASSERT_EQ(r->cover->cover.size(), 1u);
+  const CFD& got = r->cover->cover[0];
+  EXPECT_EQ(client_cat.pool().Text(got.lhs_pats[0].value()), "lion");
+  EXPECT_EQ(client_cat.pool().Text(got.rhs_pat.value()), "puma");
+
+  // Deterministic bytes: re-encoding the decoded reply from the
+  // client's (differently ordered) pool reproduces the payload exactly —
+  // the loopback differential test's byte-identity lever.
+  EXPECT_EQ(
+      EncodeSubmitBatchReply(Status::OK(), *decoded, client_cat.pool()),
+      payload);
+
+  // Truncation sweep: every prefix rejects cleanly.
+  for (size_t cut = 0; cut < payload.size(); cut += 3) {
+    Catalog scratch;
+    EXPECT_FALSE(
+        DecodeSubmitBatchReply(payload.substr(0, cut), scratch.pool()).ok());
+  }
+}
+
+/// Raw-socket helper: connect, send bytes, report whether the server
+/// closed the connection (recv saw EOF) without answering.
+bool ServerClosesOn(uint16_t port, const std::string& bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_TRUE(WriteAll(fd, bytes).ok());
+  // Half-close the write side: a *truncated* frame otherwise leaves the
+  // server blocked waiting for the missing bytes while we wait for its
+  // verdict. EOF mid-frame is exactly the truncation under test.
+  ::shutdown(fd, SHUT_WR);
+  char buf[64];
+  ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+  ::close(fd);
+  return r == 0;
+}
+
+TEST(CoverServerTest, MalformedFramesCloseOnlyTheirConnection) {
+  CatalogService service{ServiceOptions{}};
+  CoverServer server(service);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.OpenSpec("eu", kSpecText).ok());
+
+  // Garbage, bad magic, a tampered checksum, an oversized length
+  // prefix, a mid-frame hangup: each connection dies quietly...
+  EXPECT_TRUE(ServerClosesOn(server.port(), "GET / HTTP/1.1\r\n\r\n"));
+  std::string frame = EncodeFrame(FrameType::kStats, "");
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_TRUE(ServerClosesOn(server.port(), bad_magic));
+  std::string bad_sum = frame;
+  bad_sum.back() = static_cast<char>(bad_sum.back() ^ 0x01);
+  EXPECT_TRUE(ServerClosesOn(server.port(), bad_sum));
+  std::string huge = frame;
+  huge[9] = huge[10] = huge[11] = huge[12] = static_cast<char>(0xff);
+  EXPECT_TRUE(ServerClosesOn(server.port(), huge));
+  EXPECT_TRUE(
+      ServerClosesOn(server.port(), frame.substr(0, frame.size() - 3)));
+
+  // ...while the server keeps serving well-formed clients.
+  CoverClientOptions client_options;
+  client_options.port = server.port();
+  CoverClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_EQ(stats->tenants[0].name, "eu");
+
+  CoverServerStats net = server.Stats();
+  EXPECT_EQ(net.decode_errors, 5u);
+  EXPECT_GE(net.connections_accepted, 6u);
+  server.Stop();
+}
+
+TEST(CoverServerTest, TypedErrorsAndShutdownHandshake) {
+  CatalogService service{ServiceOptions{}};
+  CoverServer server(service);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.OpenSpec("eu", kSpecText).ok());
+
+  CoverClientOptions options;
+  options.port = server.port();
+  CoverClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+
+  // Unparsable spec text → InvalidArgument; duplicate tenant → the
+  // registry's InvalidArgument; unknown tenant → NotFound; unknown view
+  // → per-batch NotFound. All typed, all through the wire.
+  auto bad_spec = client.OpenCatalog("xx", "relation ???");
+  ASSERT_FALSE(bad_spec.ok());
+  EXPECT_EQ(bad_spec.status().code(), StatusCode::kInvalidArgument);
+  auto dup = client.OpenCatalog("eu", kSpecText);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  Catalog scratch;
+  auto missing_tenant = client.SubmitBatch("nope", {"ByRegion"},
+                                           scratch.pool());
+  ASSERT_FALSE(missing_tenant.ok());
+  EXPECT_EQ(missing_tenant.status().code(), StatusCode::kNotFound);
+
+  auto missing_view =
+      client.SubmitBatch("eu", {"NoSuchView"}, scratch.pool());
+  ASSERT_TRUE(missing_view.ok()) << "frame-level ok, batch-level error";
+  EXPECT_EQ(missing_view->status.code(), StatusCode::kNotFound);
+
+  EXPECT_FALSE(client.DropCatalog("nope").ok());
+  EXPECT_TRUE(client.DropCatalog("eu").ok());
+  auto after_drop = client.SubmitBatch("eu", {"ByRegion"}, scratch.pool());
+  ASSERT_FALSE(after_drop.ok());
+  EXPECT_EQ(after_drop.status().code(), StatusCode::kNotFound);
+
+  EXPECT_FALSE(server.shutdown_requested());
+  EXPECT_TRUE(client.Shutdown().ok());
+  server.WaitForShutdown();
+  EXPECT_TRUE(server.shutdown_requested());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cfdprop

@@ -308,5 +308,131 @@ TEST(ServiceTest, SpillTenantRequiresSnapshotDir) {
   EXPECT_FALSE(service.SpillTenant("t").ok());
 }
 
+TEST(ServiceTest, AdmissionRejectsDeterministicallyOverTheCap) {
+  ServiceOptions options;
+  options.dispatcher_threads = 1;
+  options.engine.num_threads = 1;
+  options.admission.max_inflight_batches = 1;
+  options.admission.max_queued_batches = 2;
+  CatalogService service(options);
+  auto tenant = service.OpenCatalog("t", MakeCatalog(), {MakeSigma()});
+  ASSERT_TRUE(tenant.ok());
+  std::vector<Engine::Request> round = {
+      {MakeView((*tenant)->engine().catalog()), 0}};
+
+  // Occupy the only dispatcher: the callback holds the running slot (a
+  // batch is in flight until its reply is delivered) until released, so
+  // every decision below is a pure function of the caps.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> entered;
+  ASSERT_TRUE(service
+                  .SubmitBatch("t", round,
+                               [&, released](BatchReply) {
+                                 entered.set_value();
+                                 released.wait();
+                               })
+                  .ok());
+  entered.get_future().wait();
+
+  // Running 1 + queued 0..1 stays under 1 + 2; the third queued submit
+  // crosses the bound and must be the typed, deterministic rejection.
+  auto q1 = service.SubmitBatch("t", round);
+  auto q2 = service.SubmitBatch("t", round);
+  auto q3 = service.SubmitBatch("t", round);
+  EXPECT_TRUE(q1.ok());
+  EXPECT_TRUE(q2.ok());
+  ASSERT_FALSE(q3.ok());
+  EXPECT_EQ(q3.status().code(), StatusCode::kResourceExhausted);
+
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.tenants.at(0).admitted, 3u);
+  EXPECT_EQ(stats.tenants.at(0).admission_rejected, 1u);
+  EXPECT_EQ(stats.tenants.at(0).running, 1u);
+  EXPECT_EQ(stats.tenants.at(0).queued, 2u);
+  EXPECT_EQ(stats.batches_rejected, 1u);
+
+  release.set_value();
+  EXPECT_EQ(q1->get().results.size(), 1u);
+  EXPECT_EQ(q2->get().results.size(), 1u);
+}
+
+TEST(ServiceTest, BurstAdmissionIsAtomicAndDispatchIsRoundRobin) {
+  ServiceOptions options;
+  options.dispatcher_threads = 1;
+  options.engine.num_threads = 1;
+  options.admission.max_inflight_batches = 1;
+  options.admission.max_queued_batches = 1;
+  CatalogService service(options);
+  auto ta = service.OpenCatalog("a", MakeCatalog(), {MakeSigma()});
+  auto tb = service.OpenCatalog("b", MakeCatalog(), {MakeSigma()});
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  std::vector<Engine::Request> round_a = {
+      {MakeView((*ta)->engine().catalog()), 0}};
+  std::vector<Engine::Request> round_b = {
+      {MakeView((*tb)->engine().catalog()), 0}};
+
+  // Park the dispatcher on tenant a, then interleave queued work: the
+  // burst below decides all four admissions under one lock, so exactly
+  // cap-many (1 running + 1 queued, minus the one already running) are
+  // admitted no matter how fast batches would complete.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::promise<void> entered;
+  std::mutex order_mu;
+  std::vector<std::string> completion_order;
+  ASSERT_TRUE(service
+                  .SubmitBatch("a", round_a,
+                               [&, released](BatchReply) {
+                                 entered.set_value();
+                                 released.wait();
+                               })
+                  .ok());
+  entered.get_future().wait();
+
+  auto burst = service.SubmitBatches(
+      "a", {round_a, round_a, round_a, round_a});
+  ASSERT_EQ(burst.size(), 4u);
+  EXPECT_TRUE(burst[0].ok()) << "fills the queued slot";
+  EXPECT_FALSE(burst[1].ok());
+  EXPECT_FALSE(burst[2].ok());
+  EXPECT_FALSE(burst[3].ok());
+  EXPECT_EQ(burst[1].status().code(), StatusCode::kResourceExhausted);
+
+  // Tenant b is idle, so its submissions are admitted regardless of a's
+  // saturation — and the single dispatcher alternates tenants (round
+  // robin from the cursor, which rests on "a") once released.
+  auto log = [&](const char* name) {
+    return [&, name](BatchReply) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      completion_order.emplace_back(name);
+    };
+  };
+  ASSERT_TRUE(service.SubmitBatch("b", round_b, log("b1")).ok());
+  ASSERT_TRUE(service.SubmitBatch("b", round_b, log("b2")).ok());
+
+  release.set_value();
+  // Drain: both tenants' queues empty once every callback ran.
+  for (;;) {
+    ServiceStatsSnapshot stats = service.Stats();
+    uint64_t left = 0;
+    for (const auto& t : stats.tenants) left += t.queued + t.running;
+    if (left == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    std::lock_guard<std::mutex> lock(order_mu);
+    // Cursor sat on "a" when the blocker finished: b1 first, then a's
+    // queued burst survivor, then b2.
+    EXPECT_EQ(completion_order,
+              (std::vector<std::string>{"b1", "b2"}));
+  }
+  ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.tenants.at(0).admitted, 2u);            // blocker + burst[0]
+  EXPECT_EQ(stats.tenants.at(0).admission_rejected, 3u);
+  EXPECT_EQ(stats.tenants.at(1).admitted, 2u);
+  EXPECT_EQ(stats.tenants.at(1).admission_rejected, 0u);
+}
+
 }  // namespace
 }  // namespace cfdprop

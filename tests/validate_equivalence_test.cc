@@ -1,0 +1,162 @@
+// Generator-driven equivalence suite for the hash-grouped FindViolations
+// and the early-exit Satisfies (src/data/validate.cc): both must agree,
+// on randomized workloads, with a brute-force O(n^2) reading of
+// Definition 2.1 — the optimization is a regrouping, never a semantics
+// change.
+
+#include "src/data/validate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/gen/generators.h"
+
+namespace cfdprop {
+namespace {
+
+/// Brute force over all ordered pairs, straight off Definition 2.1 —
+/// deliberately no grouping, no early exit, nothing shared with the
+/// implementation under test.
+std::vector<Violation> ReferenceViolations(const std::vector<Tuple>& rows,
+                                           const CFD& cfd) {
+  std::vector<Violation> out;
+  if (cfd.is_special_x()) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i][cfd.lhs[0]] != rows[i][cfd.rhs]) out.emplace_back(i, i);
+    }
+    return out;
+  }
+  auto matches = [&](const Tuple& t) {
+    for (size_t k = 0; k < cfd.lhs.size(); ++k) {
+      if (!cfd.lhs_pats[k].MatchesValue(t[cfd.lhs[k]])) return false;
+    }
+    return true;
+  };
+  auto same_key = [&](const Tuple& a, const Tuple& b) {
+    for (AttrIndex attr : cfd.lhs) {
+      if (a[attr] != b[attr]) return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!matches(rows[i])) continue;
+    if (cfd.rhs_pat.is_constant() &&
+        rows[i][cfd.rhs] != cfd.rhs_pat.value()) {
+      out.emplace_back(i, i);
+    }
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      if (!matches(rows[j]) || !same_key(rows[i], rows[j])) continue;
+      if (rows[i][cfd.rhs] != rows[j][cfd.rhs]) out.emplace_back(i, j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+/// Random rows over a small value alphabet, so LHS groups collide and
+/// violations actually occur (a wide alphabet would make every group a
+/// singleton and the pair path dead code).
+std::vector<Tuple> RandomRows(Catalog& catalog, RelationId rel, size_t count,
+                              uint32_t alphabet, Rng& rng) {
+  const size_t arity = catalog.relation(rel).arity();
+  std::vector<Tuple> rows;
+  rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Tuple t(arity);
+    for (size_t a = 0; a < arity; ++a) {
+      t[a] = catalog.pool().InternInt(
+          static_cast<int64_t>(rng.Uniform(1, alphabet)));
+    }
+    rows.push_back(std::move(t));
+  }
+  return rows;
+}
+
+TEST(ValidateEquivalenceTest, RandomizedAgainstBruteForce) {
+  size_t total_cfds = 0, violated_cfds = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    SchemaGenOptions schema_options;
+    schema_options.num_relations = 3;
+    schema_options.min_arity = 4;
+    schema_options.max_arity = 6;
+    Catalog catalog = GenerateSchema(schema_options, seed);
+
+    CFDGenOptions cfd_options;
+    cfd_options.count = 12;
+    cfd_options.min_lhs = 1;
+    cfd_options.max_lhs = 3;
+    cfd_options.var_pct = 60;
+    // The same alphabet the rows draw from, so pattern constants match.
+    cfd_options.const_lo = 1;
+    cfd_options.const_hi = 6;
+    std::vector<CFD> sigma = GenerateCFDs(catalog, cfd_options, seed * 31);
+
+    Rng rng(seed * 977);
+    for (const CFD& cfd : sigma) {
+      std::vector<Tuple> rows =
+          RandomRows(catalog, cfd.relation, /*count=*/40, /*alphabet=*/6, rng);
+      const size_t arity = catalog.relation(cfd.relation).arity();
+
+      auto expected = ReferenceViolations(rows, cfd);
+      auto actual = FindViolations(rows, cfd, arity);
+      ASSERT_TRUE(actual.ok()) << actual.status();
+      EXPECT_EQ(*actual, expected) << "seed " << seed;
+
+      auto satisfied = Satisfies(rows, cfd, arity);
+      ASSERT_TRUE(satisfied.ok()) << satisfied.status();
+      EXPECT_EQ(*satisfied, expected.empty()) << "seed " << seed;
+
+      ++total_cfds;
+      if (!expected.empty()) ++violated_cfds;
+    }
+  }
+  // The workload must exercise both answers, or the equivalence above
+  // proves nothing.
+  EXPECT_GT(violated_cfds, 0u);
+  EXPECT_LT(violated_cfds, total_cfds);
+}
+
+TEST(ValidateEquivalenceTest, SpecialFormAndConstantRhs) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation("R", {"A", "B"}).ok());
+  const Value one = catalog.pool().Intern("1");
+  const Value two = catalog.pool().Intern("2");
+
+  // (A -> B, (_ || _)) in special form: every tuple must have A = B.
+  CFD special;
+  special.relation = 0;
+  special.lhs = {0};
+  special.lhs_pats = {PatternValue::SpecialX()};
+  special.rhs = 1;
+  special.rhs_pat = PatternValue::SpecialX();
+  std::vector<Tuple> rows = {{one, one}, {two, one}, {two, two}};
+  auto v = FindViolations(rows, special, 2);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<Violation>{{1, 1}}));
+  EXPECT_EQ(ReferenceViolations(rows, special), *v);
+  auto sat = Satisfies(rows, special, 2);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+
+  // Constant RHS: ([A=1] -> B=1): row 0 fine, row with A=2 unconstrained.
+  CFD constant;
+  constant.relation = 0;
+  constant.lhs = {0};
+  constant.lhs_pats = {PatternValue::Constant(one)};
+  constant.rhs = 1;
+  constant.rhs_pat = PatternValue::Constant(one);
+  std::vector<Tuple> rows2 = {{one, one}, {one, two}, {two, two}};
+  auto v2 = FindViolations(rows2, constant, 2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, (std::vector<Violation>{{0, 1}, {1, 1}}));
+  auto sat2 = Satisfies(rows2, constant, 2);
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_FALSE(*sat2);
+}
+
+}  // namespace
+}  // namespace cfdprop

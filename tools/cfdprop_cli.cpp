@@ -37,6 +37,36 @@
 //                                    the spec overrides which views make
 //                                    up a serving round.
 //
+//   cfdprop_cli listen [--host H] [--port N] [--tenant NAME=SPEC ...]
+//               [--threads N] [--dispatchers N] [--budget N]
+//               [--max-inflight N] [--max-queue N] [--snapshot-dir DIR]
+//               [--interval-ms N] [--dirty N]
+//                                    network server mode: a CoverServer
+//                                    (src/net/) in front of the same
+//                                    CatalogService as `serve`. Tenants
+//                                    given on the command line are
+//                                    preloaded; clients can open more by
+//                                    shipping spec text. Runs until a
+//                                    client sends shutdown. --max-inflight/
+//                                    --max-queue set the per-tenant
+//                                    admission caps (0 = unlimited).
+//
+//   cfdprop_cli client [--host H] [--port N] --tenant NAME=SPEC [...]
+//               [--rounds K] [--burst N] [--no-open] [--quiet]
+//               [--stats] [--shutdown]
+//                                    network client mode: opens each
+//                                    --tenant on the server (spec text
+//                                    travels over the wire; --no-open
+//                                    assumes they exist), serves --rounds
+//                                    rounds of each spec's serving round,
+//                                    printing first-round covers exactly
+//                                    like `serve` does (the CI diffs them
+//                                    byte-for-byte). --burst N pipelines
+//                                    N copies of the round in one frame
+//                                    to exercise admission control;
+//                                    --stats prints the server's service
+//                                    stats; --shutdown stops the server.
+//
 //   cfdprop_cli serve --tenant NAME=SPEC [--tenant NAME=SPEC ...]
 //               [--rounds K] [--threads N] [--dispatchers N]
 //               [--budget N] [--snapshot-dir DIR] [--interval-ms N]
@@ -80,6 +110,8 @@
 #include "src/data/eval.h"
 #include "src/data/validate.h"
 #include "src/engine/engine.h"
+#include "src/net/cover_client.h"
+#include "src/net/cover_server.h"
 #include "src/parser/parser.h"
 #include "src/propagation/emptiness.h"
 #include "src/propagation/propagation.h"
@@ -94,16 +126,39 @@ int Fail(const Status& s) {
   return 1;
 }
 
+/// Reads a whole file; the network modes ship spec *text* (the server
+/// parses it), the local modes parse it via LoadSpec.
+Result<std::string> ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
 /// Reads and parses a spec file; exits with a message via the returned
 /// Status on open/parse failure.
 Result<Spec> LoadSpec(const char* path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::NotFound("cannot open " + std::string(path));
+  CFDPROP_ASSIGN_OR_RETURN(std::string text, ReadFileText(path));
+  return ParseSpec(text);
+}
+
+/// Creates-if-missing and validates a snapshot directory — fail fast,
+/// or background spills would fail silently and the serve-mode settle
+/// wait would stall out with a misleading message.
+bool EnsureSnapshotDir(const std::string& dir) {
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "error: cannot create snapshot dir %s: %s\n",
+                 dir.c_str(), std::strerror(errno));
+    return false;
   }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return ParseSpec(buffer.str());
+  struct stat st;
+  if (stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    std::fprintf(stderr, "error: snapshot dir %s is not a directory\n",
+                 dir.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Output-column name resolver for a view.
@@ -476,22 +531,9 @@ int RunServe(int argc, char** argv) {
     }
   }
   if (tenant_args.empty()) return usage();
-  // Fail fast on an unusable snapshot directory (create it if missing):
-  // the service's background spills would otherwise fail silently and
-  // the settle wait below would stall out with a misleading message.
-  if (!options.snapshot_dir.empty()) {
-    if (mkdir(options.snapshot_dir.c_str(), 0755) != 0 && errno != EEXIST) {
-      std::fprintf(stderr, "error: cannot create snapshot dir %s: %s\n",
-                   options.snapshot_dir.c_str(), std::strerror(errno));
-      return 1;
-    }
-    struct stat st;
-    if (stat(options.snapshot_dir.c_str(), &st) != 0 ||
-        !S_ISDIR(st.st_mode)) {
-      std::fprintf(stderr, "error: snapshot dir %s is not a directory\n",
-                   options.snapshot_dir.c_str());
-      return 1;
-    }
+  if (!options.snapshot_dir.empty() &&
+      !EnsureSnapshotDir(options.snapshot_dir)) {
+    return 1;
   }
   // 0 would make the settle check below unsatisfiable (and the service
   // clamps the policy threshold to >= 1 anyway).
@@ -725,6 +767,346 @@ int RunServe(int argc, char** argv) {
   return rc;
 }
 
+// ---------------------------------------------------------------------
+// listen / client modes: the CatalogService behind a TCP socket
+// ---------------------------------------------------------------------
+
+int RunListen(int argc, char** argv) {
+  auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s listen [--host H] [--port N]"
+                 " [--tenant NAME=SPEC ...] [--threads N] [--dispatchers N]"
+                 " [--budget N] [--max-inflight N] [--max-queue N]"
+                 " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]\n",
+                 argv[0]);
+    return 1;
+  };
+
+  std::vector<std::pair<std::string, std::string>> tenant_args;
+  ServiceOptions options;
+  options.engine.num_threads = 1;
+  net::CoverServerOptions server_options;
+  size_t port = 0, interval_ms = 0, dirty = 1;
+  size_t max_inflight = 0, max_queue = 0;
+  bool dispatchers_set = false;
+  for (int i = 2; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, size_t* out) {
+      return ParseSizeFlag(argc, argv, &i, flag, out);
+    };
+    if (!std::strcmp(argv[i], "--tenant")) {
+      if (i + 1 >= argc) return usage();
+      std::string arg = argv[++i];
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+        std::fprintf(stderr, "error: --tenant needs NAME=SPEC, got '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+      tenant_args.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (!std::strcmp(argv[i], "--host")) {
+      if (i + 1 >= argc) return usage();
+      server_options.host = argv[++i];
+    } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
+      if (i + 1 >= argc) return usage();
+      options.snapshot_dir = argv[++i];
+    } else if (int_arg("--dispatchers", &options.dispatcher_threads)) {
+      dispatchers_set = true;
+    } else if (int_arg("--port", &port) ||
+               int_arg("--threads", &options.engine.num_threads) ||
+               int_arg("--budget", &options.global_cache_budget) ||
+               int_arg("--max-inflight", &max_inflight) ||
+               int_arg("--max-queue", &max_queue) ||
+               int_arg("--interval-ms", &interval_ms) ||
+               int_arg("--dirty", &dirty)) {
+      continue;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "error: --port must be <= 65535\n");
+    return 1;
+  }
+  server_options.port = static_cast<uint16_t>(port);
+  if (!options.snapshot_dir.empty() &&
+      !EnsureSnapshotDir(options.snapshot_dir)) {
+    return 1;
+  }
+  options.policy.interval = std::chrono::milliseconds(interval_ms);
+  options.policy.dirty_line_threshold = std::max<size_t>(1, dirty);
+  options.admission.max_inflight_batches = max_inflight;
+  options.admission.max_queued_batches = max_queue;
+  if (!dispatchers_set && options.dispatcher_threads < tenant_args.size()) {
+    options.dispatcher_threads = tenant_args.size();
+  }
+
+  CatalogService service(options);
+  net::CoverServer server(service, server_options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  std::printf("== tenants ==\n");
+  for (const auto& [name, path] : tenant_args) {
+    auto text = ReadFileText(path);
+    if (!text.ok()) return Fail(text.status());
+    auto opened = server.OpenSpec(name, *text);
+    if (!opened.ok()) return Fail(opened.status());
+    std::printf("tenant %s: opened %s budget=%llu restored=%llu "
+                "rejected=%llu\n",
+                name.c_str(), path.c_str(),
+                static_cast<unsigned long long>(opened->cache_budget),
+                static_cast<unsigned long long>(opened->restored),
+                static_cast<unsigned long long>(opened->rejected));
+  }
+  std::printf("listening on %s:%u (max-inflight=%zu max-queue=%zu)\n",
+              server_options.host.c_str(), server.port(), max_inflight,
+              max_queue);
+  std::fflush(stdout);
+
+  server.WaitForShutdown();
+
+  ServiceStatsSnapshot stats = service.Stats();
+  std::printf("== service stats ==\n");
+  for (const TenantStatsSnapshot& t : stats.tenants) {
+    std::printf("  %s\n", t.ToString().c_str());
+  }
+  std::printf("  service: tenants=%zu budget=%zu submitted=%llu "
+              "completed=%llu rejected=%llu\n",
+              stats.tenants.size(), stats.global_cache_budget,
+              static_cast<unsigned long long>(stats.batches_submitted),
+              static_cast<unsigned long long>(stats.batches_completed),
+              static_cast<unsigned long long>(stats.batches_rejected));
+  net::CoverServerStats net_stats = server.Stats();
+  std::printf("  net: connections=%llu frames=%llu decode_errors=%llu\n",
+              static_cast<unsigned long long>(net_stats.connections_accepted),
+              static_cast<unsigned long long>(net_stats.frames_served),
+              static_cast<unsigned long long>(net_stats.decode_errors));
+  server.Stop();
+  return 0;
+}
+
+int RunClient(int argc, char** argv) {
+  auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s client [--host H] --port N"
+                 " --tenant NAME=SPEC [...] [--rounds K] [--burst N]"
+                 " [--no-open] [--quiet] [--stats] [--shutdown]\n",
+                 argv[0]);
+    return 1;
+  };
+
+  std::vector<std::pair<std::string, std::string>> tenant_args;
+  net::CoverClientOptions client_options;
+  size_t port = 0, rounds = 2, burst = 0;
+  bool quiet = false, open_tenants = true, want_stats = false;
+  bool want_shutdown = false;
+  for (int i = 2; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, size_t* out) {
+      return ParseSizeFlag(argc, argv, &i, flag, out);
+    };
+    if (!std::strcmp(argv[i], "--tenant")) {
+      if (i + 1 >= argc) return usage();
+      std::string arg = argv[++i];
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+        std::fprintf(stderr, "error: --tenant needs NAME=SPEC, got '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+      tenant_args.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (!std::strcmp(argv[i], "--host")) {
+      if (i + 1 >= argc) return usage();
+      client_options.host = argv[++i];
+    } else if (int_arg("--port", &port) || int_arg("--rounds", &rounds) ||
+               int_arg("--burst", &burst)) {
+      continue;
+    } else if (!std::strcmp(argv[i], "--no-open")) {
+      open_tenants = false;
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
+    } else if (!std::strcmp(argv[i], "--shutdown")) {
+      want_shutdown = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "error: client mode needs --port in [1, 65535]\n");
+    return 1;
+  }
+  if (tenant_args.empty() && !want_stats && !want_shutdown) return usage();
+  client_options.port = static_cast<uint16_t>(port);
+
+  net::CoverClient client(client_options);
+  Status connected = client.Connect();
+  if (!connected.ok()) return Fail(connected);
+
+  // Each tenant's spec is also parsed locally: the client needs the
+  // serving round, the view shapes for attribute names, and a pool to
+  // re-intern decoded cover constants into.
+  struct ClientTenant {
+    std::string name;
+    std::string path;
+    Spec spec;
+    std::vector<std::string> round;
+  };
+  std::vector<ClientTenant> tenants;
+  tenants.reserve(tenant_args.size());
+  int rc = 0;
+  if (!tenant_args.empty()) std::printf("== tenants ==\n");
+  for (auto& [name, path] : tenant_args) {
+    auto text = ReadFileText(path);
+    if (!text.ok()) return Fail(text.status());
+    auto spec = ParseSpec(*text);
+    if (!spec.ok()) return Fail(spec.status());
+    ClientTenant t;
+    t.name = name;
+    t.path = path;
+    t.spec = std::move(spec).value();
+    t.round = t.spec.ServingRound();
+    if (open_tenants) {
+      auto opened = client.OpenCatalog(name, *text);
+      if (!opened.ok()) return Fail(opened.status());
+      std::printf("tenant %s: opened %s budget=%llu restored=%llu "
+                  "rejected=%llu\n",
+                  name.c_str(), path.c_str(),
+                  static_cast<unsigned long long>(opened->cache_budget),
+                  static_cast<unsigned long long>(opened->restored),
+                  static_cast<unsigned long long>(opened->rejected));
+    }
+    tenants.push_back(std::move(t));
+  }
+
+  // Round-trip the serving rounds; first-round covers print in exactly
+  // serve mode's format, so scripts can diff network serving against
+  // in-process serving byte for byte.
+  auto print_covers = [&](ClientTenant& t,
+                          const std::vector<Result<EngineResult>>& results) {
+    for (size_t i = 0; i < t.round.size() && i < results.size(); ++i) {
+      const Result<EngineResult>& r = results[i];
+      if (!r.ok()) continue;
+      const std::string& view_name = t.round[i];
+      std::string union_info;
+      if (r->disjunct_count > 1) {
+        union_info = ", union " + std::to_string(r->disjunct_hits) + "/" +
+                     std::to_string(r->disjunct_count) + " disjunct hits";
+      }
+      std::printf("view %s/%s (%zu CFDs%s%s%s, fp=%016llx):\n",
+                  t.name.c_str(), view_name.c_str(), r->cover->cover.size(),
+                  r->cover->always_empty ? ", ALWAYS EMPTY" : "",
+                  r->cover->truncated ? ", TRUNCATED" : "",
+                  union_info.c_str(),
+                  static_cast<unsigned long long>(r->fingerprint));
+      if (quiet) continue;
+      const SPCUView& view = t.spec.views.at(view_name);
+      for (const CFD& c : r->cover->cover) {
+        std::printf("  %s\n",
+                    FormatCFD(c, t.spec.catalog.pool(), view_name,
+                              ViewAttrNames(view))
+                        .c_str());
+      }
+    }
+  };
+
+  size_t total_requests = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < rounds; ++k) {
+    for (ClientTenant& t : tenants) {
+      auto reply = client.SubmitBatch(t.name, t.round,
+                                      t.spec.catalog.pool());
+      if (!reply.ok()) return Fail(reply.status());
+      if (!reply->status.ok()) {
+        std::fprintf(stderr, "error: tenant %s round %zu: %s\n",
+                     t.name.c_str(), k,
+                     reply->status.ToString().c_str());
+        rc = 1;
+        continue;
+      }
+      total_requests += reply->results.size();
+      for (size_t i = 0; i < reply->results.size(); ++i) {
+        if (!reply->results[i].ok()) {
+          std::fprintf(stderr, "error: tenant %s request %zu: %s\n",
+                       t.name.c_str(), i,
+                       reply->results[i].status().ToString().c_str());
+          rc = 1;
+        }
+      }
+      if (k == 0) print_covers(t, reply->results);
+    }
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  if (!tenants.empty() && rounds > 0) {
+    std::printf("== client rounds ==\n  %zu requests in %.2f ms (%.0f "
+                "covers/sec, %zu tenants, %zu rounds)\n",
+                total_requests, elapsed_ms,
+                elapsed_ms > 0 ? 1000.0 * total_requests / elapsed_ms : 0.0,
+                tenants.size(), rounds);
+  }
+
+  // Pipelined burst: N copies of the round in ONE frame — the server
+  // decides every batch's admission atomically, so the admitted and
+  // rejected counts are deterministic for given caps.
+  if (burst > 0) {
+    for (ClientTenant& t : tenants) {
+      std::vector<std::vector<std::string>> batches(burst, t.round);
+      auto replies = client.SubmitBatches(t.name, batches,
+                                          t.spec.catalog.pool());
+      if (!replies.ok()) return Fail(replies.status());
+      size_t admitted = 0, rejected = 0;
+      for (const net::WireBatchResult& b : *replies) {
+        if (b.status.ok()) {
+          ++admitted;
+        } else if (b.status.code() == StatusCode::kResourceExhausted) {
+          ++rejected;
+        } else {
+          std::fprintf(stderr, "error: burst tenant %s: %s\n",
+                       t.name.c_str(), b.status.ToString().c_str());
+          rc = 1;
+        }
+      }
+      std::printf("burst tenant %s: batches=%zu admitted=%zu rejected=%zu\n",
+                  t.name.c_str(), burst, admitted, rejected);
+    }
+  }
+
+  if (want_stats) {
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("== service stats (remote) ==\n");
+    for (const net::WireTenantStats& t : stats->tenants) {
+      std::printf("tenant %s net: %s\n", t.name.c_str(),
+                  t.engine_text.c_str());
+      std::printf("tenant %s admission: admitted=%llu rejected=%llu "
+                  "queued=%llu running=%llu\n",
+                  t.name.c_str(),
+                  static_cast<unsigned long long>(t.admitted),
+                  static_cast<unsigned long long>(t.admission_rejected),
+                  static_cast<unsigned long long>(t.queued),
+                  static_cast<unsigned long long>(t.running));
+    }
+    std::printf("service: tenants=%zu budget=%llu submitted=%llu "
+                "completed=%llu rejected=%llu\n",
+                stats->tenants.size(),
+                static_cast<unsigned long long>(stats->global_cache_budget),
+                static_cast<unsigned long long>(stats->batches_submitted),
+                static_cast<unsigned long long>(stats->batches_completed),
+                static_cast<unsigned long long>(stats->batches_rejected));
+  }
+
+  if (want_shutdown) {
+    Status down = client.Shutdown();
+    if (!down.ok()) return Fail(down);
+    std::printf("shutdown sent\n");
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -733,6 +1115,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && !std::strcmp(argv[1], "serve")) {
     return RunServe(argc, argv);
+  }
+  if (argc >= 2 && !std::strcmp(argv[1], "listen")) {
+    return RunListen(argc, argv);
+  }
+  if (argc >= 2 && !std::strcmp(argv[1], "client")) {
+    return RunClient(argc, argv);
   }
   if (argc < 2) {
     std::fprintf(stderr,
