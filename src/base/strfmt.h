@@ -1,0 +1,37 @@
+// printf-style formatting into a std::string, sized exactly by the
+// snprintf return value — no fixed buffer to silently truncate into.
+
+#ifndef CFDPROP_BASE_STRFMT_H_
+#define CFDPROP_BASE_STRFMT_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace cfdprop {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+StrPrintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  // +1: vsnprintf writes the terminator; std::string owns size()+1 bytes.
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_BASE_STRFMT_H_

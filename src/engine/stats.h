@@ -4,6 +4,13 @@
 // counters are independent monotone sums, so no ordering is needed) and
 // read via Snapshot(). Cache counters live in CoverCache; the engine
 // merges both into one EngineStatsSnapshot.
+//
+// Latency accumulation rides on src/obs histograms: each timing field
+// is one obs::Histogram whose nanosecond sum plays the old accumulator
+// role (the former `atomic<double>` CAS loops are gone) and whose
+// buckets give the per-engine latency distribution the exporter
+// renders. Constructing with `latency_histograms = false` keeps only
+// the sums — the registry-disabled path BM_MetricsOverhead measures.
 
 #ifndef CFDPROP_ENGINE_STATS_H_
 #define CFDPROP_ENGINE_STATS_H_
@@ -12,7 +19,9 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/strfmt.h"
 #include "src/engine/cover_cache.h"
+#include "src/obs/metrics.h"
 
 namespace cfdprop {
 
@@ -47,6 +56,11 @@ struct EngineStatsSnapshot {
   /// (ROADMAP "Multi-core validation").
   double batch_wall_us = 0;
   double batch_busy_us = 0;
+  /// Latency distributions behind the sums above (empty buckets when the
+  /// engine runs with latency_histograms off).
+  obs::HistogramSnapshot total_latency;
+  obs::HistogramSnapshot fingerprint_latency;
+  obs::HistogramSnapshot compute_latency;
 
   double BatchParallelism() const {
     return batch_wall_us > 0 ? batch_busy_us / batch_wall_us : 0.0;
@@ -54,44 +68,43 @@ struct EngineStatsSnapshot {
   CacheStats cache;
 
   std::string ToString() const {
-    char buf[448];
-    std::snprintf(buf, sizeof(buf),
-                  "requests=%llu errors=%llu batches=%llu "
-                  "hit_rate=%.1f%% (hits=%llu misses=%llu evictions=%llu "
-                  "invalidations=%llu entries=%zu restored=%llu "
-                  "rejected=%llu) unions=%llu "
-                  "disjunct_hits=%llu/%llu mutations=%llu "
-                  "par_eff=%.2f compute=%.1fms total=%.1fms",
-                  static_cast<unsigned long long>(requests),
-                  static_cast<unsigned long long>(errors),
-                  static_cast<unsigned long long>(batches),
-                  100.0 * cache.HitRate(),
-                  static_cast<unsigned long long>(cache.hits),
-                  static_cast<unsigned long long>(cache.misses),
-                  static_cast<unsigned long long>(cache.evictions),
-                  static_cast<unsigned long long>(cache.invalidations),
-                  cache.entries,
-                  static_cast<unsigned long long>(cache.restored),
-                  static_cast<unsigned long long>(cache.rejected),
-                  static_cast<unsigned long long>(union_requests),
-                  static_cast<unsigned long long>(disjunct_hits),
-                  static_cast<unsigned long long>(disjunct_hits +
-                                                  disjunct_misses),
-                  static_cast<unsigned long long>(sigma_mutations),
-                  BatchParallelism(), compute_us / 1000.0,
-                  total_us / 1000.0);
-    return buf;
+    return StrPrintf(
+        "requests=%llu errors=%llu batches=%llu "
+        "hit_rate=%.1f%% (hits=%llu misses=%llu evictions=%llu "
+        "invalidations=%llu entries=%zu restored=%llu "
+        "rejected=%llu) unions=%llu "
+        "disjunct_hits=%llu/%llu mutations=%llu "
+        "par_eff=%.2f compute=%.1fms total=%.1fms",
+        static_cast<unsigned long long>(requests),
+        static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(batches), 100.0 * cache.HitRate(),
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.invalidations), cache.entries,
+        static_cast<unsigned long long>(cache.restored),
+        static_cast<unsigned long long>(cache.rejected),
+        static_cast<unsigned long long>(union_requests),
+        static_cast<unsigned long long>(disjunct_hits),
+        static_cast<unsigned long long>(disjunct_hits + disjunct_misses),
+        static_cast<unsigned long long>(sigma_mutations), BatchParallelism(),
+        compute_us / 1000.0, total_us / 1000.0);
   }
 };
 
 class EngineStats {
  public:
+  explicit EngineStats(bool latency_histograms = true)
+      : total_hist_(latency_histograms),
+        fingerprint_hist_(latency_histograms),
+        compute_hist_(latency_histograms) {}
+
   void Record(const RequestTiming& t, bool error) {
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (error) errors_.fetch_add(1, std::memory_order_relaxed);
-    AddDouble(total_us_, t.total_us);
-    AddDouble(fingerprint_us_, t.fingerprint_us);
-    AddDouble(compute_us_, t.compute_us);
+    total_hist_.Record(t.total_us);
+    fingerprint_hist_.Record(t.fingerprint_us);
+    compute_hist_.Record(t.compute_us);
   }
 
   void RecordBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
@@ -99,8 +112,8 @@ class EngineStats {
   /// One PropagateBatch completed: `wall_us` is its wall-clock span,
   /// `busy_us` the sum of its requests' serve times.
   void RecordBatchTiming(double wall_us, double busy_us) {
-    AddDouble(batch_wall_us_, wall_us);
-    AddDouble(batch_busy_us_, busy_us);
+    batch_wall_ns_.fetch_add(ToNanos(wall_us), std::memory_order_relaxed);
+    batch_busy_ns_.fetch_add(ToNanos(busy_us), std::memory_order_relaxed);
   }
 
   void RecordUnion(size_t disjunct_hits, size_t disjunct_misses) {
@@ -123,20 +136,24 @@ class EngineStats {
     s.disjunct_hits = disjunct_hits_.load(std::memory_order_relaxed);
     s.disjunct_misses = disjunct_misses_.load(std::memory_order_relaxed);
     s.sigma_mutations = sigma_mutations_.load(std::memory_order_relaxed);
-    s.total_us = total_us_.load(std::memory_order_relaxed);
-    s.fingerprint_us = fingerprint_us_.load(std::memory_order_relaxed);
-    s.compute_us = compute_us_.load(std::memory_order_relaxed);
-    s.batch_wall_us = batch_wall_us_.load(std::memory_order_relaxed);
-    s.batch_busy_us = batch_busy_us_.load(std::memory_order_relaxed);
+    s.total_latency = total_hist_.Snapshot();
+    s.fingerprint_latency = fingerprint_hist_.Snapshot();
+    s.compute_latency = compute_hist_.Snapshot();
+    s.total_us = s.total_latency.sum_us;
+    s.fingerprint_us = s.fingerprint_latency.sum_us;
+    s.compute_us = s.compute_latency.sum_us;
+    s.batch_wall_us =
+        static_cast<double>(batch_wall_ns_.load(std::memory_order_relaxed)) /
+        1000.0;
+    s.batch_busy_us =
+        static_cast<double>(batch_busy_ns_.load(std::memory_order_relaxed)) /
+        1000.0;
     return s;
   }
 
  private:
-  static void AddDouble(std::atomic<double>& a, double x) {
-    double cur = a.load(std::memory_order_relaxed);
-    while (!a.compare_exchange_weak(cur, cur + x,
-                                    std::memory_order_relaxed)) {
-    }
+  static uint64_t ToNanos(double us) {
+    return us > 0 ? static_cast<uint64_t>(us * 1000.0 + 0.5) : 0;
   }
 
   std::atomic<uint64_t> requests_{0};
@@ -146,11 +163,11 @@ class EngineStats {
   std::atomic<uint64_t> disjunct_hits_{0};
   std::atomic<uint64_t> disjunct_misses_{0};
   std::atomic<uint64_t> sigma_mutations_{0};
-  std::atomic<double> total_us_{0};
-  std::atomic<double> fingerprint_us_{0};
-  std::atomic<double> compute_us_{0};
-  std::atomic<double> batch_wall_us_{0};
-  std::atomic<double> batch_busy_us_{0};
+  obs::Histogram total_hist_;
+  obs::Histogram fingerprint_hist_;
+  obs::Histogram compute_hist_;
+  std::atomic<uint64_t> batch_wall_ns_{0};
+  std::atomic<uint64_t> batch_busy_ns_{0};
 };
 
 }  // namespace cfdprop

@@ -141,6 +141,13 @@ Result<WireServiceStats> CoverClient::Stats() {
   return DecodeStatsReply(payload);
 }
 
+Result<std::string> CoverClient::Metrics() {
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kMetrics, "", FrameType::kMetricsReply));
+  return DecodeMetricsReply(payload);
+}
+
 Status CoverClient::DropCatalog(const std::string& tenant) {
   auto payload = RoundTrip(FrameType::kDropCatalog,
                            EncodeStringRequest(tenant),

@@ -76,6 +76,10 @@ class CoverClient {
 
   Result<WireServiceStats> Stats();
 
+  /// Scrapes the server's metrics: the full Prometheus-style text
+  /// exposition (src/obs), every layer in one fetch.
+  Result<std::string> Metrics();
+
   Status DropCatalog(const std::string& tenant);
 
   /// Asks the server process to wind down (it stops accepting and its

@@ -29,7 +29,38 @@ const ValuePool& EmptyPool() {
 }  // namespace
 
 CoverServer::CoverServer(CatalogService& service, CoverServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service), options_(std::move(options)) {
+  obs::MetricsRegistry& metrics = service_.metrics();
+  constexpr std::string_view kStageName = "cfdprop_net_stage_latency_us";
+  constexpr std::string_view kStageHelp =
+      "Per-frame network stage latency in microseconds";
+  decode_stage_ =
+      metrics.GetHistogram(kStageName, kStageHelp, {{"stage", "decode"}});
+  encode_stage_ =
+      metrics.GetHistogram(kStageName, kStageHelp, {{"stage", "encode"}});
+  write_stage_ =
+      metrics.GetHistogram(kStageName, kStageHelp, {{"stage", "write"}});
+  metrics_collector_id_ =
+      metrics.AddCollector([this]() -> std::vector<obs::MetricFamilySamples> {
+        const CoverServerStats s = Stats();
+        auto scalar = [](std::string_view name, std::string_view help,
+                         uint64_t value) {
+          obs::MetricFamilySamples f{std::string(name),
+                                     obs::MetricType::kCounter,
+                                     std::string(help),
+                                     {}};
+          f.samples.push_back({{}, static_cast<double>(value), std::nullopt});
+          return f;
+        };
+        return {scalar("cfdprop_net_connections_total",
+                       "TCP connections accepted", s.connections_accepted),
+                scalar("cfdprop_net_frames_total",
+                       "Request frames served", s.frames_served),
+                scalar("cfdprop_net_decode_errors_total",
+                       "Connections dropped for malformed frames",
+                       s.decode_errors)};
+      });
+}
 
 CoverServer::~CoverServer() { Stop(); }
 
@@ -81,6 +112,10 @@ void CoverServer::Stop() {
     if (stopping_) return;
     stopping_ = true;
   }
+  // The registry (owned by the service) outlives this server: unhook
+  // the net-counter collector before teardown so a later render can
+  // never call into a dead server.
+  service_.metrics().RemoveCollector(metrics_collector_id_);
   // Unblock the acceptor first (shutdown on a listening socket makes
   // accept() fail on Linux), then every connection's blocking recv.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
@@ -153,7 +188,8 @@ void CoverServer::AcceptLoop() {
 void CoverServer::ServeConnection(Connection* conn) {
   const int fd = conn->fd;
   for (;;) {
-    auto frame = ReadFrame(fd);
+    double decode_us = 0;
+    auto frame = ReadFrame(fd, &decode_us);
     if (!frame.ok()) {
       // InvalidArgument = the codec rejected the bytes (corruption);
       // NotFound = the peer just went away. Either way this connection
@@ -163,10 +199,17 @@ void CoverServer::ServeConnection(Connection* conn) {
       }
       break;
     }
+    if (decode_stage_) decode_stage_->Record(decode_us);
     frames_served_.fetch_add(1, std::memory_order_relaxed);
     std::string reply;
     const bool keep = HandleFrame(frame->first, frame->second, &reply);
+    const auto write_start = std::chrono::steady_clock::now();
     Status written = WriteAll(fd, reply);
+    if (write_stage_) {
+      write_stage_->Record(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - write_start)
+                               .count());
+    }
     // A shutdown request is honored only after its confirmation reply
     // reached the socket — firing it earlier would let the owner's
     // Stop() sever this connection mid-write and fail the client's
@@ -187,14 +230,24 @@ bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
   // (a burst whose covers exceed the 16 MiB frame limit) degrades to a
   // typed status-only reply instead of a frame the peer must reject as
   // corrupt.
-  auto frame = [](FrameType reply_type, std::string reply_payload) {
+  auto frame = [this](FrameType reply_type, std::string reply_payload) {
     if (reply_payload.size() > kMaxFramePayload) {
       reply_payload = EncodeStatusReply(Status::ResourceExhausted(
           "reply payload of " + std::to_string(reply_payload.size()) +
           " bytes exceeds the " + std::to_string(kMaxFramePayload) +
           "-byte frame bound; split the request"));
     }
-    return EncodeFrame(reply_type, reply_payload);
+    // The encode stage is the reply *frame* assembly (header + copy +
+    // whole-frame checksum); the payload encoding inside the handlers
+    // is accounted to the handler's own stages.
+    const auto encode_start = std::chrono::steady_clock::now();
+    std::string encoded = EncodeFrame(reply_type, reply_payload);
+    if (encode_stage_) {
+      encode_stage_->Record(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - encode_start)
+                                .count());
+    }
+    return encoded;
   };
   switch (type) {
     case FrameType::kOpenCatalog:
@@ -207,6 +260,9 @@ bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
       return true;
     case FrameType::kStats:
       *reply = frame(FrameType::kStatsReply, HandleStats());
+      return true;
+    case FrameType::kMetrics:
+      *reply = frame(FrameType::kMetricsReply, HandleMetrics());
       return true;
     case FrameType::kDropCatalog:
       *reply = frame(FrameType::kDropCatalogReply,
@@ -355,6 +411,12 @@ std::string CoverServer::HandleStats() {
     w.tenants.push_back(std::move(wt));
   }
   return EncodeStatsReply(Status::OK(), w);
+}
+
+std::string CoverServer::HandleMetrics() {
+  // The render walks the service's registry, which includes this
+  // server's net-counter collector — so one scrape covers every layer.
+  return EncodeMetricsReply(Status::OK(), service_.RenderMetricsText());
 }
 
 std::string CoverServer::HandleDropCatalog(std::string_view payload) {

@@ -129,6 +129,7 @@ class CoverServer {
   std::string HandleSubmitBatch(std::string_view payload);
   std::string HandleStats();
   std::string HandleDropCatalog(std::string_view payload);
+  std::string HandleMetrics();
   void RequestShutdown();
 
   CatalogService& service_;
@@ -154,6 +155,16 @@ class CoverServer {
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> decode_errors_{0};
+
+  /// Network stage histograms (`cfdprop_net_stage_latency_us{stage=}`)
+  /// and the collector exporting the counters above — both live in the
+  /// service's MetricsRegistry; the collector is removed on the first
+  /// Stop() (the registry outlives the server, per the lifetime
+  /// contract above).
+  obs::Histogram* decode_stage_ = nullptr;  // header parse + checksum
+  obs::Histogram* encode_stage_ = nullptr;  // reply frame assembly
+  obs::Histogram* write_stage_ = nullptr;   // socket write of the reply
+  size_t metrics_collector_id_ = 0;
 };
 
 }  // namespace net

@@ -26,7 +26,7 @@ Status Malformed(const std::string& what) {
 bool KnownFrameType(uint8_t t) {
   const uint8_t base = t & ~kReplyBit;
   return base >= static_cast<uint8_t>(FrameType::kOpenCatalog) &&
-         base <= static_cast<uint8_t>(FrameType::kShutdown);
+         base <= static_cast<uint8_t>(FrameType::kMetrics);
 }
 
 /// Strings travel as u32 length + raw bytes; the length is checked
@@ -486,6 +486,25 @@ Result<WireServiceStats> DecodeStatsReply(std::string_view payload) {
     return Malformed("trailing bytes after stats reply");
   }
   return stats;
+}
+
+std::string EncodeMetricsReply(const Status& status, std::string_view text) {
+  std::string out;
+  EncodeStatus(out, status);
+  PutString(out, text);
+  return out;
+}
+
+Result<std::string> DecodeMetricsReply(std::string_view payload) {
+  size_t pos = 0;
+  Status status;
+  CFDPROP_RETURN_NOT_OK(DecodeStatusAt(payload, &pos, &status));
+  CFDPROP_RETURN_NOT_OK(status);
+  std::string text;
+  if (!GetString(payload, &pos, &text) || pos != payload.size()) {
+    return Malformed("metrics reply truncated");
+  }
+  return text;
 }
 
 }  // namespace net

@@ -54,7 +54,10 @@ namespace cfdprop {
 namespace net {
 
 inline constexpr char kWireMagic[4] = {'C', 'F', 'D', 'W'};
-inline constexpr uint32_t kWireVersion = 1;
+/// v2: added the METRICS frame (kMetrics / kMetricsReply). Same frame
+/// layout, but a v1 peer would treat type 6 as malformed and close the
+/// connection, so the version gate keeps the refusal explicit.
+inline constexpr uint32_t kWireVersion = 2;
 
 /// magic + version + type + payload length.
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 1 + 4;
@@ -73,12 +76,16 @@ enum class FrameType : uint8_t {
   kStats = 3,
   kDropCatalog = 4,
   kShutdown = 5,
+  /// Scrape: empty request payload; the reply carries the server's
+  /// Prometheus-style text exposition (src/obs).
+  kMetrics = 6,
 
   kOpenCatalogReply = kOpenCatalog | kReplyBit,
   kSubmitBatchReply = kSubmitBatch | kReplyBit,
   kStatsReply = kStats | kReplyBit,
   kDropCatalogReply = kDropCatalog | kReplyBit,
   kShutdownReply = kShutdown | kReplyBit,
+  kMetricsReply = kMetrics | kReplyBit,
 };
 
 struct FrameHeader {
@@ -195,6 +202,12 @@ Status DecodeStatusReply(std::string_view payload);
 std::string EncodeStatsReply(const Status& status,
                              const WireServiceStats& stats);
 Result<WireServiceStats> DecodeStatsReply(std::string_view payload);
+
+/// METRICS reply: Status + the exposition text. Oversized scrapes (past
+/// kMaxFramePayload once framed) must be degraded by the caller like
+/// any other reply.
+std::string EncodeMetricsReply(const Status& status, std::string_view text);
+Result<std::string> DecodeMetricsReply(std::string_view payload);
 
 }  // namespace net
 }  // namespace cfdprop

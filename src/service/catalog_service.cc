@@ -5,9 +5,16 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/base/strfmt.h"
+
 namespace cfdprop {
 
 namespace {
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
 
 /// Tenant names become snapshot file names, so the alphabet is locked
 /// down: [A-Za-z0-9_.-], first character alphanumeric or '_'. This
@@ -62,29 +69,25 @@ uint64_t CacheChangeCounter(const CacheStats& c) {
 }  // namespace
 
 std::string TenantStatsSnapshot::ToString() const {
-  // Sized like EngineStatsSnapshot::ToString's buffer: the 100-char
-  // name cap plus ten full-width counters must never truncate.
-  char buf[576];
-  std::snprintf(buf, sizeof(buf),
-                "tenant %s: budget=%zu batches=%llu spills=%llu "
-                "policy_spills=%llu last_spill_lines=%llu dirty=%llu "
-                "admitted=%llu admission_rejected=%llu queued=%llu "
-                "running=%llu ",
-                name.c_str(), cache_budget,
-                static_cast<unsigned long long>(batches_submitted),
-                static_cast<unsigned long long>(spills),
-                static_cast<unsigned long long>(policy_spills),
-                static_cast<unsigned long long>(last_spill_lines),
-                static_cast<unsigned long long>(dirty_lines),
-                static_cast<unsigned long long>(admitted),
-                static_cast<unsigned long long>(admission_rejected),
-                static_cast<unsigned long long>(queued),
-                static_cast<unsigned long long>(running));
-  return std::string(buf) + engine.ToString();
+  return StrPrintf("tenant %s: budget=%zu batches=%llu spills=%llu "
+                   "policy_spills=%llu last_spill_lines=%llu dirty=%llu "
+                   "admitted=%llu admission_rejected=%llu queued=%llu "
+                   "running=%llu ",
+                   name.c_str(), cache_budget,
+                   static_cast<unsigned long long>(batches_submitted),
+                   static_cast<unsigned long long>(spills),
+                   static_cast<unsigned long long>(policy_spills),
+                   static_cast<unsigned long long>(last_spill_lines),
+                   static_cast<unsigned long long>(dirty_lines),
+                   static_cast<unsigned long long>(admitted),
+                   static_cast<unsigned long long>(admission_rejected),
+                   static_cast<unsigned long long>(queued),
+                   static_cast<unsigned long long>(running)) +
+         engine.ToString();
 }
 
 CatalogService::CatalogService(ServiceOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), metrics_(options_.engine.metrics) {
   // Same guard as the engine's worker pool: a dispatcher count past any
   // plausible hardware just burns thread stacks.
   constexpr size_t kMaxDispatchers = 256;
@@ -102,9 +105,16 @@ CatalogService::CatalogService(ServiceOptions options)
       options_.policy.interval.count() > 0) {
     policy_thread_ = std::thread([this] { PolicyLoop(); });
   }
+  metrics_collector_id_ =
+      metrics_.AddCollector([this] { return CollectFamilies(); });
 }
 
 CatalogService::~CatalogService() {
+  // Unhook the collector before anything starts dying: a render racing
+  // shutdown must not walk a half-destroyed service. (Renders come from
+  // CoverServer frames or the embedding — both are contractually done
+  // before the service destructs; this is belt and braces.)
+  metrics_.RemoveCollector(metrics_collector_id_);
   // Stop serving first (dispatchers drain the queue before exiting, so
   // every submitted future still resolves), then the policy thread, and
   // only then take the final flush — its snapshots see the last batch's
@@ -199,6 +209,7 @@ Result<TenantHandle> CatalogService::OpenCatalog(
   }
 
   TenantHandle tenant(new Tenant(name, std::move(engine)));
+  BindStageTimers(*tenant);
   if (!options_.snapshot_dir.empty()) {
     // Warm start. Any failure — no file yet, version bump, changed Σ,
     // corruption — just means a cold cache; LoadSnapshot already
@@ -315,6 +326,13 @@ Status CatalogService::EnqueueLocked(Job job) {
   tenant.admission_queued.fetch_add(1, std::memory_order_relaxed);
   job.sequence =
       tenant.batches_submitted.fetch_add(1, std::memory_order_relaxed);
+  // Lifecycle stamp: queue-wait is measured from here, and the submit
+  // entry -> admitted span is the "admission" stage.
+  job.admitted_at = std::chrono::steady_clock::now();
+  if (tenant.stages_.admission) {
+    tenant.stages_.admission->Record(
+        MicrosBetween(job.submit_start, job.admitted_at));
+  }
   queues_[tenant.name()].push_back(std::move(job));
   ++total_queued_;
   batches_submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -322,6 +340,7 @@ Status CatalogService::EnqueueLocked(Job job) {
 }
 
 Status CatalogService::Enqueue(const std::string& tenant_name, Job job) {
+  job.submit_start = std::chrono::steady_clock::now();
   CFDPROP_ASSIGN_OR_RETURN(job.tenant, ResolveCatalog(tenant_name));
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -359,6 +378,7 @@ std::vector<Result<std::future<BatchReply>>> CatalogService::SubmitBatches(
     std::lock_guard<std::mutex> lock(queue_mu_);
     for (auto& requests : batches) {
       Job job;
+      job.submit_start = std::chrono::steady_clock::now();
       job.tenant = *resolved;
       job.requests = std::move(requests);
       std::future<BatchReply> future = job.promise.get_future();
@@ -435,9 +455,22 @@ void CatalogService::DispatcherLoop() {
         queue_cv_.wait(lock);
       }
     }
+    // Lifecycle stamps: queue-wait ended at the pop above; the engine
+    // call is the propagate stage; delivering the reply is its own
+    // stage (a slow future consumer or callback shows up here, not in
+    // propagate).
+    const auto popped_at = std::chrono::steady_clock::now();
+    const Tenant::StageTimers& stages = job.tenant->stages_;
+    if (stages.queue_wait) {
+      stages.queue_wait->Record(MicrosBetween(job.admitted_at, popped_at));
+    }
     BatchReply reply;
     reply.tenant = job.tenant->name();
     reply.sequence = job.sequence;
+    const auto propagate_start = std::chrono::steady_clock::now();
+    if (stages.dispatch) {
+      stages.dispatch->Record(MicrosBetween(popped_at, propagate_start));
+    }
     // PropagateBatch already converts per-request exceptions to Status;
     // this guard is for anything outside that contract — one tenant's
     // failure must never std::terminate the whole service.
@@ -450,6 +483,10 @@ void CatalogService::DispatcherLoop() {
             Status::Internal("batch dispatch exception"));
       }
     }
+    const auto propagate_end = std::chrono::steady_clock::now();
+    if (stages.propagate) {
+      stages.propagate->Record(MicrosBetween(propagate_start, propagate_end));
+    }
     batches_completed_.fetch_add(1, std::memory_order_relaxed);
     if (!job.callback) {
       job.promise.set_value(std::move(reply));
@@ -461,6 +498,10 @@ void CatalogService::DispatcherLoop() {
         job.callback(std::move(reply));
       } catch (...) {
       }
+    }
+    if (stages.reply) {
+      stages.reply->Record(
+          MicrosBetween(propagate_end, std::chrono::steady_clock::now()));
     }
     // Release the running slot only after the reply is delivered (a
     // batch "in flight" admission-wise is one whose caller hasn't heard
@@ -543,6 +584,189 @@ void CatalogService::PolicyLoop() {
                   options_.policy.dirty_line_threshold);
     }
   }
+}
+
+void CatalogService::BindStageTimers(Tenant& tenant) {
+  constexpr std::string_view kName = "cfdprop_stage_latency_us";
+  constexpr std::string_view kHelp =
+      "Per-stage batch lifecycle latency in microseconds";
+  auto stage = [&](const char* stage_name) {
+    return metrics_.GetHistogram(
+        kName, kHelp,
+        {{"tenant", tenant.name_}, {"stage", stage_name}});
+  };
+  tenant.stages_.admission = stage("admission");
+  tenant.stages_.queue_wait = stage("queue_wait");
+  tenant.stages_.dispatch = stage("dispatch");
+  tenant.stages_.propagate = stage("propagate");
+  tenant.stages_.reply = stage("reply");
+}
+
+std::vector<obs::MetricFamilySamples> CatalogService::CollectFamilies() const {
+  // ONE Stats() snapshot feeds every family below — per-tenant values
+  // across families come from the same read, and counters are monotone,
+  // so consecutive scrapes never see a series move backwards.
+  const ServiceStatsSnapshot s = Stats();
+
+  std::vector<obs::MetricFamilySamples> out;
+  auto family = [&out](std::string_view name, obs::MetricType type,
+                       std::string_view help) -> obs::MetricFamilySamples& {
+    out.push_back({std::string(name), type, std::string(help), {}});
+    return out.back();
+  };
+  auto per_tenant = [&s, &family](
+                        std::string_view name, obs::MetricType type,
+                        std::string_view help,
+                        double (*get)(const TenantStatsSnapshot&)) {
+    auto& f = family(name, type, help);
+    f.samples.reserve(s.tenants.size());
+    for (const TenantStatsSnapshot& t : s.tenants) {
+      f.samples.push_back({{{"tenant", t.name}}, get(t), std::nullopt});
+    }
+  };
+  auto per_tenant_hist =
+      [&s, &family](std::string_view name, std::string_view help,
+                    const obs::HistogramSnapshot& (*get)(
+                        const TenantStatsSnapshot&)) {
+        auto& f = family(name, obs::MetricType::kHistogram, help);
+        f.samples.reserve(s.tenants.size());
+        for (const TenantStatsSnapshot& t : s.tenants) {
+          f.samples.push_back({{{"tenant", t.name}}, 0.0, get(t)});
+        }
+      };
+  auto u64 = [](uint64_t v) { return static_cast<double>(v); };
+
+  using TS = TenantStatsSnapshot;
+  using obs::MetricType;
+  // Cache.
+  per_tenant("cfdprop_cache_hits_total", MetricType::kCounter,
+             "Cover-cache hits", +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.hits);
+             });
+  per_tenant("cfdprop_cache_misses_total", MetricType::kCounter,
+             "Cover-cache misses", +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.misses);
+             });
+  per_tenant("cfdprop_cache_insertions_total", MetricType::kCounter,
+             "Cover-cache insertions", +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.insertions);
+             });
+  per_tenant("cfdprop_cache_evictions_total", MetricType::kCounter,
+             "Cover-cache LRU evictions", +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.evictions);
+             });
+  per_tenant("cfdprop_cache_invalidations_total", MetricType::kCounter,
+             "Cover-cache lines dropped by sigma mutation",
+             +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.invalidations);
+             });
+  per_tenant("cfdprop_cache_restored_total", MetricType::kCounter,
+             "Cover-cache lines warm-started from snapshots",
+             +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.restored);
+             });
+  per_tenant("cfdprop_cache_rejected_total", MetricType::kCounter,
+             "Snapshot lines rejected at warm start", +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.rejected);
+             });
+  per_tenant("cfdprop_cache_entries", MetricType::kGauge,
+             "Live cover-cache entries", +[](const TS& t) {
+               return static_cast<double>(t.engine.cache.entries);
+             });
+  per_tenant("cfdprop_cache_budget", MetricType::kGauge,
+             "Cover-cache capacity after the global split",
+             +[](const TS& t) { return static_cast<double>(t.cache_budget); });
+  // Engine serving.
+  per_tenant("cfdprop_requests_total", MetricType::kCounter,
+             "Propagation requests served", +[](const TS& t) {
+               return static_cast<double>(t.engine.requests);
+             });
+  per_tenant("cfdprop_request_errors_total", MetricType::kCounter,
+             "Requests that returned an error", +[](const TS& t) {
+               return static_cast<double>(t.engine.errors);
+             });
+  per_tenant("cfdprop_engine_batches_total", MetricType::kCounter,
+             "PropagateBatch calls run by the engine", +[](const TS& t) {
+               return static_cast<double>(t.engine.batches);
+             });
+  per_tenant("cfdprop_union_requests_total", MetricType::kCounter,
+             "SPCU (union) requests", +[](const TS& t) {
+               return static_cast<double>(t.engine.union_requests);
+             });
+  per_tenant("cfdprop_disjunct_hits_total", MetricType::kCounter,
+             "Union disjuncts served from per-SPC cache lines",
+             +[](const TS& t) {
+               return static_cast<double>(t.engine.disjunct_hits);
+             });
+  per_tenant("cfdprop_disjunct_misses_total", MetricType::kCounter,
+             "Union disjuncts that had to be computed", +[](const TS& t) {
+               return static_cast<double>(t.engine.disjunct_misses);
+             });
+  per_tenant("cfdprop_sigma_mutations_total", MetricType::kCounter,
+             "AddCfd/RetractCfd mutations applied", +[](const TS& t) {
+               return static_cast<double>(t.engine.sigma_mutations);
+             });
+  per_tenant("cfdprop_batch_parallel_efficiency", MetricType::kGauge,
+             "PropagateBatch busy/wall ratio (par_eff)",
+             +[](const TS& t) { return t.engine.BatchParallelism(); });
+  // Admission + spill policy.
+  per_tenant("cfdprop_admitted_total", MetricType::kCounter,
+             "Batches admitted",
+             +[](const TS& t) { return static_cast<double>(t.admitted); });
+  per_tenant("cfdprop_admission_rejected_total", MetricType::kCounter,
+             "Batches refused by admission control", +[](const TS& t) {
+               return static_cast<double>(t.admission_rejected);
+             });
+  per_tenant("cfdprop_queued_batches", MetricType::kGauge,
+             "Batches waiting in the tenant queue",
+             +[](const TS& t) { return static_cast<double>(t.queued); });
+  per_tenant("cfdprop_running_batches", MetricType::kGauge,
+             "Batches held by a dispatcher",
+             +[](const TS& t) { return static_cast<double>(t.running); });
+  per_tenant("cfdprop_spills_total", MetricType::kCounter,
+             "Cover-cache snapshot spills (policy + flush)",
+             +[](const TS& t) { return static_cast<double>(t.spills); });
+  per_tenant("cfdprop_policy_spills_total", MetricType::kCounter,
+             "Spills initiated by the background policy thread",
+             +[](const TS& t) { return static_cast<double>(t.policy_spills); });
+  per_tenant("cfdprop_dirty_lines", MetricType::kGauge,
+             "Cache changes since the tenant's last spill",
+             +[](const TS& t) { return static_cast<double>(t.dirty_lines); });
+  // Engine latency distributions (sums back total=/compute= in
+  // ToString()).
+  per_tenant_hist("cfdprop_request_latency_us",
+                  "Per-request serve latency in microseconds",
+                  +[](const TS& t) -> const obs::HistogramSnapshot& {
+                    return t.engine.total_latency;
+                  });
+  per_tenant_hist("cfdprop_fingerprint_latency_us",
+                  "Canonicalization + hashing latency in microseconds",
+                  +[](const TS& t) -> const obs::HistogramSnapshot& {
+                    return t.engine.fingerprint_latency;
+                  });
+  per_tenant_hist("cfdprop_compute_latency_us",
+                  "PropagationCoverSPC compute latency in microseconds",
+                  +[](const TS& t) -> const obs::HistogramSnapshot& {
+                    return t.engine.compute_latency;
+                  });
+  // Service-level scalars.
+  family("cfdprop_batches_submitted_total", MetricType::kCounter,
+         "Batches admitted service-wide")
+      .samples.push_back({{}, u64(s.batches_submitted), std::nullopt});
+  family("cfdprop_batches_completed_total", MetricType::kCounter,
+         "Batches completed service-wide")
+      .samples.push_back({{}, u64(s.batches_completed), std::nullopt});
+  family("cfdprop_batches_rejected_total", MetricType::kCounter,
+         "Batches refused by admission control service-wide")
+      .samples.push_back({{}, u64(s.batches_rejected), std::nullopt});
+  family("cfdprop_tenants", MetricType::kGauge, "Open tenants")
+      .samples.push_back(
+          {{}, static_cast<double>(s.tenants.size()), std::nullopt});
+  family("cfdprop_global_cache_budget", MetricType::kGauge,
+         "Global cover-cache entry budget")
+      .samples.push_back(
+          {{}, static_cast<double>(s.global_cache_budget), std::nullopt});
+  return out;
 }
 
 ServiceStatsSnapshot CatalogService::Stats() const {

@@ -59,6 +59,7 @@
 
 #include "src/base/status.h"
 #include "src/engine/engine.h"
+#include "src/obs/metrics.h"
 
 namespace cfdprop {
 
@@ -182,6 +183,19 @@ class Tenant {
   std::atomic<uint64_t> admission_rejected{0};
   std::atomic<uint64_t> admission_queued{0};   // waiting in the tenant queue
   std::atomic<uint64_t> admission_running{0};  // held by a dispatcher
+
+  /// Per-stage latency histograms (`cfdprop_stage_latency_us{tenant=,
+  /// stage=}`), owned by the service's MetricsRegistry and resolved at
+  /// OpenCatalog — re-opening a name continues the same series. Only
+  /// service code records into them.
+  struct StageTimers {
+    obs::Histogram* admission = nullptr;   // submit entry -> enqueued
+    obs::Histogram* queue_wait = nullptr;  // enqueued -> dispatcher pop
+    obs::Histogram* dispatch = nullptr;    // pop -> batch handed to engine
+    obs::Histogram* propagate = nullptr;   // Engine::PropagateBatch wall
+    obs::Histogram* reply = nullptr;       // promise/callback delivery
+  };
+  StageTimers stages_;
 };
 
 using TenantHandle = std::shared_ptr<Tenant>;
@@ -308,6 +322,18 @@ class CatalogService {
   /// Per-tenant and service-level counters.
   ServiceStatsSnapshot Stats() const;
 
+  /// The service's metrics registry: owns the per-tenant stage
+  /// histograms and (via a collector) exports every counter in Stats()
+  /// as text exposition. Valid for the service's lifetime; anything
+  /// registering its own collector (e.g. CoverServer) must remove it
+  /// before the service dies.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// RenderMetricsText(metrics()) — the library-level scrape behind the
+  /// METRICS wire frame and --metrics-dump.
+  std::string RenderMetricsText() const { return metrics_.RenderText(); }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -319,6 +345,10 @@ class CatalogService {
     /// Empty = future overload (reply goes to `promise`); set = the
     /// callback overload.
     std::function<void(BatchReply)> callback;
+    /// Lifecycle stamps for the stage histograms: when the submit call
+    /// entered the service, and when admission accepted the batch.
+    std::chrono::steady_clock::time_point submit_start{};
+    std::chrono::steady_clock::time_point admitted_at{};
   };
 
   std::string SnapshotPath(const std::string& name) const;
@@ -357,8 +387,18 @@ class CatalogService {
   bool PopEligibleLocked(Job* job);
   void DispatcherLoop();
   void PolicyLoop();
+  /// Resolves the tenant's five stage histograms out of the registry.
+  void BindStageTimers(Tenant& tenant);
+  /// The render-time collector: one Stats() snapshot expanded into the
+  /// full cfdprop_* family set (counters, gauges, engine latency
+  /// histograms). Registered at construction.
+  std::vector<obs::MetricFamilySamples> CollectFamilies() const;
 
   ServiceOptions options_;
+  /// Declared right after options_ so the ctor can read the enabled
+  /// flag (options_.engine.metrics); outlives every service thread.
+  obs::MetricsRegistry metrics_;
+  size_t metrics_collector_id_ = 0;
 
   mutable std::shared_mutex registry_mu_;
   std::map<std::string, TenantHandle> tenants_;

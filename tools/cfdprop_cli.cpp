@@ -40,7 +40,7 @@
 //   cfdprop_cli listen [--host H] [--port N] [--tenant NAME=SPEC ...]
 //               [--threads N] [--dispatchers N] [--budget N]
 //               [--max-inflight N] [--max-queue N] [--snapshot-dir DIR]
-//               [--interval-ms N] [--dirty N]
+//               [--interval-ms N] [--dirty N] [--metrics-dump PATH]
 //                                    network server mode: a CoverServer
 //                                    (src/net/) in front of the same
 //                                    CatalogService as `serve`. Tenants
@@ -49,11 +49,14 @@
 //                                    shipping spec text. Runs until a
 //                                    client sends shutdown. --max-inflight/
 //                                    --max-queue set the per-tenant
-//                                    admission caps (0 = unlimited).
+//                                    admission caps (0 = unlimited);
+//                                    --metrics-dump writes the final
+//                                    metrics exposition (src/obs) to a
+//                                    file on shutdown.
 //
 //   cfdprop_cli client [--host H] [--port N] --tenant NAME=SPEC [...]
 //               [--rounds K] [--burst N] [--no-open] [--quiet]
-//               [--stats] [--shutdown]
+//               [--stats] [--metrics] [--shutdown]
 //                                    network client mode: opens each
 //                                    --tenant on the server (spec text
 //                                    travels over the wire; --no-open
@@ -65,12 +68,15 @@
 //                                    N copies of the round in one frame
 //                                    to exercise admission control;
 //                                    --stats prints the server's service
-//                                    stats; --shutdown stops the server.
+//                                    stats; --metrics scrapes and prints
+//                                    the server's Prometheus-style text
+//                                    exposition (the METRICS frame);
+//                                    --shutdown stops the server.
 //
 //   cfdprop_cli serve --tenant NAME=SPEC [--tenant NAME=SPEC ...]
 //               [--rounds K] [--threads N] [--dispatchers N]
 //               [--budget N] [--snapshot-dir DIR] [--interval-ms N]
-//               [--dirty N] [--quiet] [--no-churn]
+//               [--dirty N] [--quiet] [--no-churn] [--metrics-dump PATH]
 //                                    multi-tenant mode: each --tenant
 //                                    loads one spec as a named catalog
 //                                    behind one CatalogService and the
@@ -141,6 +147,16 @@ Result<std::string> ReadFileText(const std::string& path) {
 Result<Spec> LoadSpec(const char* path) {
   CFDPROP_ASSIGN_OR_RETURN(std::string text, ReadFileText(path));
   return ParseSpec(text);
+}
+
+/// Writes the whole text to `path` (--metrics-dump). Truncates.
+Status WriteFileText(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  out << text;
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
 }
 
 /// Creates-if-missing and validates a snapshot directory — fail fast,
@@ -486,7 +502,7 @@ int RunServe(int argc, char** argv) {
                  "usage: %s serve --tenant NAME=SPEC [--tenant NAME=SPEC...]"
                  " [--rounds K] [--threads N] [--dispatchers N] [--budget N]"
                  " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]"
-                 " [--quiet] [--no-churn]\n",
+                 " [--quiet] [--no-churn] [--metrics-dump PATH]\n",
                  argv[0]);
     return 1;
   };
@@ -496,6 +512,7 @@ int RunServe(int argc, char** argv) {
   options.engine.num_threads = 1;
   size_t rounds = 2, interval_ms = 0, dirty = 1;
   bool quiet = false, churn = true, dispatchers_set = false;
+  std::string metrics_dump;
   for (int i = 2; i < argc; ++i) {
     auto int_arg = [&](const char* flag, size_t* out) {
       return ParseSizeFlag(argc, argv, &i, flag, out);
@@ -513,6 +530,9 @@ int RunServe(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
       if (i + 1 >= argc) return usage();
       options.snapshot_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics-dump")) {
+      if (i + 1 >= argc) return usage();
+      metrics_dump = argv[++i];
     } else if (int_arg("--dispatchers", &options.dispatcher_threads)) {
       dispatchers_set = true;
     } else if (int_arg("--rounds", &rounds) ||
@@ -764,6 +784,12 @@ int RunServe(int argc, char** argv) {
               stats.tenants.size(), stats.global_cache_budget,
               static_cast<unsigned long long>(stats.batches_submitted),
               static_cast<unsigned long long>(stats.batches_completed));
+  if (!metrics_dump.empty()) {
+    Status dumped = WriteFileText(metrics_dump,
+                                  service.RenderMetricsText());
+    if (!dumped.ok()) return Fail(dumped);
+    std::printf("metrics dumped to %s\n", metrics_dump.c_str());
+  }
   return rc;
 }
 
@@ -777,7 +803,8 @@ int RunListen(int argc, char** argv) {
                  "usage: %s listen [--host H] [--port N]"
                  " [--tenant NAME=SPEC ...] [--threads N] [--dispatchers N]"
                  " [--budget N] [--max-inflight N] [--max-queue N]"
-                 " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]\n",
+                 " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]"
+                 " [--metrics-dump PATH]\n",
                  argv[0]);
     return 1;
   };
@@ -789,6 +816,7 @@ int RunListen(int argc, char** argv) {
   size_t port = 0, interval_ms = 0, dirty = 1;
   size_t max_inflight = 0, max_queue = 0;
   bool dispatchers_set = false;
+  std::string metrics_dump;
   for (int i = 2; i < argc; ++i) {
     auto int_arg = [&](const char* flag, size_t* out) {
       return ParseSizeFlag(argc, argv, &i, flag, out);
@@ -809,6 +837,9 @@ int RunListen(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
       if (i + 1 >= argc) return usage();
       options.snapshot_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--metrics-dump")) {
+      if (i + 1 >= argc) return usage();
+      metrics_dump = argv[++i];
     } else if (int_arg("--dispatchers", &options.dispatcher_threads)) {
       dispatchers_set = true;
     } else if (int_arg("--port", &port) ||
@@ -882,6 +913,27 @@ int RunListen(int argc, char** argv) {
               static_cast<unsigned long long>(net_stats.connections_accepted),
               static_cast<unsigned long long>(net_stats.frames_served),
               static_cast<unsigned long long>(net_stats.decode_errors));
+  // Per-tenant admission outcome at a glance — the same counters the
+  // cfdprop_admitted_total / cfdprop_admission_rejected_total series
+  // export, so the CI can diff this ledger against a metrics scrape.
+  for (const TenantStatsSnapshot& t : stats.tenants) {
+    std::printf("  tenant %s admission: admitted=%llu rejected=%llu\n",
+                t.name.c_str(),
+                static_cast<unsigned long long>(t.admitted),
+                static_cast<unsigned long long>(t.admission_rejected));
+  }
+  // The dump renders before Stop(): the server's net-layer collector
+  // (connections/frames/decode_errors, net stage histograms) is removed
+  // on Stop, and the dump should include every layer.
+  if (!metrics_dump.empty()) {
+    Status dumped = WriteFileText(metrics_dump,
+                                  service.RenderMetricsText());
+    if (!dumped.ok()) {
+      server.Stop();
+      return Fail(dumped);
+    }
+    std::printf("metrics dumped to %s\n", metrics_dump.c_str());
+  }
   server.Stop();
   return 0;
 }
@@ -891,7 +943,8 @@ int RunClient(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s client [--host H] --port N"
                  " --tenant NAME=SPEC [...] [--rounds K] [--burst N]"
-                 " [--no-open] [--quiet] [--stats] [--shutdown]\n",
+                 " [--no-open] [--quiet] [--stats] [--metrics]"
+                 " [--shutdown]\n",
                  argv[0]);
     return 1;
   };
@@ -900,7 +953,7 @@ int RunClient(int argc, char** argv) {
   net::CoverClientOptions client_options;
   size_t port = 0, rounds = 2, burst = 0;
   bool quiet = false, open_tenants = true, want_stats = false;
-  bool want_shutdown = false;
+  bool want_metrics = false, want_shutdown = false;
   for (int i = 2; i < argc; ++i) {
     auto int_arg = [&](const char* flag, size_t* out) {
       return ParseSizeFlag(argc, argv, &i, flag, out);
@@ -927,6 +980,8 @@ int RunClient(int argc, char** argv) {
       quiet = true;
     } else if (!std::strcmp(argv[i], "--stats")) {
       want_stats = true;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      want_metrics = true;
     } else if (!std::strcmp(argv[i], "--shutdown")) {
       want_shutdown = true;
     } else {
@@ -938,7 +993,10 @@ int RunClient(int argc, char** argv) {
     std::fprintf(stderr, "error: client mode needs --port in [1, 65535]\n");
     return 1;
   }
-  if (tenant_args.empty() && !want_stats && !want_shutdown) return usage();
+  if (tenant_args.empty() && !want_stats && !want_metrics &&
+      !want_shutdown) {
+    return usage();
+  }
   client_options.port = static_cast<uint16_t>(port);
 
   net::CoverClient client(client_options);
@@ -1097,6 +1155,16 @@ int RunClient(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->batches_submitted),
                 static_cast<unsigned long long>(stats->batches_completed),
                 static_cast<unsigned long long>(stats->batches_rejected));
+  }
+
+  // The raw exposition text, unmodified: pipe it to a file and any
+  // Prometheus-format consumer (or tests/obs) can parse it.
+  if (want_metrics) {
+    auto metrics = client.Metrics();
+    if (!metrics.ok()) return Fail(metrics.status());
+    std::printf("== metrics (remote) ==\n");
+    std::fwrite(metrics->data(), 1, metrics->size(), stdout);
+    if (!metrics->empty() && metrics->back() != '\n') std::printf("\n");
   }
 
   if (want_shutdown) {
