@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted, // configured budget exceeded (e.g. instantiations)
   kUnsupported,       // operation outside the implemented fragment
   kInternal,          // invariant violation: a bug in the library
+  kDeadlineExceeded,  // a configured time budget elapsed (socket I/O, ...)
 };
 
 /// Returns a short human-readable name, e.g. "InvalidArgument".
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,7 +5,12 @@
 
 #include "src/engine/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -135,21 +140,38 @@ Result<uint64_t> CoverCache::SaveSnapshot(
   out.append(body);
   wire::PutU64(out, Checksum(out));
 
-  // Atomic publish: write the sibling temp file, then rename over the
-  // target — a reader never observes a half-written snapshot, and a
-  // crash leaves at worst a stale .tmp next to the old (still valid)
-  // file.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) return Status::InvalidArgument("cannot open " + tmp);
-    f.write(out.data(), static_cast<std::streamsize>(out.size()));
-    f.flush();
-    if (!f) {
+  // Atomic publish: write a *writer-unique* sibling temp file, fsync
+  // it, then rename over the target — a reader never observes a
+  // half-written snapshot, a crash can't publish unsynced bytes (the
+  // rename is ordered after the data reaches disk), and concurrent
+  // savers to the same path (background spill policy racing a
+  // DropCatalog flush, or two engines sharing a path) each own their
+  // temp file instead of clobbering or remove()-ing each other's
+  // in-flight write. Last rename wins, and every published file is a
+  // complete, checksummed snapshot.
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(save_seq.fetch_add(1));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return Status::InvalidArgument("cannot open " + tmp);
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t w = ::write(fd, out.data() + written, out.size() - written);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
       std::remove(tmp.c_str());
       return Status::InvalidArgument("short write to " + tmp);
     }
+    written += static_cast<size_t>(w);
   }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("fsync failed on " + tmp);
+  }
+  ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::InvalidArgument("cannot rename " + tmp + " to " + path);

@@ -1,11 +1,14 @@
 #include "src/net/cover_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -15,6 +18,40 @@
 
 namespace cfdprop {
 namespace net {
+
+namespace {
+
+/// One bounded connect attempt: non-blocking connect + poll, so a peer
+/// that swallows SYNs can hold us for at most `budget` instead of the
+/// kernel's minutes-long retry schedule. Returns 0 on success, an errno
+/// on failure, and ETIMEDOUT when the budget elapsed first.
+int ConnectWithBudget(int fd, const sockaddr_in& addr,
+                      std::chrono::milliseconds budget) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int err = 0;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      err = errno;
+    } else {
+      struct pollfd pfd {fd, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, static_cast<int>(budget.count()));
+      if (n == 0) {
+        err = ETIMEDOUT;
+      } else if (n < 0) {
+        err = errno;
+      } else {
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      }
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return err;
+}
+
+}  // namespace
 
 CoverClient::CoverClient(CoverClientOptions options)
     : options_(std::move(options)) {}
@@ -30,27 +67,64 @@ Status CoverClient::Connect() {
     return Status::InvalidArgument("bad server address '" + options_.host +
                                    "'");
   }
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = options_.connect_timeout.count() > 0;
+  const Clock::time_point deadline = Clock::now() + options_.connect_timeout;
+  auto remaining = [&]() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                 Clock::now());
+  };
   std::string last_error = "no attempts made";
   const size_t attempts = std::max<size_t>(1, options_.connect_attempts);
   for (size_t i = 0; i < attempts; ++i) {
-    if (i > 0) std::this_thread::sleep_for(options_.retry_delay);
+    if (i > 0) {
+      // The sleep counts against the overall deadline too — a retry
+      // loop that only bounded the connects could still sleep forever.
+      auto delay = options_.retry_delay;
+      if (bounded) {
+        const auto left = remaining();
+        if (left.count() <= 0) break;
+        delay = std::min(delay, left);
+      }
+      std::this_thread::sleep_for(delay);
+    }
+    if (bounded && remaining().count() <= 0) break;
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       last_error = std::string("socket: ") + std::strerror(errno);
       continue;
     }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
-        0) {
+    int err = 0;
+    if (bounded) {
+      err = ConnectWithBudget(fd, addr, std::max(remaining(),
+                                                 std::chrono::milliseconds(1)));
+    } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) != 0) {
+      err = errno;
+    }
+    if (err == 0) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Status armed = SetIoDeadline(fd, options_.io_timeout);
+      if (!armed.ok()) {
+        ::close(fd);
+        return armed;
+      }
       fd_ = fd;
       return Status::OK();
     }
-    last_error = std::string("connect: ") + std::strerror(errno);
+    last_error = std::string("connect: ") + std::strerror(err);
     ::close(fd);
   }
-  return Status::NotFound("cannot reach " + options_.host + ":" +
-                          std::to_string(options_.port) + " after " +
+  const std::string target =
+      options_.host + ":" + std::to_string(options_.port);
+  if (bounded && remaining().count() <= 0) {
+    return Status::DeadlineExceeded(
+        "cannot reach " + target + " within " +
+        std::to_string(options_.connect_timeout.count()) + " ms (" +
+        last_error + ")");
+  }
+  return Status::NotFound("cannot reach " + target + " after " +
                           std::to_string(attempts) + " attempts (" +
                           last_error + ")");
 }

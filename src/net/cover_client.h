@@ -41,6 +41,19 @@ struct CoverClientOptions {
   /// rather than demanding the server be up first.
   size_t connect_attempts = 50;
   std::chrono::milliseconds retry_delay{100};
+  /// Overall Connect() deadline spanning every attempt *and* the sleeps
+  /// between them. 0 = no deadline: the historical attempts-only bound
+  /// (which, with a long retry_delay, had no wall-clock ceiling at
+  /// all). When armed, Connect() returns typed DeadlineExceeded once
+  /// the budget elapses, and each in-flight ::connect is bounded by the
+  /// remaining budget (non-blocking connect + poll).
+  std::chrono::milliseconds connect_timeout{0};
+  /// Per-call socket send/recv deadline (SO_RCVTIMEO/SO_SNDTIMEO) armed
+  /// after a successful connect. 0 = fully blocking. When an I/O
+  /// deadline fires mid-RoundTrip the call returns typed
+  /// DeadlineExceeded and the connection is dropped (the stream has no
+  /// resync point), so the next call reconnects.
+  std::chrono::milliseconds io_timeout{0};
 };
 
 class CoverClient {

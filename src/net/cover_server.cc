@@ -58,7 +58,10 @@ CoverServer::CoverServer(CatalogService& service, CoverServerOptions options)
                        "Request frames served", s.frames_served),
                 scalar("cfdprop_net_decode_errors_total",
                        "Connections dropped for malformed frames",
-                       s.decode_errors)};
+                       s.decode_errors),
+                scalar("cfdprop_net_deadlines_total",
+                       "Connections dropped for an expired socket deadline",
+                       s.deadlines_exceeded)};
       });
 }
 
@@ -170,6 +173,13 @@ void CoverServer::AcceptLoop() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
+    // Best effort: a socket that refuses the deadline still serves, it
+    // just keeps the historical fully-blocking behavior.
+    SetIoDeadline(fd, options_.io_timeout);
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_) {
@@ -192,10 +202,14 @@ void CoverServer::ServeConnection(Connection* conn) {
     auto frame = ReadFrame(fd, &decode_us);
     if (!frame.ok()) {
       // InvalidArgument = the codec rejected the bytes (corruption);
-      // NotFound = the peer just went away. Either way this connection
-      // is done — but only the former is a protocol failure.
+      // DeadlineExceeded = the peer stalled past options_.io_timeout;
+      // NotFound = the peer just went away. Any way this connection is
+      // done — but only the first is a protocol failure, and only the
+      // second a hung peer.
       if (frame.status().code() == StatusCode::kInvalidArgument) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      } else if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
       }
       break;
     }
@@ -215,7 +229,18 @@ void CoverServer::ServeConnection(Connection* conn) {
     // Stop() sever this connection mid-write and fail the client's
     // Shutdown() call.
     if (frame->first == FrameType::kShutdown) RequestShutdown();
-    if (!written.ok() || !keep) break;
+    if (!written.ok()) {
+      // A dead *reader*: the reply outgrew the peer's receive window +
+      // our send buffer and the send deadline expired. Close only this
+      // connection; the batch itself completed (admission released its
+      // slot when the dispatcher delivered the reply future), so the
+      // tenant serves the next client untouched.
+      if (written.code() == StatusCode::kDeadlineExceeded) {
+        deadlines_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    if (!keep) break;
   }
   // The fd is closed after the join (by the acceptor's reap or by
   // Stop()) — never here, so a racing Stop can't shut down a recycled
@@ -451,6 +476,7 @@ CoverServerStats CoverServer::Stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   s.frames_served = frames_served_.load(std::memory_order_relaxed);
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.deadlines_exceeded = deadlines_exceeded_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -30,6 +30,7 @@
 #define CFDPROP_NET_COVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -51,6 +52,19 @@ struct CoverServerOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral: the kernel picks; read the bound port from port().
   uint16_t port = 0;
+  /// Per-call socket send/recv deadline applied to every accepted
+  /// connection (SO_RCVTIMEO/SO_SNDTIMEO). 0 = no deadline — the
+  /// historical fully-blocking behavior. With a deadline armed, a hung
+  /// peer (stalled mid-frame, or a dead reader whose full TCP buffer
+  /// blocks our reply write) costs at most one deadline window before
+  /// the connection surfaces typed DeadlineExceeded and closes — the
+  /// thread is reaped, the acceptor and every other connection keep
+  /// serving, and no admission slot stays referenced by a dead write.
+  std::chrono::milliseconds io_timeout{0};
+  /// SO_SNDBUF for accepted connections; 0 = kernel default. Tests
+  /// shrink this so a non-reading peer fills the buffer (and trips the
+  /// send deadline) without gigabyte replies.
+  int send_buffer_bytes = 0;
 };
 
 /// Network-level counters (protocol health; serving counters live in
@@ -61,6 +75,9 @@ struct CoverServerStats {
   /// Connections dropped for malformed frames (the corruption battery's
   /// observable).
   uint64_t decode_errors = 0;
+  /// Connections dropped because a socket deadline expired (hung peer:
+  /// stalled sender mid-frame, or dead reader blocking our reply).
+  uint64_t deadlines_exceeded = 0;
 };
 
 class CoverServer {
@@ -155,6 +172,7 @@ class CoverServer {
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> deadlines_exceeded_{0};
 
   /// Network stage histograms (`cfdprop_net_stage_latency_us{stage=}`)
   /// and the collector exporting the counters above — both live in the

@@ -7,11 +7,19 @@
 // malformed byte stream — bad magic/version, oversized length prefix,
 // mid-frame truncation, checksum mismatch — comes back as the codec's
 // InvalidArgument. The server counts only the latter as decode errors.
+// A third category: when a socket carries SO_RCVTIMEO/SO_SNDTIMEO
+// deadlines (SetIoDeadline below), a peer that stalls — hung mid-frame,
+// or a dead reader whose full TCP buffer blocks our send — surfaces as
+// typed DeadlineExceeded instead of blocking the calling thread forever.
+// The deadline is per recv/send call, not per frame: a peer trickling
+// one byte per deadline window can still hold a connection, but never a
+// silent, unbounded wedge.
 
 #ifndef CFDPROP_NET_SOCKET_IO_H_
 #define CFDPROP_NET_SOCKET_IO_H_
 
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include <cerrno>
 #include <chrono>
@@ -25,6 +33,24 @@
 
 namespace cfdprop {
 namespace net {
+
+/// Arms per-call send + recv deadlines on `fd` (SO_RCVTIMEO/SO_SNDTIMEO).
+/// A non-positive timeout is a no-op: the socket stays fully blocking,
+/// which is the historical behavior. Once armed, a recv/send that waits
+/// longer than `timeout` fails with EAGAIN/EWOULDBLOCK, which
+/// ReadExact/WriteAll translate to Status::DeadlineExceeded.
+inline Status SetIoDeadline(int fd, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return Status::OK();
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(std::string("setsockopt(SO_RCVTIMEO/SNDTIMEO): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
 
 /// Reads exactly `n` bytes. A clean peer close *before the first byte*
 /// is NotFound("connection closed"); a close mid-buffer is
@@ -41,6 +67,11 @@ inline Status ReadExact(int fd, char* buf, size_t n) {
     }
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "recv deadline exceeded after " + std::to_string(got) + " of " +
+            std::to_string(n) + " bytes");
+      }
       return Status::NotFound(std::string("recv failed: ") +
                               std::strerror(errno));
     }
@@ -58,6 +89,11 @@ inline Status WriteAll(int fd, std::string_view data) {
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "send deadline exceeded after " + std::to_string(sent) + " of " +
+            std::to_string(data.size()) + " bytes");
+      }
       return Status::NotFound(std::string("send failed: ") +
                               std::strerror(errno));
     }

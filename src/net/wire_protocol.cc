@@ -153,6 +153,9 @@ bool DecodeStatus(std::string_view in, size_t* pos, Status* status) {
     case StatusCode::kInternal:
       *status = Status::Internal(std::move(message));
       return true;
+    case StatusCode::kDeadlineExceeded:
+      *status = Status::DeadlineExceeded(std::move(message));
+      return true;
   }
   *status = Status::Internal("unknown wire status code " +
                              std::to_string(code) + ": " + message);

@@ -156,10 +156,13 @@ class Tenant {
   std::atomic<size_t> cache_budget_{0};
 
   /// Serializes spills of this tenant (policy thread vs. Drop vs.
-  /// explicit SpillTenant): SaveSnapshot writes path.tmp, so two
-  /// concurrent saves of one tenant would race on the temp file. Held
-  /// across the disk write — which is why the counters below are
-  /// atomics: Stats() must never stall behind snapshot I/O.
+  /// explicit SpillTenant). SaveSnapshot's temp files are now
+  /// writer-unique (pid + counter, last rename wins), so concurrent
+  /// saves can no longer clobber each other's bytes — this lock is
+  /// about *ordering*: without it a stale policy spill could rename
+  /// over a newer flush. Held across the disk write — which is why the
+  /// counters below are atomics: Stats() must never stall behind
+  /// snapshot I/O.
   std::mutex spill_mu;
   /// Cache-change counter (insertions+evictions+invalidations) observed
   /// at the last spill; the delta against it is the dirtiness. Written

@@ -1,0 +1,460 @@
+#include "src/workload/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/cfd/cfd.h"
+#include "src/net/cover_client.h"
+#include "src/net/cover_server.h"
+#include "src/obs/metrics.h"
+#include "src/service/catalog_service.h"
+
+namespace cfdprop {
+namespace workload {
+
+namespace {
+
+using gen::WorkloadOp;
+using gen::WorkloadPlan;
+
+using ViewsMap = std::map<std::string, SPCUView>;
+
+/// Per-tenant runner state. The views map is what batches resolve names
+/// against; a reopen swaps in the regenerated spec's map (same bytes —
+/// BuildTenantSpec is deterministic — but a fresh ValuePool).
+struct TenantRuntime {
+  std::string name;
+  std::mutex mu;
+  std::shared_ptr<const ViewsMap> views;
+};
+
+/// Counters shared by every worker; folded into the report at the end.
+struct Totals {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> covers{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> churn_ops{0};
+  std::atomic<uint64_t> reopens{0};
+  std::atomic<uint64_t> restored{0};
+};
+
+/// Spins until `tenant` has no queued or running batches. Admission
+/// releases a slot only after the reply is delivered, so a worker that
+/// just drained its futures can still observe the decrement a beat
+/// late — burst determinism needs in-service == 0 at the admission
+/// decision, hence this barrier before every burst-reject burst.
+void WaitTenantDrained(CatalogService& service, const std::string& tenant) {
+  for (int spin = 0; spin < 200000; ++spin) {
+    const ServiceStatsSnapshot stats = service.Stats();
+    for (const TenantStatsSnapshot& t : stats.tenants) {
+      if (t.name != tenant) continue;
+      if (t.queued + t.running == 0) return;
+      break;
+    }
+    if (spin >= 199999) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+class Worker {
+ public:
+  Worker(const WorkloadPlan& plan, const RunnerOptions& options,
+         CatalogService& service, net::CoverServer* server,
+         std::vector<std::unique_ptr<TenantRuntime>>& tenants,
+         Totals& totals, obs::Histogram& latency)
+      : plan_(plan),
+        options_(options),
+        service_(service),
+        server_(server),
+        tenants_(tenants),
+        totals_(totals),
+        latency_(latency),
+        // Pool-independent (wildcards only), so one instance serves
+        // every tenant regardless of reopens: R0(A0 A1 -> A2).
+        churn_cfd_(CFD::FD(0, {0, 1}, 2).value()) {}
+
+  /// Runs one client script. Serving errors are counted; only transport
+  /// setup (connect) is fatal.
+  Status Run(size_t client) {
+    if (options_.over_tcp) {
+      net::CoverClientOptions copts;
+      copts.port = server_->port();
+      copts.connect_timeout = std::chrono::milliseconds(10000);
+      copts.io_timeout = options_.io_timeout;
+      client_ = std::make_unique<net::CoverClient>(copts);
+      CFDPROP_RETURN_NOT_OK(client_->Connect());
+    }
+    for (const WorkloadOp& op : plan_.scripts[client]) {
+      TenantRuntime& tenant = *tenants_[op.tenant];
+      switch (op.type) {
+        case WorkloadOp::Type::kBatch:
+          RunBatches(tenant, op.batches, nullptr);
+          break;
+        case WorkloadOp::Type::kBurst: {
+          // Drain before deciding: the pattern is then a function of the
+          // caps alone. This is a guarantee only for burst-reject, whose
+          // pinned scripts mean nobody else touches this tenant; mixed
+          // bursts race with other clients' batches by design, so their
+          // pattern is reported but not asserted anywhere.
+          WaitTenantDrained(service_, tenant.name);
+          RunBatches(tenant, op.batches, &pattern_);
+          break;
+        }
+        case WorkloadOp::Type::kChurnAdd:
+        case WorkloadOp::Type::kChurnDrop:
+          RunChurn(tenant, op.type == WorkloadOp::Type::kChurnAdd);
+          break;
+        case WorkloadOp::Type::kSpill: {
+          auto spilled = service_.SpillTenant(tenant.name);
+          if (!spilled.ok()) {
+            totals_.errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        case WorkloadOp::Type::kReopen:
+          RunReopen(tenant, op.tenant);
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  /// Submits every batch in one admission decision (a single batch is
+  /// just a burst of one) and waits for all replies. With `pattern` set,
+  /// appends one 'A'/'R'/'E' per batch.
+  void RunBatches(TenantRuntime& tenant,
+                  const std::vector<std::vector<std::string>>& batches,
+                  std::string* pattern) {
+    size_t n = 0;
+    for (const auto& b : batches) n += b.size();
+    totals_.requests.fetch_add(n, std::memory_order_relaxed);
+    totals_.batches.fetch_add(batches.size(), std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (options_.over_tcp) {
+      RunBatchesTcp(tenant, batches, pattern);
+    } else {
+      RunBatchesInproc(tenant, batches, pattern);
+    }
+    latency_.Record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  }
+
+  void CountResult(const Status& status, std::string* pattern) {
+    char letter = 'A';
+    if (!status.ok()) {
+      letter = status.code() == StatusCode::kResourceExhausted ? 'R' : 'E';
+      if (letter == 'E') {
+        totals_.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (pattern) pattern->push_back(letter);
+  }
+
+  void RunBatchesInproc(TenantRuntime& tenant,
+                        const std::vector<std::vector<std::string>>& batches,
+                        std::string* pattern) {
+    std::shared_ptr<const ViewsMap> views;
+    {
+      std::lock_guard<std::mutex> lock(tenant.mu);
+      views = tenant.views;
+    }
+    std::vector<std::vector<Engine::Request>> requests;
+    requests.reserve(batches.size());
+    for (const auto& names : batches) {
+      std::vector<Engine::Request> batch;
+      batch.reserve(names.size());
+      for (const std::string& name : names) {
+        auto it = views->find(name);
+        if (it == views->end()) continue;  // plans only name known views
+        batch.push_back({it->second, /*sigma_id=*/0});
+      }
+      requests.push_back(std::move(batch));
+    }
+    auto submitted = service_.SubmitBatches(tenant.name, std::move(requests));
+    // Collect futures only after every slot's admission is known — the
+    // pattern reflects the one-lock decision, not completion order.
+    for (auto& slot : submitted) {
+      CountResult(slot.ok() ? Status::OK() : slot.status(), pattern);
+    }
+    for (auto& slot : submitted) {
+      if (!slot.ok()) continue;
+      BatchReply reply = slot.value().get();
+      for (const Result<EngineResult>& r : reply.results) {
+        if (r.ok()) {
+          totals_.covers.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          totals_.errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  void RunBatchesTcp(TenantRuntime& tenant,
+                     const std::vector<std::vector<std::string>>& batches,
+                     std::string* pattern) {
+    // RoundTrip drops the connection on failure; reconnect so one
+    // transport hiccup doesn't starve the rest of the script.
+    if (!client_->connected()) {
+      if (Status c = client_->Connect(); !c.ok()) {
+        totals_.errors.fetch_add(batches.size(), std::memory_order_relaxed);
+        if (pattern) pattern->append(batches.size(), 'E');
+        return;
+      }
+    }
+    auto replies =
+        client_->SubmitBatches(tenant.name, batches, scratch_.pool());
+    if (!replies.ok()) {
+      totals_.errors.fetch_add(batches.size(), std::memory_order_relaxed);
+      if (pattern) pattern->append(batches.size(), 'E');
+      return;
+    }
+    for (const net::WireBatchResult& batch : *replies) {
+      CountResult(batch.status, pattern);
+      if (!batch.status.ok()) continue;
+      for (const Result<EngineResult>& r : batch.results) {
+        if (r.ok()) {
+          totals_.covers.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          totals_.errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  void RunChurn(TenantRuntime& tenant, bool add) {
+    auto handle = service_.ResolveCatalog(tenant.name);
+    if (!handle.ok()) {
+      totals_.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Status mutated = add
+                         ? (*handle)->engine().AddCfd(0, churn_cfd_)
+                         : (*handle)->engine().RetractCfd(0, churn_cfd_);
+    if (mutated.ok()) {
+      totals_.churn_ops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      totals_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drop + re-open from a regenerated (byte-identical) spec. With a
+  /// snapshot_dir configured the drop flushes and the open warm-starts,
+  /// so the reopened tenant serves its old covers as hits.
+  void RunReopen(TenantRuntime& tenant, size_t tenant_index) {
+    Spec spec = gen::BuildTenantSpec(plan_, tenant_index);
+    auto views = std::make_shared<const ViewsMap>(spec.views);
+    uint64_t restored = 0;
+    if (options_.over_tcp) {
+      Status dropped = client_->DropCatalog(tenant.name);
+      if (!dropped.ok()) {
+        totals_.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto opened = server_->OpenParsedSpec(tenant.name, std::move(spec));
+      if (!opened.ok()) {
+        totals_.errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      restored = opened->restored;
+    } else {
+      Status dropped = service_.DropCatalog(tenant.name);
+      if (!dropped.ok()) {
+        totals_.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
+      Catalog catalog = std::move(spec.catalog);
+      auto handle = service_.OpenCatalog(tenant.name, std::move(catalog),
+                                         std::move(sigmas));
+      if (!handle.ok()) {
+        totals_.errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      restored = (*handle)->engine().Stats().cache.restored;
+    }
+    totals_.reopens.fetch_add(1, std::memory_order_relaxed);
+    totals_.restored.fetch_add(restored, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    tenant.views = std::move(views);
+  }
+
+  const WorkloadPlan& plan_;
+  const RunnerOptions& options_;
+  CatalogService& service_;
+  net::CoverServer* server_;
+  std::vector<std::unique_ptr<TenantRuntime>>& tenants_;
+  Totals& totals_;
+  obs::Histogram& latency_;
+  CFD churn_cfd_;
+  std::unique_ptr<net::CoverClient> client_;
+  Catalog scratch_;  // tcp decode pool
+  std::string pattern_;
+};
+
+}  // namespace
+
+std::string WorkloadReport::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s [%s]: %llu covers in %.3f s (%.0f covers/s) "
+      "p50=%.0fus p95=%.0fus p99=%.0fus hits=%.1f%% "
+      "admitted=%llu rejected=%llu errors=%llu",
+      workload.c_str(), path.c_str(),
+      static_cast<unsigned long long>(covers_served), elapsed_s,
+      covers_per_sec, p50_us, p95_us, p99_us, hit_rate_pct,
+      static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(errors));
+  return buf;
+}
+
+Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
+                                   const RunnerOptions& options) {
+  if (plan.needs_snapshots && options.snapshot_dir.empty()) {
+    return Status::InvalidArgument(
+        std::string(gen::WorkloadKindName(plan.options.kind)) +
+        " spills snapshots; the runner needs a snapshot_dir");
+  }
+
+  ServiceOptions sopts;
+  sopts.dispatcher_threads =
+      options.dispatcher_threads
+          ? options.dispatcher_threads
+          : std::max<size_t>(2, plan.options.tenants);
+  sopts.admission.max_inflight_batches = plan.max_inflight;
+  sopts.admission.max_queued_batches = plan.max_queue;
+  sopts.global_cache_budget =
+      std::max<size_t>(4096, 1024 * plan.options.tenants);
+  sopts.engine.num_threads = std::max<size_t>(1, options.engine_threads);
+  sopts.snapshot_dir = options.snapshot_dir;
+  CatalogService service(sopts);
+
+  std::unique_ptr<net::CoverServer> server;
+  if (options.over_tcp) {
+    net::CoverServerOptions nopts;
+    nopts.io_timeout = options.io_timeout;
+    server = std::make_unique<net::CoverServer>(service, nopts);
+    CFDPROP_RETURN_NOT_OK(server->Start());
+  }
+
+  std::vector<std::unique_ptr<TenantRuntime>> tenants;
+  for (size_t t = 0; t < plan.options.tenants; ++t) {
+    Spec spec = gen::BuildTenantSpec(plan, t);
+    auto runtime = std::make_unique<TenantRuntime>();
+    runtime->name = plan.TenantName(t);
+    runtime->views = std::make_shared<const ViewsMap>(spec.views);
+    if (options.over_tcp) {
+      auto opened = server->OpenParsedSpec(runtime->name, std::move(spec));
+      CFDPROP_RETURN_NOT_OK(opened.status());
+    } else {
+      std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
+      Catalog catalog = std::move(spec.catalog);
+      auto handle = service.OpenCatalog(runtime->name, std::move(catalog),
+                                        std::move(sigmas));
+      CFDPROP_RETURN_NOT_OK(handle.status());
+    }
+    tenants.push_back(std::move(runtime));
+  }
+
+  Totals totals;
+  obs::Histogram latency;
+  const size_t clients = plan.scripts.size();
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workers.push_back(std::make_unique<Worker>(plan, options, service,
+                                               server.get(), tenants, totals,
+                                               latency));
+  }
+
+  std::vector<Status> worker_status(clients);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(
+          [&, c] { worker_status[c] = workers[c]->Run(c); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const Status& s : worker_status) CFDPROP_RETURN_NOT_OK(s);
+
+  WorkloadReport report;
+  report.workload = gen::WorkloadKindName(plan.options.kind);
+  report.path = options.over_tcp ? "tcp" : "inproc";
+  report.seed = plan.options.seed;
+  report.stream_fingerprint = gen::FingerprintScripts(plan);
+  report.requests = totals.requests.load();
+  report.covers_served = totals.covers.load();
+  report.batches = totals.batches.load();
+  report.errors = totals.errors.load();
+  report.churn_ops = totals.churn_ops.load();
+  report.reopens = totals.reopens.load();
+  report.restored_lines = totals.restored.load();
+  report.elapsed_s = elapsed;
+  report.covers_per_sec =
+      elapsed > 0 ? static_cast<double>(report.covers_served) / elapsed : 0;
+  const obs::HistogramSnapshot snap = latency.Snapshot();
+  report.p50_us = snap.Quantile(0.50);
+  report.p95_us = snap.Quantile(0.95);
+  report.p99_us = snap.Quantile(0.99);
+  for (const auto& w : workers) report.admit_pattern += w->pattern();
+
+  // Admission totals and hit rate through the path under test: the
+  // stats *frame* on tcp (so the determinism suite compares what a real
+  // remote client would see), Stats() in process.
+  uint64_t hits = 0, misses = 0;
+  if (options.over_tcp) {
+    net::CoverClientOptions copts;
+    copts.port = server->port();
+    copts.connect_timeout = std::chrono::milliseconds(10000);
+    net::CoverClient stats_client(copts);
+    CFDPROP_RETURN_NOT_OK(stats_client.Connect());
+    CFDPROP_ASSIGN_OR_RETURN(net::WireServiceStats wire,
+                             stats_client.Stats());
+    for (const net::WireTenantStats& t : wire.tenants) {
+      report.admitted += t.admitted;
+      report.rejected += t.admission_rejected;
+    }
+  } else {
+    const ServiceStatsSnapshot stats = service.Stats();
+    for (const TenantStatsSnapshot& t : stats.tenants) {
+      report.admitted += t.admitted;
+      report.rejected += t.admission_rejected;
+    }
+  }
+  {
+    // Hit rate always from the in-process snapshot (the wire stats ship
+    // the engine line as rendered text, not numbers).
+    const ServiceStatsSnapshot stats = service.Stats();
+    for (const TenantStatsSnapshot& t : stats.tenants) {
+      hits += t.engine.cache.hits;
+      misses += t.engine.cache.misses;
+    }
+  }
+  report.hit_rate_pct =
+      hits + misses > 0
+          ? 100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0;
+
+  if (server) server->Stop();
+  return report;
+}
+
+}  // namespace workload
+}  // namespace cfdprop

@@ -1,0 +1,86 @@
+// Executes a gen::WorkloadPlan over either serving path and measures
+// it: `inproc` drives CatalogService::SubmitBatch(es) directly, `tcp`
+// stands up a loopback CoverServer and gives every client thread its
+// own CoverClient — the full wire round trip (encode, checksum, socket,
+// decode, re-intern) on exactly the same request stream. One worker
+// thread per client script; per-op latency lands in an obs::Histogram
+// (log buckets, linear interpolation within a bucket) from which the
+// report's p50/p95/p99 are read.
+//
+// Admission bookkeeping: burst ops append one letter per batch to the
+// report's admit pattern — 'A' admitted, 'R' rejected
+// (ResourceExhausted), 'E' any other error — and the admitted/rejected
+// totals are read back from the service stats *through the path under
+// test* (the stats wire frame on tcp), so the determinism suite can
+// assert the two paths agree about every decision.
+
+#ifndef CFDPROP_WORKLOAD_RUNNER_H_
+#define CFDPROP_WORKLOAD_RUNNER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/gen/workload.h"
+
+namespace cfdprop {
+namespace workload {
+
+struct RunnerOptions {
+  /// false = in-process CatalogService; true = loopback TCP.
+  bool over_tcp = false;
+  /// Engine worker threads per tenant (1 on the pinned-CPU CI).
+  size_t engine_threads = 1;
+  /// 0 = one dispatcher per tenant (min 2).
+  size_t dispatcher_threads = 0;
+  /// Directory for snapshot spills; required when the plan spills
+  /// (snapshot-restart, tenant-churn). Must exist.
+  std::string snapshot_dir;
+  /// Socket deadline armed on both ends of the tcp path (0 = blocking).
+  std::chrono::milliseconds io_timeout{0};
+};
+
+struct WorkloadReport {
+  std::string workload;
+  std::string path;  // "inproc" | "tcp"
+  uint64_t seed = 0;
+  /// The plan's request-stream fingerprint (gen::FingerprintScripts).
+  uint64_t stream_fingerprint = 0;
+
+  uint64_t requests = 0;        // view requests submitted
+  uint64_t covers_served = 0;   // requests answered with an OK cover
+  uint64_t batches = 0;         // batch + burst slots submitted
+  uint64_t errors = 0;          // non-admission request/batch errors
+  uint64_t churn_ops = 0;
+  uint64_t reopens = 0;
+  uint64_t restored_lines = 0;  // warm-start restores across reopens
+
+  /// Admission totals as reported by the path under test (stats frame
+  /// on tcp, Stats() in process).
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  /// Concatenated per-burst patterns in client order ('A'/'R'/'E').
+  std::string admit_pattern;
+
+  double elapsed_s = 0;
+  double covers_per_sec = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double hit_rate_pct = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the plan to completion. Fails (typed) on setup errors — a spec
+/// that cannot open, a server that cannot bind, a missing snapshot_dir
+/// for a spilling plan; per-request serving errors are counted, not
+/// fatal.
+Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
+                                   const RunnerOptions& options);
+
+}  // namespace workload
+}  // namespace cfdprop
+
+#endif  // CFDPROP_WORKLOAD_RUNNER_H_

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -388,6 +389,53 @@ TEST(EngineSnapshotEdgeTest, MissingFileIsNotFoundAndEmptyCacheRoundTrips) {
   auto loaded = engine->LoadSnapshot(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
   EXPECT_EQ(loaded->restored, 0u);
+  EXPECT_EQ(loaded->rejected, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EngineSnapshotEdgeTest, ConcurrentSavesToOnePathAllSucceed) {
+  // Regression: SaveSnapshot used a fixed `path + ".tmp"` staging file,
+  // so two concurrent spills of the same tenant raced — one rename
+  // could publish the other's half-written bytes, or fail outright on
+  // the vanished tmp. Staging names are now writer-unique, so every
+  // save must succeed and the survivor must be one complete snapshot.
+  Workload w;
+  w.options.num_threads = 1;
+  auto engine = MakeEngine(17, &w);
+  ASSERT_NE(engine, nullptr);
+  ServeAll(*engine, w, false, "warmup");
+
+  const std::string path = SnapshotPath("concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kSavesPerThread = 8;
+  std::vector<Status> failures[kThreads];
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kSavesPerThread; ++i) {
+          auto saved = engine->SaveSnapshot(path);
+          if (!saved.ok()) failures[t].push_back(saved.status());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (const Status& s : failures[t]) {
+      ADD_FAILURE() << "thread " << t << ": " << s;
+    }
+  }
+
+  // Whichever save won the last rename, the published file is whole.
+  Workload warm_w;
+  warm_w.options.num_threads = 1;
+  auto warm = MakeEngine(17, &warm_w);
+  ASSERT_NE(warm, nullptr);
+  auto loaded = warm->LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->restored, engine->Stats().cache.entries);
+  EXPECT_GT(loaded->restored, 0u);
   EXPECT_EQ(loaded->rejected, 0u);
   std::remove(path.c_str());
 }

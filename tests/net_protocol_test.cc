@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/net/cover_client.h"
@@ -130,6 +132,7 @@ TEST(WireProtocolTest, StatusCodesSurviveTheTrip) {
       Status::ResourceExhausted("over cap"),
       Status::Unsupported("not here"),
       Status::Internal("bug"),
+      Status::DeadlineExceeded("slow peer"),
   };
   for (const Status& s : statuses) {
     std::string bytes;
@@ -370,6 +373,175 @@ TEST(CoverServerTest, TypedErrorsAndShutdownHandshake) {
   server.WaitForShutdown();
   EXPECT_TRUE(server.shutdown_requested());
   server.Stop();
+}
+
+/// Connects a raw (non-CoverClient) socket to the server.
+int RawConnect(uint16_t port, int rcvbuf_bytes = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    // Before connect: the window is negotiated in the handshake.
+    EXPECT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                           sizeof(rcvbuf_bytes)),
+              0);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+/// Polls the server's deadline counter until it reaches `want` (bounded).
+bool WaitForDeadlines(CoverServer& server, uint64_t want) {
+  for (int i = 0; i < 200; ++i) {
+    if (server.Stats().deadlines_exceeded >= want) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return false;
+}
+
+TEST(CoverServerDeadlineTest, HungSenderMidFrameTripsTheReadDeadline) {
+  CatalogService service{ServiceOptions{}};
+  CoverServerOptions options;
+  options.io_timeout = std::chrono::milliseconds(200);
+  CoverServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.OpenSpec("eu", kSpecText).ok());
+
+  // Five header bytes, then silence — no close, no shutdown: the
+  // classic hung peer. Without SO_RCVTIMEO this parked the connection
+  // thread in recv() forever.
+  const std::string frame = EncodeFrame(FrameType::kStats, "");
+  int fd = RawConnect(server.port());
+  ASSERT_TRUE(WriteAll(fd, frame.substr(0, 5)).ok());
+  EXPECT_TRUE(WaitForDeadlines(server, 1));
+
+  // The deadline is its own counter — a hung peer is not a decode error.
+  CoverServerStats stats = server.Stats();
+  EXPECT_EQ(stats.deadlines_exceeded, 1u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+
+  // Only that connection died: the server answers a well-formed client.
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0) << "server closed our fd";
+  ::close(fd);
+  CoverClientOptions client_options;
+  client_options.port = server.port();
+  CoverClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_TRUE(client.Stats().ok());
+  server.Stop();
+}
+
+TEST(CoverServerDeadlineTest, HungReaderTripsTheSendDeadlineAndFreesTheSlot) {
+  CatalogService service{ServiceOptions{}};
+  CoverServerOptions options;
+  options.io_timeout = std::chrono::milliseconds(300);
+  // Shrink both buffers so a modest reply overfills the pipe: the
+  // server's write blocks on a reader that never drains.
+  options.send_buffer_bytes = 4096;
+  CoverServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.OpenSpec("eu", kSpecText).ok());
+
+  // A legal burst whose reply (2000 covers) dwarfs the socket buffers,
+  // sent by a peer that never reads.
+  SubmitBatchRequest request;
+  request.tenant = "eu";
+  request.batches.push_back(
+      std::vector<std::string>(2000, std::string("ByRegion")));
+  const std::string frame = EncodeFrame(
+      FrameType::kSubmitBatch, EncodeSubmitBatchRequest(request));
+  int fd = RawConnect(server.port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(WriteAll(fd, frame).ok());
+  EXPECT_TRUE(WaitForDeadlines(server, 1));
+  EXPECT_GE(server.Stats().deadlines_exceeded, 1u);
+  ::close(fd);
+
+  // The batch itself completed — the deadline fired delivering the
+  // reply, after the dispatcher released the admission slot. The gauges
+  // drain to zero and a fresh client gets served immediately, i.e. the
+  // hung reader held neither a slot nor the server.
+  for (int i = 0; i < 200; ++i) {
+    const ServiceStatsSnapshot stats = service.Stats();
+    if (!stats.tenants.empty() && stats.tenants[0].queued == 0 &&
+        stats.tenants[0].running == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  const ServiceStatsSnapshot stats = service.Stats();
+  ASSERT_EQ(stats.tenants.size(), 1u);
+  EXPECT_EQ(stats.tenants[0].queued, 0u);
+  EXPECT_EQ(stats.tenants[0].running, 0u);
+
+  CoverClientOptions client_options;
+  client_options.port = server.port();
+  CoverClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  Catalog scratch;
+  auto served = client.SubmitBatch("eu", {"ByRegion"}, scratch.pool());
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_TRUE(served->status.ok());
+  server.Stop();
+}
+
+TEST(CoverClientDeadlineTest, SilentServerTripsTheClientIoDeadline) {
+  // A listener that accepts and then never speaks.
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  CoverClientOptions options;
+  options.port = ntohs(addr.sin_port);
+  options.io_timeout = std::chrono::milliseconds(200);
+  CoverClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  auto stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  // The stream has no resync point: the client dropped the connection.
+  EXPECT_FALSE(client.connected());
+  ::close(lfd);
+}
+
+TEST(CoverClientDeadlineTest, ConnectHonorsTheOverallDeadline) {
+  // Grab an ephemeral port, then close it so nothing listens there.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+
+  // Attempts-only this would retry for ~100 s; the overall deadline
+  // caps it at ~300 ms with a typed verdict.
+  CoverClientOptions options;
+  options.port = ntohs(addr.sin_port);
+  options.connect_attempts = 1000;
+  options.retry_delay = std::chrono::milliseconds(100);
+  options.connect_timeout = std::chrono::milliseconds(300);
+  CoverClient client(options);
+  const auto t0 = std::chrono::steady_clock::now();
+  Status connected = client.Connect();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(connected.ok());
+  EXPECT_EQ(connected.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+// cfdprop_bench: the scenario workload harness (a cbench for cover
+// serving). One driver binary, seven seeded workloads, two serving
+// paths:
+//
+//   cfdprop_bench [--workload NAME|all] [--path inproc|tcp|both]
+//                 [--tenants N] [--clients N] [--rounds N] [--seed N]
+//                 [--batch N] [--burst N] [--max-inflight N]
+//                 [--max-queue N] [--cfds N] [--views N] [--threads N]
+//                 [--dispatchers N] [--io-timeout MS]
+//                 [--snapshot-dir DIR] [--json PATH] [--quiet]
+//
+// Workloads: hit-heavy, churn-heavy, union-heavy, tenant-churn,
+// burst-reject, snapshot-restart, mixed (src/gen/workload.h). Each run
+// prints one summary line — covers/s plus p50/p95/p99 batch latency
+// (obs::Histogram percentiles) — and, with --json, every report lands
+// in a machine-readable file the CI diffs against BENCH_workloads.json.
+//
+// Determinism: the same --seed produces byte-identical request streams
+// (the JSON carries the stream fingerprint), and burst-reject's
+// admit/reject pattern is identical on both paths — asserted by
+// tests/workload_test.cc and re-checked by the CI cbench job.
+//
+// Spilling workloads (snapshot-restart, tenant-churn) write snapshots
+// under --snapshot-dir (default ./cbench_snapshots), in a per-run
+// subdirectory so the inproc and tcp runs never warm-start from each
+// other's files.
+//
+// Exit status: 0 when every selected run completed, 1 on usage or
+// setup errors.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/gen/workload.h"
+#include "src/workload/runner.h"
+
+namespace {
+
+using cfdprop::Result;
+using cfdprop::Status;
+using cfdprop::gen::AllWorkloadKinds;
+using cfdprop::gen::BuildWorkloadPlan;
+using cfdprop::gen::ParseWorkloadKind;
+using cfdprop::gen::WorkloadKind;
+using cfdprop::gen::WorkloadKindName;
+using cfdprop::gen::WorkloadOptions;
+using cfdprop::gen::WorkloadPlan;
+using cfdprop::workload::RunnerOptions;
+using cfdprop::workload::RunWorkload;
+using cfdprop::workload::WorkloadReport;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload NAME|all] [--path inproc|tcp|both]\n"
+      "          [--tenants N] [--clients N] [--rounds N] [--seed N]\n"
+      "          [--batch N] [--burst N] [--max-inflight N] [--max-queue N]\n"
+      "          [--cfds N] [--views N] [--threads N] [--dispatchers N]\n"
+      "          [--io-timeout MS] [--snapshot-dir DIR] [--json PATH]\n"
+      "          [--quiet]\n"
+      "workloads: hit-heavy churn-heavy union-heavy tenant-churn\n"
+      "           burst-reject snapshot-restart mixed\n",
+      argv0);
+  return 1;
+}
+
+/// `--flag N`: digits only in [0, 2^24], exits on misuse — the same
+/// contract as cfdprop_cli's ParseSizeFlag.
+bool ParseSizeFlag(int argc, char** argv, int* i, const char* flag,
+                   size_t* out) {
+  if (std::strcmp(argv[*i], flag) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "error: %s needs a value\n", flag);
+    std::exit(1);
+  }
+  const char* text = argv[++*i];
+  const size_t kMaxFlagValue = 1u << 24;
+  char* end = nullptr;
+  unsigned long value = std::strtoul(text, &end, 10);
+  if (*text == '\0' || end == text || *end != '\0' || *text == '-' ||
+      *text == '+' || value > kMaxFlagValue) {
+    std::fprintf(stderr, "error: %s needs a number in [0, %zu], got '%s'\n",
+                 flag, kMaxFlagValue, text);
+    std::exit(1);
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  std::fprintf(stderr, "error: cannot create directory %s: %s\n",
+               path.c_str(), std::strerror(errno));
+  return false;
+}
+
+void AppendJsonReport(std::string& out, const WorkloadReport& r) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"workload\": \"%s\", \"path\": \"%s\", \"seed\": %llu,\n"
+      "     \"covers_per_sec\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f,"
+      " \"p99_us\": %.1f,\n"
+      "     \"requests\": %llu, \"covers_served\": %llu, \"batches\": %llu,"
+      " \"errors\": %llu,\n"
+      "     \"admitted\": %llu, \"rejected\": %llu, \"churn_ops\": %llu,"
+      " \"reopens\": %llu, \"restored_lines\": %llu,\n"
+      "     \"hit_rate_pct\": %.2f, \"elapsed_s\": %.4f,\n"
+      "     \"stream_fingerprint\": \"%llu\", \"admit_pattern\": \"%s\"}",
+      r.workload.c_str(), r.path.c_str(),
+      static_cast<unsigned long long>(r.seed), r.covers_per_sec, r.p50_us,
+      r.p95_us, r.p99_us, static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.covers_served),
+      static_cast<unsigned long long>(r.batches),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.admitted),
+      static_cast<unsigned long long>(r.rejected),
+      static_cast<unsigned long long>(r.churn_ops),
+      static_cast<unsigned long long>(r.reopens),
+      static_cast<unsigned long long>(r.restored_lines), r.hit_rate_pct,
+      r.elapsed_s, static_cast<unsigned long long>(r.stream_fingerprint),
+      r.admit_pattern.c_str());
+  out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_arg = "all";
+  std::string path_arg = "both";
+  std::string json_path;
+  std::string snapshot_dir = "cbench_snapshots";
+  WorkloadOptions base;
+  RunnerOptions runner;
+  size_t seed = base.seed, io_timeout_ms = 0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, size_t* out) {
+      return ParseSizeFlag(argc, argv, &i, flag, out);
+    };
+    size_t max_inflight = 0, max_queue = 0;
+    if (!std::strcmp(argv[i], "--workload")) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      workload_arg = argv[++i];
+    } else if (!std::strcmp(argv[i], "--path")) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      path_arg = argv[++i];
+    } else if (!std::strcmp(argv[i], "--json")) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      json_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--snapshot-dir")) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      snapshot_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else if (int_arg("--tenants", &base.tenants) ||
+               int_arg("--clients", &base.clients) ||
+               int_arg("--rounds", &base.rounds) ||
+               int_arg("--seed", &seed) ||
+               int_arg("--batch", &base.batch_size) ||
+               int_arg("--burst", &base.burst) ||
+               int_arg("--cfds", &base.num_cfds) ||
+               int_arg("--views", &base.num_views) ||
+               int_arg("--threads", &runner.engine_threads) ||
+               int_arg("--dispatchers", &runner.dispatcher_threads) ||
+               int_arg("--io-timeout", &io_timeout_ms)) {
+      continue;
+    } else if (int_arg("--max-inflight", &max_inflight)) {
+      base.max_inflight = max_inflight;
+    } else if (int_arg("--max-queue", &max_queue)) {
+      base.max_queue = max_queue;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+  base.seed = seed;
+  runner.io_timeout = std::chrono::milliseconds(io_timeout_ms);
+
+  std::vector<WorkloadKind> kinds;
+  if (workload_arg == "all") {
+    kinds = AllWorkloadKinds();
+  } else {
+    auto kind = ParseWorkloadKind(workload_arg);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "error: %s\n", kind.status().ToString().c_str());
+      return 1;
+    }
+    kinds.push_back(*kind);
+  }
+  std::vector<bool> tcp_modes;
+  if (path_arg == "inproc") {
+    tcp_modes = {false};
+  } else if (path_arg == "tcp") {
+    tcp_modes = {true};
+  } else if (path_arg == "both") {
+    tcp_modes = {false, true};
+  } else {
+    std::fprintf(stderr, "error: --path wants inproc, tcp or both\n");
+    return 1;
+  }
+
+  std::vector<WorkloadReport> reports;
+  for (WorkloadKind kind : kinds) {
+    WorkloadOptions options = base;
+    options.kind = kind;
+    const WorkloadPlan plan = BuildWorkloadPlan(options);
+    for (bool over_tcp : tcp_modes) {
+      RunnerOptions run = runner;
+      run.over_tcp = over_tcp;
+      if (plan.needs_snapshots) {
+        // Per-(workload, path) subdirectory: the tcp run must not
+        // warm-start from the inproc run's snapshot files.
+        if (!EnsureDir(snapshot_dir)) return 1;
+        run.snapshot_dir = snapshot_dir + "/" +
+                           std::string(WorkloadKindName(kind)) +
+                           (over_tcp ? "-tcp" : "-inproc");
+        if (!EnsureDir(run.snapshot_dir)) return 1;
+      }
+      auto report = RunWorkload(plan, run);
+      if (!report.ok()) {
+        std::fprintf(stderr, "error: %s [%s]: %s\n", WorkloadKindName(kind),
+                     over_tcp ? "tcp" : "inproc",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      if (!quiet) std::printf("%s\n", report->ToString().c_str());
+      std::fflush(stdout);
+      reports.push_back(std::move(report).value());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::string out = "{\n  \"schema\": \"cfdprop_bench/v1\",\n";
+    char opts[256];
+    std::snprintf(opts, sizeof(opts),
+                  "  \"options\": {\"tenants\": %zu, \"clients\": %zu, "
+                  "\"rounds\": %zu, \"seed\": %zu, \"batch\": %zu, "
+                  "\"burst\": %zu},\n",
+                  base.tenants, base.clients, base.rounds,
+                  static_cast<size_t>(base.seed), base.batch_size, base.burst);
+    out += opts;
+    out += "  \"results\": [\n";
+    for (size_t i = 0; i < reports.size(); ++i) {
+      AppendJsonReport(out, reports[i]);
+      out += i + 1 < reports.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    if (!quiet) std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -39,7 +39,8 @@
 //
 //   cfdprop_cli listen [--host H] [--port N] [--tenant NAME=SPEC ...]
 //               [--threads N] [--dispatchers N] [--budget N]
-//               [--max-inflight N] [--max-queue N] [--snapshot-dir DIR]
+//               [--max-inflight N] [--max-queue N] [--io-timeout MS]
+//               [--snapshot-dir DIR]
 //               [--interval-ms N] [--dirty N] [--metrics-dump PATH]
 //                                    network server mode: a CoverServer
 //                                    (src/net/) in front of the same
@@ -50,12 +51,18 @@
 //                                    client sends shutdown. --max-inflight/
 //                                    --max-queue set the per-tenant
 //                                    admission caps (0 = unlimited);
+//                                    --io-timeout arms per-connection
+//                                    socket deadlines in milliseconds
+//                                    (0 = blocking forever) so a hung
+//                                    peer costs one deadline window, not
+//                                    a wedged connection thread;
 //                                    --metrics-dump writes the final
 //                                    metrics exposition (src/obs) to a
 //                                    file on shutdown.
 //
 //   cfdprop_cli client [--host H] [--port N] --tenant NAME=SPEC [...]
-//               [--rounds K] [--burst N] [--no-open] [--quiet]
+//               [--rounds K] [--burst N] [--connect-timeout MS]
+//               [--io-timeout MS] [--no-open] [--quiet]
 //               [--stats] [--metrics] [--shutdown]
 //                                    network client mode: opens each
 //                                    --tenant on the server (spec text
@@ -71,6 +78,11 @@
 //                                    stats; --metrics scrapes and prints
 //                                    the server's Prometheus-style text
 //                                    exposition (the METRICS frame);
+//                                    --connect-timeout bounds the whole
+//                                    retrying Connect() and --io-timeout
+//                                    each socket send/recv, both in ms,
+//                                    both surfacing typed
+//                                    DeadlineExceeded (0 = no deadline);
 //                                    --shutdown stops the server.
 //
 //   cfdprop_cli serve --tenant NAME=SPEC [--tenant NAME=SPEC ...]
@@ -803,6 +815,7 @@ int RunListen(int argc, char** argv) {
                  "usage: %s listen [--host H] [--port N]"
                  " [--tenant NAME=SPEC ...] [--threads N] [--dispatchers N]"
                  " [--budget N] [--max-inflight N] [--max-queue N]"
+                 " [--io-timeout MS]"
                  " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]"
                  " [--metrics-dump PATH]\n",
                  argv[0]);
@@ -814,7 +827,7 @@ int RunListen(int argc, char** argv) {
   options.engine.num_threads = 1;
   net::CoverServerOptions server_options;
   size_t port = 0, interval_ms = 0, dirty = 1;
-  size_t max_inflight = 0, max_queue = 0;
+  size_t max_inflight = 0, max_queue = 0, io_timeout_ms = 0;
   bool dispatchers_set = false;
   std::string metrics_dump;
   for (int i = 2; i < argc; ++i) {
@@ -847,6 +860,7 @@ int RunListen(int argc, char** argv) {
                int_arg("--budget", &options.global_cache_budget) ||
                int_arg("--max-inflight", &max_inflight) ||
                int_arg("--max-queue", &max_queue) ||
+               int_arg("--io-timeout", &io_timeout_ms) ||
                int_arg("--interval-ms", &interval_ms) ||
                int_arg("--dirty", &dirty)) {
       continue;
@@ -860,6 +874,7 @@ int RunListen(int argc, char** argv) {
     return 1;
   }
   server_options.port = static_cast<uint16_t>(port);
+  server_options.io_timeout = std::chrono::milliseconds(io_timeout_ms);
   if (!options.snapshot_dir.empty() &&
       !EnsureSnapshotDir(options.snapshot_dir)) {
     return 1;
@@ -909,10 +924,12 @@ int RunListen(int argc, char** argv) {
               static_cast<unsigned long long>(stats.batches_completed),
               static_cast<unsigned long long>(stats.batches_rejected));
   net::CoverServerStats net_stats = server.Stats();
-  std::printf("  net: connections=%llu frames=%llu decode_errors=%llu\n",
+  std::printf("  net: connections=%llu frames=%llu decode_errors=%llu"
+              " deadlines_exceeded=%llu\n",
               static_cast<unsigned long long>(net_stats.connections_accepted),
               static_cast<unsigned long long>(net_stats.frames_served),
-              static_cast<unsigned long long>(net_stats.decode_errors));
+              static_cast<unsigned long long>(net_stats.decode_errors),
+              static_cast<unsigned long long>(net_stats.deadlines_exceeded));
   // Per-tenant admission outcome at a glance — the same counters the
   // cfdprop_admitted_total / cfdprop_admission_rejected_total series
   // export, so the CI can diff this ledger against a metrics scrape.
@@ -943,6 +960,7 @@ int RunClient(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s client [--host H] --port N"
                  " --tenant NAME=SPEC [...] [--rounds K] [--burst N]"
+                 " [--connect-timeout MS] [--io-timeout MS]"
                  " [--no-open] [--quiet] [--stats] [--metrics]"
                  " [--shutdown]\n",
                  argv[0]);
@@ -952,6 +970,7 @@ int RunClient(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> tenant_args;
   net::CoverClientOptions client_options;
   size_t port = 0, rounds = 2, burst = 0;
+  size_t connect_timeout_ms = 0, client_io_timeout_ms = 0;
   bool quiet = false, open_tenants = true, want_stats = false;
   bool want_metrics = false, want_shutdown = false;
   for (int i = 2; i < argc; ++i) {
@@ -972,7 +991,9 @@ int RunClient(int argc, char** argv) {
       if (i + 1 >= argc) return usage();
       client_options.host = argv[++i];
     } else if (int_arg("--port", &port) || int_arg("--rounds", &rounds) ||
-               int_arg("--burst", &burst)) {
+               int_arg("--burst", &burst) ||
+               int_arg("--connect-timeout", &connect_timeout_ms) ||
+               int_arg("--io-timeout", &client_io_timeout_ms)) {
       continue;
     } else if (!std::strcmp(argv[i], "--no-open")) {
       open_tenants = false;
@@ -998,6 +1019,9 @@ int RunClient(int argc, char** argv) {
     return usage();
   }
   client_options.port = static_cast<uint16_t>(port);
+  client_options.connect_timeout =
+      std::chrono::milliseconds(connect_timeout_ms);
+  client_options.io_timeout = std::chrono::milliseconds(client_io_timeout_ms);
 
   net::CoverClient client(client_options);
   Status connected = client.Connect();
