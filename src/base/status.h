@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnsupported,       // operation outside the implemented fragment
   kInternal,          // invariant violation: a bug in the library
   kDeadlineExceeded,  // a configured time budget elapsed (socket I/O, ...)
+  kUnavailable,       // transiently unserveable (route mid-flip); retry
 };
 
 /// Returns a short human-readable name, e.g. "InvalidArgument".
@@ -55,6 +56,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

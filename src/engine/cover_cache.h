@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -125,6 +126,15 @@ class CoverCache {
                                 const std::vector<SigmaSnapshotInfo>& sigmas)
       const;
 
+  /// SaveSnapshot without the file: serializes every live line to the
+  /// snapshot wire format in memory (checksum trailer included — the
+  /// bytes are exactly what SaveSnapshot would publish). This is what
+  /// tenant migration ships over the network. Thread-safe against
+  /// concurrent serving. Implemented in snapshot.cc.
+  SerializedSnapshot SerializeSnapshot(
+      const ValuePool& pool,
+      const std::vector<SigmaSnapshotInfo>& sigmas) const;
+
   /// Restores a snapshot written by SaveSnapshot: validates magic,
   /// version and checksum (any failure rejects the whole file), and
   /// inserts every line whose sigma still matches — same tag
@@ -138,6 +148,14 @@ class CoverCache {
   /// call before traffic. Implemented in snapshot.cc.
   Result<SnapshotLoadStats> LoadSnapshot(
       const std::string& path, ValuePool& pool,
+      const std::vector<SigmaSnapshotInfo>& sigmas);
+
+  /// LoadSnapshot from bytes already in memory (the receiving side of a
+  /// migration): identical validation and acceptance rules, minus the
+  /// file read. NOT thread-safe against serving; call before traffic.
+  /// Implemented in snapshot.cc.
+  Result<SnapshotLoadStats> LoadSnapshotBytes(
+      std::string_view bytes, ValuePool& pool,
       const std::vector<SigmaSnapshotInfo>& sigmas);
 
   CacheStats Stats() const;

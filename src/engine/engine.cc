@@ -425,6 +425,15 @@ Result<SnapshotLoadStats> Engine::LoadSnapshot(const std::string& path) {
   return cache_.LoadSnapshot(path, catalog_.pool(), SigmaSnapshotInfos());
 }
 
+SerializedSnapshot Engine::SerializeSnapshot() const {
+  return cache_.SerializeSnapshot(catalog_.pool(), SigmaSnapshotInfos());
+}
+
+Result<SnapshotLoadStats> Engine::LoadSnapshotBytes(std::string_view bytes) {
+  return cache_.LoadSnapshotBytes(bytes, catalog_.pool(),
+                                  SigmaSnapshotInfos());
+}
+
 EngineStatsSnapshot Engine::Stats() const {
   EngineStatsSnapshot s = stats_.Snapshot();
   s.cache = cache_.Stats();

@@ -44,6 +44,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -203,6 +204,16 @@ class Engine {
   /// those lines (see SnapshotLoadStats and the restored=/rejected=
   /// counters in Stats()).
   Result<SnapshotLoadStats> LoadSnapshot(const std::string& path);
+
+  /// SaveSnapshot without the file: the snapshot bytes in memory,
+  /// exactly what SaveSnapshot would publish. Tenant migration ships
+  /// these over the wire. Thread-safe against serving and mutation.
+  SerializedSnapshot SerializeSnapshot() const;
+
+  /// LoadSnapshot from bytes already in memory (the receiving side of a
+  /// migration). Same validation, acceptance and thread-safety rules as
+  /// LoadSnapshot: call before serving traffic.
+  Result<SnapshotLoadStats> LoadSnapshotBytes(std::string_view bytes);
 
   /// Drops all cached covers (handed-out results stay valid).
   void ClearCache();

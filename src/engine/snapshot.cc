@@ -70,8 +70,8 @@ uint64_t FingerprintSigmaSet(const ValuePool& pool,
   return h.digest();
 }
 
-Result<uint64_t> CoverCache::SaveSnapshot(
-    const std::string& path, const ValuePool& pool,
+SerializedSnapshot CoverCache::SerializeSnapshot(
+    const ValuePool& pool,
     const std::vector<SigmaSnapshotInfo>& sigmas) const {
   // Copy the live lines shard by shard (shared_ptr copies, never the
   // covers themselves); serving proceeds on the other shards meanwhile.
@@ -139,6 +139,15 @@ Result<uint64_t> CoverCache::SaveSnapshot(
   }
   out.append(body);
   wire::PutU64(out, Checksum(out));
+  return SerializedSnapshot{std::move(out),
+                            static_cast<uint64_t>(lines.size())};
+}
+
+Result<uint64_t> CoverCache::SaveSnapshot(
+    const std::string& path, const ValuePool& pool,
+    const std::vector<SigmaSnapshotInfo>& sigmas) const {
+  SerializedSnapshot snapshot = SerializeSnapshot(pool, sigmas);
+  const std::string& out = snapshot.bytes;
 
   // Atomic publish: write a *writer-unique* sibling temp file, fsync
   // it, then rename over the target — a reader never observes a
@@ -176,7 +185,7 @@ Result<uint64_t> CoverCache::SaveSnapshot(
     std::remove(tmp.c_str());
     return Status::InvalidArgument("cannot rename " + tmp + " to " + path);
   }
-  return static_cast<uint64_t>(lines.size());
+  return snapshot.lines;
 }
 
 Result<SnapshotLoadStats> CoverCache::LoadSnapshot(
@@ -191,7 +200,12 @@ Result<SnapshotLoadStats> CoverCache::LoadSnapshot(
     if (!f.eof() && !f) return Corrupt("read error on " + path);
     bytes = std::move(buf);
   }
+  return LoadSnapshotBytes(bytes, pool, sigmas);
+}
 
+Result<SnapshotLoadStats> CoverCache::LoadSnapshotBytes(
+    std::string_view bytes, ValuePool& pool,
+    const std::vector<SigmaSnapshotInfo>& sigmas) {
   // Header gate: magic, version, checksum — in that order, so the error
   // names the most specific cause. Everything after runs on a stream
   // the checksum already vouches for; parse failures past this point

@@ -57,6 +57,7 @@
 #define CFDPROP_ENGINE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/base/value.h"
@@ -80,6 +81,15 @@ struct SigmaSnapshotInfo {
   uint64_t fingerprint = 0;
   /// The set's mutation counter (Engine generation).
   uint64_t generation = 0;
+};
+
+/// A snapshot serialized to memory: the exact bytes SaveSnapshot would
+/// publish to a file, plus the line count it would report. Migration
+/// ships these bytes over the wire instead of through the filesystem.
+struct SerializedSnapshot {
+  std::string bytes;
+  /// Live lines serialized.
+  uint64_t lines = 0;
 };
 
 /// Outcome of a LoadSnapshot call.

@@ -1,0 +1,222 @@
+#include "src/net/cover_backend.h"
+
+#include <utility>
+
+namespace cfdprop {
+namespace net {
+
+Result<BatchResult> CoverBackend::SubmitBatch(
+    const std::string& tenant, const std::vector<std::string>& views,
+    ValuePool& pool) {
+  CFDPROP_ASSIGN_OR_RETURN(std::vector<BatchResult> batches,
+                           SubmitBatches(tenant, {views}, pool));
+  if (batches.size() != 1) {
+    return Status::Internal("backend answered " +
+                            std::to_string(batches.size()) +
+                            " batches for a single submit");
+  }
+  return std::move(batches.front());
+}
+
+// ---------------------------------------------------------------------------
+// InProcBackend
+
+Result<OpenCatalogReplyInfo> InProcBackend::OpenCatalog(
+    const std::string& tenant, const std::string& spec_text) {
+  CFDPROP_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
+  return OpenParsedSpec(tenant, std::move(spec));
+}
+
+Result<OpenCatalogReplyInfo> InProcBackend::OpenParsedSpec(
+    const std::string& tenant, Spec spec) {
+  // Σ 0 is the spec's source CFDs — the id every submitted batch serves
+  // against, exactly as CoverServer registers it.
+  std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
+  Catalog catalog = std::move(spec.catalog);
+  CFDPROP_ASSIGN_OR_RETURN(
+      TenantHandle handle,
+      service_.OpenCatalog(tenant, std::move(catalog), std::move(sigmas)));
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    specs_[tenant] = std::make_shared<const Spec>(std::move(spec));
+  }
+  OpenCatalogReplyInfo info;
+  const CacheStats cache = handle->engine().Stats().cache;
+  info.restored = cache.restored;
+  info.rejected = cache.rejected;
+  info.cache_budget = handle->cache_budget();
+  return info;
+}
+
+Result<std::vector<BatchResult>> InProcBackend::SubmitBatches(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool) {
+  // The in-process path serves covers straight out of the tenant's own
+  // pool; the caller's pool is only for wire-crossing backends.
+  (void)pool;
+  CFDPROP_ASSIGN_OR_RETURN(TenantHandle handle,
+                           service_.ResolveCatalog(tenant));
+  (void)handle;
+  std::shared_ptr<const Spec> spec;
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    auto it = specs_.find(tenant);
+    if (it != specs_.end()) spec = it->second;
+  }
+  if (!spec) {
+    return Status::NotFound("tenant '" + tenant +
+                            "' has no spec registered with this backend");
+  }
+
+  // View-name resolution mirrors CoverServer::HandleSubmitBatch: a batch
+  // naming an unknown view fails alone with a typed NotFound and is
+  // never submitted; its siblings still run.
+  std::vector<BatchResult> outcomes(batches.size());
+  std::vector<std::vector<Engine::Request>> to_submit;
+  std::vector<size_t> submit_slot;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    std::vector<Engine::Request> requests;
+    requests.reserve(batches[i].size());
+    Status resolved = Status::OK();
+    for (const std::string& view : batches[i]) {
+      auto it = spec->views.find(view);
+      if (it == spec->views.end()) {
+        resolved = Status::NotFound("unknown view '" + view +
+                                    "' in tenant '" + tenant + "'");
+        break;
+      }
+      requests.emplace_back(it->second, /*sigma_id=*/0);
+    }
+    if (!resolved.ok()) {
+      outcomes[i].status = std::move(resolved);
+      continue;
+    }
+    submit_slot.push_back(i);
+    to_submit.push_back(std::move(requests));
+  }
+
+  // One SubmitBatches call: the burst's admission is decided atomically,
+  // so the admit/reject pattern matches the wire path byte for byte.
+  auto submitted = service_.SubmitBatches(tenant, std::move(to_submit));
+  for (size_t k = 0; k < submitted.size(); ++k) {
+    BatchResult& out = outcomes[submit_slot[k]];
+    if (!submitted[k].ok()) {
+      out.status = submitted[k].status();
+      continue;
+    }
+    out.results = submitted[k].value().get().results;
+  }
+  return outcomes;
+}
+
+Result<WireServiceStats> InProcBackend::Stats() {
+  const ServiceStatsSnapshot s = service_.Stats();
+  WireServiceStats w;
+  w.global_cache_budget = s.global_cache_budget;
+  w.batches_submitted = s.batches_submitted;
+  w.batches_completed = s.batches_completed;
+  w.batches_rejected = s.batches_rejected;
+  w.tenants.reserve(s.tenants.size());
+  for (const TenantStatsSnapshot& t : s.tenants) {
+    WireTenantStats wt;
+    wt.name = t.name;
+    wt.cache_budget = t.cache_budget;
+    wt.batches_submitted = t.batches_submitted;
+    wt.admitted = t.admitted;
+    wt.admission_rejected = t.admission_rejected;
+    wt.queued = t.queued;
+    wt.running = t.running;
+    wt.engine_text = t.engine.ToString();
+    w.tenants.push_back(std::move(wt));
+  }
+  return w;
+}
+
+Result<std::string> InProcBackend::Metrics() {
+  return service_.RenderMetricsText();
+}
+
+Status InProcBackend::DropCatalog(const std::string& tenant) {
+  Status dropped = service_.DropCatalog(tenant);
+  if (dropped.ok()) {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    specs_.erase(tenant);
+  }
+  return dropped;
+}
+
+// ---------------------------------------------------------------------------
+// RemoteBackend
+
+Status RemoteBackend::EnsureConnected() {
+  if (client_.connected()) return Status::OK();
+  CFDPROP_RETURN_NOT_OK(client_.Connect());
+  // Replay this backend's catalog opens so the conversation resumes
+  // where the dropped one left off; the server's same-text re-open is
+  // idempotent, so a catalog that survived server-side is a no-op.
+  for (const auto& [tenant, spec_text] : opened_) {
+    auto reopened = client_.OpenCatalog(tenant, spec_text);
+    if (!reopened.ok()) {
+      client_.Close();
+      return reopened.status();
+    }
+  }
+  return Status::OK();
+}
+
+Result<OpenCatalogReplyInfo> RemoteBackend::OpenCatalog(
+    const std::string& tenant, const std::string& spec_text) {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  CFDPROP_ASSIGN_OR_RETURN(OpenCatalogReplyInfo info,
+                           client_.OpenCatalog(tenant, spec_text));
+  opened_[tenant] = spec_text;
+  return info;
+}
+
+Result<std::vector<BatchResult>> RemoteBackend::SubmitBatches(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool) {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.SubmitBatches(tenant, batches, pool);
+}
+
+Result<WireServiceStats> RemoteBackend::Stats() {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.Stats();
+}
+
+Result<std::string> RemoteBackend::Metrics() {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.Metrics();
+}
+
+Status RemoteBackend::DropCatalog(const std::string& tenant) {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  Status dropped = client_.DropCatalog(tenant);
+  if (dropped.ok()) opened_.erase(tenant);
+  return dropped;
+}
+
+Result<std::string> RemoteBackend::FetchSnapshot(const std::string& tenant) {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.FetchSnapshot(tenant);
+}
+
+Result<OpenCatalogReplyInfo> RemoteBackend::OpenFromSnapshot(
+    const std::string& tenant, const std::string& spec_text,
+    std::string_view snapshot) {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  CFDPROP_ASSIGN_OR_RETURN(
+      OpenCatalogReplyInfo info,
+      client_.OpenFromSnapshot(tenant, spec_text, snapshot));
+  opened_[tenant] = spec_text;
+  return info;
+}
+
+Status RemoteBackend::Shutdown() {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.Shutdown();
+}
+
+}  // namespace net
+}  // namespace cfdprop

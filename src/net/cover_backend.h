@@ -1,0 +1,182 @@
+// CoverBackend: the one serving surface in front of a cover catalog,
+// whether it lives in this process or behind a socket.
+//
+// Before this interface the stack had two divergent submit APIs —
+// CatalogService::SubmitBatch (future-based, in-process) and
+// CoverClient::SubmitBatch (blocking, wire) — and every caller that
+// wanted to serve "either way" (the workload runner, the CLI) carried
+// hand-rolled inproc|tcp branching. CoverBackend collapses that:
+// OpenCatalog / SubmitBatch(es) / Stats / Metrics / DropCatalog, all
+// returning the typed Result<>s whose StatusCodes survive the wire, so
+// a caller programs against one surface and an injection decides where
+// the covers come from.
+//
+// Three implementations:
+//   * InProcBackend  — wraps a CatalogService (plus the spec/view-name
+//     resolution a CoverServer would do), no sockets at all;
+//   * RemoteBackend  — wraps a CoverClient, with reconnect: a dropped
+//     connection (socket deadline, server restart of the link) is
+//     re-established on the next call and the backend *re-opens every
+//     catalog it opened*, so open-catalog state survives the drop
+//     (CoverServer's same-text re-open is idempotent);
+//   * CoverRouter (src/net/cover_router.h) — consistent-hashes tenants
+//     across N RemoteBackend shards.
+//
+// Semantics are aligned so the implementations are byte-comparable:
+// a multi-batch SubmitBatches decides admission atomically (slot i
+// answers batches[i], rejections are typed ResourceExhausted in the
+// slot's status), an unknown view fails its batch alone with NotFound,
+// an unknown tenant fails the whole call. Decoded covers intern into
+// the caller-supplied pool on the wire paths; the in-process path
+// serves them straight from the tenant's engine.
+//
+// Thread-safety: RemoteBackend is one conversation — use one per
+// worker thread (connections are cheap). InProcBackend IS safe for
+// concurrent callers: the service is thread-safe and the backend's own
+// spec registry takes a lock, so the workload runner shares a single
+// instance across its workers.
+
+#ifndef CFDPROP_NET_COVER_BACKEND_H_
+#define CFDPROP_NET_COVER_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/value.h"
+#include "src/net/cover_client.h"
+#include "src/net/wire_protocol.h"
+#include "src/parser/parser.h"
+#include "src/service/batch_result.h"
+#include "src/service/catalog_service.h"
+
+namespace cfdprop {
+namespace net {
+
+class CoverBackend {
+ public:
+  virtual ~CoverBackend() = default;
+
+  /// Opens a tenant from spec text; the spec's source CFDs become Σ 0
+  /// and submit-batch view names resolve against its declared views.
+  virtual Result<OpenCatalogReplyInfo> OpenCatalog(
+      const std::string& tenant, const std::string& spec_text) = 0;
+
+  /// Pipelined burst: slot i answers batches[i]; admission for the
+  /// whole burst is decided atomically, so the admit/reject pattern is
+  /// deterministic. Wire-crossing covers intern constants into `pool`.
+  virtual Result<std::vector<BatchResult>> SubmitBatches(
+      const std::string& tenant,
+      const std::vector<std::vector<std::string>>& batches,
+      ValuePool& pool) = 0;
+
+  /// Single-batch convenience over SubmitBatches.
+  Result<BatchResult> SubmitBatch(const std::string& tenant,
+                                  const std::vector<std::string>& views,
+                                  ValuePool& pool);
+
+  virtual Result<WireServiceStats> Stats() = 0;
+
+  /// The full Prometheus-style text exposition.
+  virtual Result<std::string> Metrics() = 0;
+
+  virtual Status DropCatalog(const std::string& tenant) = 0;
+};
+
+/// CoverBackend over an in-process CatalogService: parses specs,
+/// resolves view names and folds the service's futures into
+/// BatchResults — everything a CoverServer does per frame, minus the
+/// frames. The service must outlive the backend. Several InProcBackend
+/// instances may share one service (each keeps only resolution state).
+class InProcBackend : public CoverBackend {
+ public:
+  explicit InProcBackend(CatalogService& service) : service_(service) {}
+
+  Result<OpenCatalogReplyInfo> OpenCatalog(
+      const std::string& tenant, const std::string& spec_text) override;
+
+  /// The hook for specs that exist only programmatically (the workload
+  /// generators build Spec structs, never text).
+  Result<OpenCatalogReplyInfo> OpenParsedSpec(const std::string& tenant,
+                                              Spec spec);
+
+  Result<std::vector<BatchResult>> SubmitBatches(
+      const std::string& tenant,
+      const std::vector<std::vector<std::string>>& batches,
+      ValuePool& pool) override;
+
+  Result<WireServiceStats> Stats() override;
+  Result<std::string> Metrics() override;
+  Status DropCatalog(const std::string& tenant) override;
+
+  CatalogService& service() { return service_; }
+
+ private:
+  CatalogService& service_;
+  std::mutex specs_mu_;
+  /// Tenant -> parsed spec for view-name resolution (the InProc
+  /// counterpart of CoverServer's spec registry). Guarded by specs_mu_.
+  std::map<std::string, std::shared_ptr<const Spec>> specs_;
+};
+
+/// CoverBackend over a CoverClient. Lazily connects on first use, and
+/// on every call re-establishes a dropped connection first — re-opening
+/// every catalog this backend opened (the server's same-text re-open is
+/// idempotent), which is the fix for the historical bug where a
+/// DeadlineExceeded drop silently lost open-catalog state and the next
+/// round died on "no spec registered".
+class RemoteBackend : public CoverBackend {
+ public:
+  explicit RemoteBackend(CoverClientOptions options) : client_(options) {}
+
+  Result<OpenCatalogReplyInfo> OpenCatalog(
+      const std::string& tenant, const std::string& spec_text) override;
+
+  Result<std::vector<BatchResult>> SubmitBatches(
+      const std::string& tenant,
+      const std::vector<std::vector<std::string>>& batches,
+      ValuePool& pool) override;
+
+  Result<WireServiceStats> Stats() override;
+  Result<std::string> Metrics() override;
+  Status DropCatalog(const std::string& tenant) override;
+
+  /// Migration steps, forwarded to the shard with the same
+  /// reconnect-and-reopen discipline as every other call.
+  Result<std::string> FetchSnapshot(const std::string& tenant);
+  Result<OpenCatalogReplyInfo> OpenFromSnapshot(const std::string& tenant,
+                                                const std::string& spec_text,
+                                                std::string_view snapshot);
+
+  /// Asks the shard's server process to wind down.
+  Status Shutdown();
+
+  /// Connects now (otherwise the first call connects lazily).
+  Status Connect() { return EnsureConnected(); }
+
+  /// Drops the TCP connection without telling the server — the test
+  /// hook for the reconnect path (a real drop comes from a socket
+  /// deadline or a dying link). The next call reconnects and replays
+  /// this backend's catalog opens.
+  void CloseConnection() { client_.Close(); }
+
+  bool connected() const { return client_.connected(); }
+
+ private:
+  /// Connect + replay the remembered catalog opens when the connection
+  /// is down; no-op while it is up.
+  Status EnsureConnected();
+
+  CoverClient client_;
+  /// Tenant -> spec text this backend opened, replayed on reconnect.
+  std::map<std::string, std::string> opened_;
+};
+
+}  // namespace net
+}  // namespace cfdprop
+
+#endif  // CFDPROP_NET_COVER_BACKEND_H_

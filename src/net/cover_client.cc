@@ -222,6 +222,29 @@ Result<std::string> CoverClient::Metrics() {
   return DecodeMetricsReply(payload);
 }
 
+Result<std::string> CoverClient::FetchSnapshot(const std::string& tenant) {
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kFetchSnapshot, EncodeStringRequest(tenant),
+                FrameType::kFetchSnapshotReply));
+  return DecodeFetchSnapshotReply(payload);
+}
+
+Result<OpenCatalogReplyInfo> CoverClient::OpenFromSnapshot(
+    const std::string& tenant, const std::string& spec_text,
+    std::string_view snapshot) {
+  OpenFromSnapshotRequest request;
+  request.tenant = tenant;
+  request.spec_text = spec_text;
+  request.snapshot = std::string(snapshot);
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kOpenFromSnapshot,
+                EncodeOpenFromSnapshotRequest(request),
+                FrameType::kOpenFromSnapshotReply));
+  return DecodeOpenCatalogReply(payload);
+}
+
 Status CoverClient::DropCatalog(const std::string& tenant) {
   auto payload = RoundTrip(FrameType::kDropCatalog,
                            EncodeStringRequest(tenant),

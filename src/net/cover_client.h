@@ -93,6 +93,17 @@ class CoverClient {
   /// exposition (src/obs), every layer in one fetch.
   Result<std::string> Metrics();
 
+  /// Migration, step 1: the server drains the tenant's in-service
+  /// batches, then ships its cover cache as .ccsnap snapshot bytes.
+  Result<std::string> FetchSnapshot(const std::string& tenant);
+
+  /// Migration, step 2 (against the *target* server): open the tenant
+  /// from spec text and warm-start its cache from `snapshot`. The reply
+  /// reports the warm-start's restored/rejected line counts.
+  Result<OpenCatalogReplyInfo> OpenFromSnapshot(const std::string& tenant,
+                                                const std::string& spec_text,
+                                                std::string_view snapshot);
+
   Status DropCatalog(const std::string& tenant);
 
   /// Asks the server process to wind down (it stops accepting and its

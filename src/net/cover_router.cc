@@ -1,0 +1,298 @@
+#include "src/net/cover_router.h"
+
+#include <algorithm>
+
+namespace cfdprop {
+namespace net {
+
+namespace {
+
+/// FNV-1a, 64-bit, with a murmur-style avalanche finalizer. Raw FNV-1a
+/// diffuses the last byte through a single multiply, so names sharing a
+/// prefix ("tenant0", "tenant1", ...) land on adjacent ring points and
+/// can starve whole shards; the finalizer spreads them uniformly.
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+CoverRouter::CoverRouter(CoverRouterOptions options) {
+  shards_.reserve(options.shards.size());
+  for (CoverClientOptions& shard : options.shards) {
+    shards_.push_back(std::make_unique<Shard>(std::move(shard)));
+  }
+  const size_t vnodes = std::max<size_t>(1, options.virtual_nodes);
+  ring_.reserve(shards_.size() * vnodes);
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    for (size_t replica = 0; replica < vnodes; ++replica) {
+      // The point depends on the shard's *position*, not its address:
+      // every router over the same shard list routes identically.
+      const std::string key =
+          std::to_string(shard) + "#" + std::to_string(replica);
+      ring_.emplace_back(Fnv1a(key), shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t CoverRouter::RingShardFor(const std::string& tenant) const {
+  const uint64_t point = Fnv1a(tenant);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const std::pair<uint64_t, size_t>& entry, uint64_t value) {
+        return entry.first < value;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // clockwise wrap
+  return it->second;
+}
+
+size_t CoverRouter::ShardFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  auto it = overrides_.find(tenant);
+  if (it != overrides_.end()) return it->second;
+  return RingShardFor(tenant);
+}
+
+Result<OpenCatalogReplyInfo> CoverRouter::OpenCatalog(
+    const std::string& tenant, const std::string& spec_text) {
+  const size_t shard = ShardFor(tenant);
+  auto info = WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.OpenCatalog(tenant, spec_text);
+  });
+  if (info.ok()) {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    spec_texts_[tenant] = spec_text;
+  }
+  return info;
+}
+
+Result<std::vector<BatchResult>> CoverRouter::SubmitBatches(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool) {
+  size_t shard;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (migrating_.count(tenant) != 0) {
+      // Fail fast, typed: the tenant is mid-flight between shards and
+      // neither copy is authoritative. The caller retries after the
+      // route flip — that retry is the "zero failed submits" contract.
+      return Status::Unavailable("tenant '" + tenant +
+                                 "' is migrating; retry");
+    }
+    auto it = overrides_.find(tenant);
+    shard = it != overrides_.end() ? it->second : RingShardFor(tenant);
+  }
+  return WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.SubmitBatches(tenant, batches, pool);
+  });
+}
+
+Result<WireServiceStats> CoverRouter::Stats() {
+  WireServiceStats aggregate;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    auto stats = WithShard(shard, [](RemoteBackend& backend) {
+      return backend.Stats();
+    });
+    if (!stats.ok()) return stats.status();
+    aggregate.global_cache_budget += stats->global_cache_budget;
+    aggregate.batches_submitted += stats->batches_submitted;
+    aggregate.batches_completed += stats->batches_completed;
+    aggregate.batches_rejected += stats->batches_rejected;
+    for (WireTenantStats& t : stats->tenants) {
+      aggregate.tenants.push_back(std::move(t));
+    }
+  }
+  // Tenant-name order, as one fat server would report the same set.
+  std::sort(aggregate.tenants.begin(), aggregate.tenants.end(),
+            [](const WireTenantStats& a, const WireTenantStats& b) {
+              return a.name < b.name;
+            });
+  return aggregate;
+}
+
+Result<std::string> CoverRouter::Metrics() {
+  std::string joined;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    auto text = WithShard(shard, [](RemoteBackend& backend) {
+      return backend.Metrics();
+    });
+    if (!text.ok()) return text.status();
+    joined += "# --- shard " + std::to_string(shard) + " ---\n";
+    joined += *text;
+  }
+  return joined;
+}
+
+Status CoverRouter::DropCatalog(const std::string& tenant) {
+  size_t shard;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (migrating_.count(tenant) != 0) {
+      return Status::Unavailable("tenant '" + tenant +
+                                 "' is migrating; retry");
+    }
+    auto it = overrides_.find(tenant);
+    shard = it != overrides_.end() ? it->second : RingShardFor(tenant);
+  }
+  Status dropped = WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.DropCatalog(tenant);
+  });
+  if (dropped.ok()) {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    overrides_.erase(tenant);
+    spec_texts_.erase(tenant);
+  }
+  return dropped;
+}
+
+Status CoverRouter::BeginMigration(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (!migrating_.insert(tenant).second) {
+    return Status::Unavailable("tenant '" + tenant +
+                               "' is already migrating");
+  }
+  return Status::OK();
+}
+
+Status CoverRouter::CompleteMigration(const std::string& tenant,
+                                      size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  std::lock_guard<std::mutex> lock(route_mu_);
+  // The route flip: one map store under the lock — a submit observes
+  // either the old shard or the new one, never a torn in-between.
+  if (RingShardFor(tenant) == shard) {
+    overrides_.erase(tenant);  // back on its natural placement
+  } else {
+    overrides_[tenant] = shard;
+  }
+  migrating_.erase(tenant);
+  return Status::OK();
+}
+
+void CoverRouter::AbortMigration(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(route_mu_);
+  migrating_.erase(tenant);
+}
+
+Result<std::string> CoverRouter::FetchSnapshotFrom(size_t shard,
+                                                   const std::string& tenant) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  return WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.FetchSnapshot(tenant);
+  });
+}
+
+Result<OpenCatalogReplyInfo> CoverRouter::OpenFromSnapshotOn(
+    size_t shard, const std::string& tenant, const std::string& spec_text,
+    std::string_view snapshot) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  return WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.OpenFromSnapshot(tenant, spec_text, snapshot);
+  });
+}
+
+Status CoverRouter::DropCatalogOn(size_t shard, const std::string& tenant) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  return WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.DropCatalog(tenant);
+  });
+}
+
+Result<MigrationReport> CoverRouter::MigrateTenant(const std::string& tenant,
+                                                   size_t target_shard) {
+  if (target_shard >= shards_.size()) {
+    return Status::InvalidArgument("target shard " +
+                                   std::to_string(target_shard) +
+                                   " out of range");
+  }
+  size_t source_shard;
+  std::string spec_text;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    auto spec_it = spec_texts_.find(tenant);
+    if (spec_it == spec_texts_.end()) {
+      return Status::Unsupported(
+          "tenant '" + tenant +
+          "' has no spec text recorded with this router; open it through "
+          "the router (or use the decomposed migration steps)");
+    }
+    spec_text = spec_it->second;
+    auto route_it = overrides_.find(tenant);
+    source_shard =
+        route_it != overrides_.end() ? route_it->second : RingShardFor(tenant);
+    if (source_shard == target_shard) {
+      return Status::InvalidArgument("tenant '" + tenant +
+                                     "' already lives on shard " +
+                                     std::to_string(target_shard));
+    }
+    if (!migrating_.insert(tenant).second) {
+      return Status::Unavailable("tenant '" + tenant +
+                                 "' is already migrating");
+    }
+  }
+  // From here on the tenant's submits bounce with kUnavailable; any
+  // failure must clear the mark so the source keeps serving.
+  auto abort = [&](const Status& failure) {
+    AbortMigration(tenant);
+    return failure;
+  };
+  // 1. Drain + serialize on the source (the server's FETCH_SNAPSHOT
+  //    waits out batches already admitted; new ones are bounced here).
+  auto snapshot = FetchSnapshotFrom(source_shard, tenant);
+  if (!snapshot.ok()) return abort(snapshot.status());
+  // 2. Warm-start on the target. A re-landed retry is fine: the target
+  //    reports the already-open tenant idempotently.
+  auto opened = OpenFromSnapshotOn(target_shard, tenant, spec_text,
+                                   *snapshot);
+  if (!opened.ok()) return abort(opened.status());
+  // 3. Flip the route. After this point the migration is complete from
+  //    the caller's view — submits land on the target.
+  CFDPROP_RETURN_NOT_OK(CompleteMigration(tenant, target_shard));
+  // 4. Retire the source copy. Best-effort: the route no longer points
+  //    there, so a failed drop leaks a cold replica, not correctness.
+  (void)DropCatalogOn(source_shard, tenant);
+  MigrationReport report;
+  report.from = source_shard;
+  report.to = target_shard;
+  report.restored = opened->restored;
+  report.rejected = opened->rejected;
+  report.snapshot_bytes = snapshot->size();
+  return report;
+}
+
+Status CoverRouter::ShutdownAll() {
+  Status first = Status::OK();
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    Status s = WithShard(shard, [](RemoteBackend& backend) {
+      return backend.Shutdown();
+    });
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+}  // namespace net
+}  // namespace cfdprop

@@ -26,6 +26,11 @@ const ValuePool& EmptyPool() {
   return pool;
 }
 
+/// How long a FETCH_SNAPSHOT waits for the tenant's in-service batches
+/// to settle before giving up with DeadlineExceeded. The router holds
+/// new submissions off first, so this only waits out work already in.
+constexpr std::chrono::milliseconds kMigrationDrainDeadline{10000};
+
 }  // namespace
 
 CoverServer::CoverServer(CatalogService& service, CoverServerOptions options)
@@ -293,6 +298,14 @@ bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
       *reply = frame(FrameType::kDropCatalogReply,
                      HandleDropCatalog(payload));
       return true;
+    case FrameType::kFetchSnapshot:
+      *reply = frame(FrameType::kFetchSnapshotReply,
+                     HandleFetchSnapshot(payload));
+      return true;
+    case FrameType::kOpenFromSnapshot:
+      *reply = frame(FrameType::kOpenFromSnapshotReply,
+                     HandleOpenFromSnapshot(payload));
+      return true;
     case FrameType::kShutdown:
       // The caller (ServeConnection) requests the actual shutdown after
       // this confirmation reply is on the wire.
@@ -323,20 +336,81 @@ std::string CoverServer::HandleOpenCatalog(std::string_view payload) {
 
 Result<OpenCatalogReplyInfo> CoverServer::OpenSpec(
     const std::string& tenant, const std::string& spec_text) {
+  return OpenSpecInternal(tenant, spec_text, nullptr);
+}
+
+Result<OpenCatalogReplyInfo> CoverServer::OpenSpecFromSnapshot(
+    const std::string& tenant, const std::string& spec_text,
+    std::string_view snapshot) {
+  return OpenSpecInternal(tenant, spec_text, &snapshot);
+}
+
+Result<OpenCatalogReplyInfo> CoverServer::OpenSpecInternal(
+    const std::string& tenant, const std::string& spec_text,
+    const std::string_view* warm) {
+  {
+    // Idempotent reopen: an open tenant whose recorded text matches is
+    // reported as-is (a reconnecting client replays its opens; a
+    // migration retry re-lands on a target that already accepted it).
+    // Matching is byte-exact — a *different* spec on a live tenant is
+    // a real conflict and keeps the registry's duplicate error.
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    auto it = spec_texts_.find(tenant);
+    if (it != spec_texts_.end()) {
+      if (it->second != spec_text) {
+        return Status::InvalidArgument(
+            "tenant '" + tenant +
+            "' is already open with a different spec");
+      }
+      auto handle = service_.ResolveCatalog(tenant);
+      if (handle.ok()) {
+        OpenCatalogReplyInfo info;
+        const CacheStats cache = (*handle)->engine().Stats().cache;
+        info.restored = cache.restored;
+        info.rejected = cache.rejected;
+        info.cache_budget = (*handle)->cache_budget();
+        return info;
+      }
+      // Text recorded but the tenant is gone (dropped directly on the
+      // service): stale record, fall through to a fresh open.
+    }
+  }
   CFDPROP_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
-  return OpenParsedSpec(tenant, std::move(spec));
+  CFDPROP_ASSIGN_OR_RETURN(OpenCatalogReplyInfo info,
+                           OpenParsedSpecInternal(tenant, std::move(spec),
+                                                  warm));
+  {
+    std::lock_guard<std::mutex> lock(specs_mu_);
+    spec_texts_[tenant] = spec_text;
+  }
+  return info;
 }
 
 Result<OpenCatalogReplyInfo> CoverServer::OpenParsedSpec(
     const std::string& tenant, Spec spec) {
+  return OpenParsedSpecInternal(tenant, std::move(spec), nullptr);
+}
+
+Result<OpenCatalogReplyInfo> CoverServer::OpenParsedSpecFromSnapshot(
+    const std::string& tenant, Spec spec, std::string_view snapshot) {
+  return OpenParsedSpecInternal(tenant, std::move(spec), &snapshot);
+}
+
+Result<OpenCatalogReplyInfo> CoverServer::OpenParsedSpecInternal(
+    const std::string& tenant, Spec spec, const std::string_view* warm) {
   // Σ 0 is the spec's source CFDs — the id every submit-batch request
   // serves against. Copy them out before the catalog moves: Value ids
   // are indices into the pool, stable across the move.
   std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
   Catalog catalog = std::move(spec.catalog);
-  CFDPROP_ASSIGN_OR_RETURN(
-      TenantHandle handle,
-      service_.OpenCatalog(tenant, std::move(catalog), std::move(sigmas)));
+  Result<TenantHandle> opened =
+      warm != nullptr
+          ? service_.OpenCatalogFromSnapshot(tenant, std::move(catalog),
+                                             std::move(sigmas), *warm)
+          : service_.OpenCatalog(tenant, std::move(catalog),
+                                 std::move(sigmas));
+  if (!opened.ok()) return opened.status();
+  TenantHandle handle = std::move(opened).value();
   {
     std::lock_guard<std::mutex> lock(specs_mu_);
     specs_[tenant] = std::make_shared<const Spec>(std::move(spec));
@@ -451,8 +525,33 @@ std::string CoverServer::HandleDropCatalog(std::string_view payload) {
   if (dropped.ok()) {
     std::lock_guard<std::mutex> lock(specs_mu_);
     specs_.erase(*tenant);
+    spec_texts_.erase(*tenant);
   }
   return EncodeStatusReply(dropped);
+}
+
+std::string CoverServer::HandleFetchSnapshot(std::string_view payload) {
+  auto tenant = DecodeStringRequest(payload);
+  if (!tenant.ok()) return EncodeFetchSnapshotReply(tenant.status(), {});
+  // Quiesce first so the serialized bytes are the settled cache — every
+  // admitted batch has delivered its reply (and taken its cache
+  // insertions) before the serialization walks the shards.
+  Status drained = service_.DrainTenant(*tenant, kMigrationDrainDeadline);
+  if (!drained.ok()) return EncodeFetchSnapshotReply(drained, {});
+  auto snapshot = service_.ExportTenantSnapshot(*tenant);
+  if (!snapshot.ok()) {
+    return EncodeFetchSnapshotReply(snapshot.status(), {});
+  }
+  return EncodeFetchSnapshotReply(Status::OK(), snapshot->bytes);
+}
+
+std::string CoverServer::HandleOpenFromSnapshot(std::string_view payload) {
+  auto request = DecodeOpenFromSnapshotRequest(payload);
+  if (!request.ok()) return EncodeOpenCatalogReply(request.status(), {});
+  auto info = OpenSpecFromSnapshot(request->tenant, request->spec_text,
+                                   request->snapshot);
+  if (!info.ok()) return EncodeOpenCatalogReply(info.status(), {});
+  return EncodeOpenCatalogReply(Status::OK(), *info);
 }
 
 void CoverServer::RequestShutdown() {

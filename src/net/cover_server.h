@@ -107,10 +107,28 @@ class CoverServer {
   /// network open-catalog frame takes — the CLI listen mode preloads
   /// its --tenant flags with this. Also the hook the benchmarks use
   /// with a programmatically built Spec (OpenParsedSpec).
+  ///
+  /// Re-opening an already-open tenant with *identical* spec text is
+  /// idempotent — the reply reports the live tenant, nothing is rebuilt.
+  /// This is what lets a reconnecting client (RemoteBackend) replay its
+  /// opens without tearing the tenant down; different text on an open
+  /// tenant is still InvalidArgument.
   Result<OpenCatalogReplyInfo> OpenSpec(const std::string& tenant,
                                         const std::string& spec_text);
   Result<OpenCatalogReplyInfo> OpenParsedSpec(const std::string& tenant,
                                               Spec spec);
+
+  /// The receiving side of a tenant migration: open from spec (text or
+  /// parsed) and warm-start the cover cache from snapshot bytes shipped
+  /// over the wire (CatalogService::OpenCatalogFromSnapshot) instead of
+  /// this server's snapshot directory. The parsed-Spec variant is the
+  /// hook for callers whose specs exist only programmatically (the
+  /// workload harness).
+  Result<OpenCatalogReplyInfo> OpenSpecFromSnapshot(
+      const std::string& tenant, const std::string& spec_text,
+      std::string_view snapshot);
+  Result<OpenCatalogReplyInfo> OpenParsedSpecFromSnapshot(
+      const std::string& tenant, Spec spec, std::string_view snapshot);
 
   /// Blocks until a client's shutdown frame arrives (or Stop() runs).
   /// The frame only *requests* shutdown — the owner decides to Stop(),
@@ -147,6 +165,15 @@ class CoverServer {
   std::string HandleStats();
   std::string HandleDropCatalog(std::string_view payload);
   std::string HandleMetrics();
+  std::string HandleFetchSnapshot(std::string_view payload);
+  std::string HandleOpenFromSnapshot(std::string_view payload);
+  /// Shared body of the OpenSpec*/OpenParsedSpec* variants: `warm`
+  /// non-null warm-starts from those snapshot bytes.
+  Result<OpenCatalogReplyInfo> OpenSpecInternal(const std::string& tenant,
+                                                const std::string& spec_text,
+                                                const std::string_view* warm);
+  Result<OpenCatalogReplyInfo> OpenParsedSpecInternal(
+      const std::string& tenant, Spec spec, const std::string_view* warm);
   void RequestShutdown();
 
   CatalogService& service_;
@@ -164,6 +191,10 @@ class CoverServer {
   /// a submit in flight survives a concurrent drop of its tenant.
   mutable std::mutex specs_mu_;
   std::map<std::string, std::shared_ptr<const Spec>> specs_;
+  /// Tenant name -> the spec text it was opened with (text-based opens
+  /// only), for the idempotent-reopen check in OpenSpec. Guarded by
+  /// specs_mu_, erased with specs_.
+  std::map<std::string, std::string> spec_texts_;
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

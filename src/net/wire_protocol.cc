@@ -26,7 +26,7 @@ Status Malformed(const std::string& what) {
 bool KnownFrameType(uint8_t t) {
   const uint8_t base = t & ~kReplyBit;
   return base >= static_cast<uint8_t>(FrameType::kOpenCatalog) &&
-         base <= static_cast<uint8_t>(FrameType::kMetrics);
+         base <= static_cast<uint8_t>(FrameType::kOpenFromSnapshot);
 }
 
 /// Strings travel as u32 length + raw bytes; the length is checked
@@ -155,6 +155,9 @@ bool DecodeStatus(std::string_view in, size_t* pos, Status* status) {
       return true;
     case StatusCode::kDeadlineExceeded:
       *status = Status::DeadlineExceeded(std::move(message));
+      return true;
+    case StatusCode::kUnavailable:
+      *status = Status::Unavailable(std::move(message));
       return true;
   }
   *status = Status::Internal("unknown wire status code " +
@@ -415,6 +418,48 @@ Result<std::string> DecodeStringRequest(std::string_view payload) {
     return Malformed("request truncated");
   }
   return text;
+}
+
+std::string EncodeFetchSnapshotReply(const Status& status,
+                                     std::string_view snapshot) {
+  std::string out;
+  EncodeStatus(out, status);
+  PutString(out, snapshot);
+  return out;
+}
+
+Result<std::string> DecodeFetchSnapshotReply(std::string_view payload) {
+  size_t pos = 0;
+  Status status;
+  CFDPROP_RETURN_NOT_OK(DecodeStatusAt(payload, &pos, &status));
+  CFDPROP_RETURN_NOT_OK(status);
+  std::string snapshot;
+  if (!GetString(payload, &pos, &snapshot) || pos != payload.size()) {
+    return Malformed("fetch-snapshot reply truncated");
+  }
+  return snapshot;
+}
+
+std::string EncodeOpenFromSnapshotRequest(
+    const OpenFromSnapshotRequest& request) {
+  std::string out;
+  PutString(out, request.tenant);
+  PutString(out, request.spec_text);
+  PutString(out, request.snapshot);
+  return out;
+}
+
+Result<OpenFromSnapshotRequest> DecodeOpenFromSnapshotRequest(
+    std::string_view payload) {
+  OpenFromSnapshotRequest request;
+  size_t pos = 0;
+  if (!GetString(payload, &pos, &request.tenant) ||
+      !GetString(payload, &pos, &request.spec_text) ||
+      !GetString(payload, &pos, &request.snapshot) ||
+      pos != payload.size()) {
+    return Malformed("open-from-snapshot request truncated");
+  }
+  return request;
 }
 
 std::string EncodeStatusReply(const Status& status) {

@@ -49,6 +49,7 @@
 #include "src/base/status.h"
 #include "src/base/value.h"
 #include "src/engine/engine.h"
+#include "src/service/batch_result.h"
 
 namespace cfdprop {
 namespace net {
@@ -57,7 +58,9 @@ inline constexpr char kWireMagic[4] = {'C', 'F', 'D', 'W'};
 /// v2: added the METRICS frame (kMetrics / kMetricsReply). Same frame
 /// layout, but a v1 peer would treat type 6 as malformed and close the
 /// connection, so the version gate keeps the refusal explicit.
-inline constexpr uint32_t kWireVersion = 2;
+/// v3: added the migration frames (kFetchSnapshot / kOpenFromSnapshot)
+/// and the kUnavailable status code a router returns mid-route-flip.
+inline constexpr uint32_t kWireVersion = 3;
 
 /// magic + version + type + payload length.
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 1 + 4;
@@ -79,6 +82,12 @@ enum class FrameType : uint8_t {
   /// Scrape: empty request payload; the reply carries the server's
   /// Prometheus-style text exposition (src/obs).
   kMetrics = 6,
+  /// Migration, step 1: drain the tenant's queue server-side and ship
+  /// its cover cache as snapshot bytes (the .ccsnap encoding).
+  kFetchSnapshot = 7,
+  /// Migration, step 2: open a tenant from spec text *plus* snapshot
+  /// bytes, warm-starting its cache on the target shard.
+  kOpenFromSnapshot = 8,
 
   kOpenCatalogReply = kOpenCatalog | kReplyBit,
   kSubmitBatchReply = kSubmitBatch | kReplyBit,
@@ -86,6 +95,8 @@ enum class FrameType : uint8_t {
   kDropCatalogReply = kDropCatalog | kReplyBit,
   kShutdownReply = kShutdown | kReplyBit,
   kMetricsReply = kMetrics | kReplyBit,
+  kFetchSnapshotReply = kFetchSnapshot | kReplyBit,
+  kOpenFromSnapshotReply = kOpenFromSnapshot | kReplyBit,
 };
 
 struct FrameHeader {
@@ -138,11 +149,10 @@ struct SubmitBatchRequest {
 };
 
 /// One batch's outcome: the admission/resolution status, and — when
-/// admitted — per-request results carrying decoded covers.
-struct WireBatchResult {
-  Status status = Status::OK();
-  std::vector<Result<EngineResult>> results;
-};
+/// admitted — per-request results carrying decoded covers. The same
+/// struct the in-process service's BatchReply derives from, so covers
+/// cross the inproc/wire boundary without conversion.
+using WireBatchResult = ::cfdprop::BatchResult;
 
 struct WireTenantStats {
   std::string name;
@@ -195,6 +205,31 @@ Result<std::vector<WireBatchResult>> DecodeSubmitBatchReply(
 
 std::string EncodeStringRequest(std::string_view text);
 Result<std::string> DecodeStringRequest(std::string_view payload);
+
+// Migration frames. FETCH_SNAPSHOT's request is EncodeStringRequest
+// (the tenant name); the server drains the tenant's queue and replies
+// with its cover cache serialized in the .ccsnap format. A snapshot
+// too large to frame (past kMaxFramePayload) degrades to a typed
+// ResourceExhausted reply, like any oversized reply.
+std::string EncodeFetchSnapshotReply(const Status& status,
+                                     std::string_view snapshot);
+Result<std::string> DecodeFetchSnapshotReply(std::string_view payload);
+
+struct OpenFromSnapshotRequest {
+  std::string tenant;
+  /// Spec text, parsed exactly as an OPEN_CATALOG's would be.
+  std::string spec_text;
+  /// .ccsnap bytes to warm-start the tenant's cover cache from; lines
+  /// that fail the usual Σ-fingerprint gate are rejected, not fatal.
+  std::string snapshot;
+};
+
+/// OPEN_FROM_SNAPSHOT's reply reuses the OPEN_CATALOG reply codec
+/// (restored/rejected report the warm-start outcome).
+std::string EncodeOpenFromSnapshotRequest(
+    const OpenFromSnapshotRequest& request);
+Result<OpenFromSnapshotRequest> DecodeOpenFromSnapshotRequest(
+    std::string_view payload);
 
 std::string EncodeStatusReply(const Status& status);
 Status DecodeStatusReply(std::string_view payload);

@@ -1,0 +1,32 @@
+// BatchResult: the single batch-outcome shape shared by the in-process
+// service (CatalogService's BatchReply derives from it) and the wire
+// protocol (net::WireBatchResult is an alias for it). One batch's
+// admission/resolution status plus — when admitted — per-request
+// results carrying covers. Keeping the two layers on one struct means
+// covers round-trip between a CoverBackend's implementations without
+// per-call-site conversion glue, and the byte-identity tests can diff
+// in-process and network results directly.
+
+#ifndef CFDPROP_SERVICE_BATCH_RESULT_H_
+#define CFDPROP_SERVICE_BATCH_RESULT_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/engine.h"
+
+namespace cfdprop {
+
+/// One batch's outcome: `status` is the batch-level admission or
+/// resolution verdict (typed ResourceExhausted on rejection, NotFound
+/// on an unknown view, ...); when it is OK, `results` answers the
+/// batch's requests in order, each either a cover-bearing EngineResult
+/// or its own typed error.
+struct BatchResult {
+  Status status = Status::OK();
+  std::vector<Result<EngineResult>> results;
+};
+
+}  // namespace cfdprop
+
+#endif  // CFDPROP_SERVICE_BATCH_RESULT_H_

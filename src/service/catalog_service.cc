@@ -169,6 +169,20 @@ void CatalogService::RebalanceBudgets(size_t num_tenants) {
 Result<TenantHandle> CatalogService::OpenCatalog(
     const std::string& name, Catalog catalog,
     std::vector<std::vector<CFD>> sigmas) {
+  return OpenCatalogInternal(name, std::move(catalog), std::move(sigmas),
+                             nullptr);
+}
+
+Result<TenantHandle> CatalogService::OpenCatalogFromSnapshot(
+    const std::string& name, Catalog catalog,
+    std::vector<std::vector<CFD>> sigmas, std::string_view snapshot) {
+  return OpenCatalogInternal(name, std::move(catalog), std::move(sigmas),
+                             &snapshot);
+}
+
+Result<TenantHandle> CatalogService::OpenCatalogInternal(
+    const std::string& name, Catalog catalog,
+    std::vector<std::vector<CFD>> sigmas, const std::string_view* warm) {
   CFDPROP_RETURN_NOT_OK(ValidateTenantName(name));
   // open_mu_ serializes the slow path (engine build, Σ minimization,
   // snapshot I/O) outside registry_mu_, and makes the duplicate check
@@ -210,7 +224,15 @@ Result<TenantHandle> CatalogService::OpenCatalog(
 
   TenantHandle tenant(new Tenant(name, std::move(engine)));
   BindStageTimers(*tenant);
-  if (!options_.snapshot_dir.empty()) {
+  if (warm != nullptr) {
+    // Migration warm start: the shipped bytes win over any stale local
+    // file. Any failure — version bump, changed Σ, corruption — just
+    // means a cold cache. The spill marker stays 0: unlike the file
+    // path below, these bytes are NOT this service's snapshot file, so
+    // the restored lines count as dirty and the next spill persists
+    // them locally.
+    (void)tenant->engine_->LoadSnapshotBytes(*warm);
+  } else if (!options_.snapshot_dir.empty()) {
     // Warm start. Any failure — no file yet, version bump, changed Σ,
     // corruption — just means a cold cache; LoadSnapshot already
     // guarantees a rejected file restores nothing. Runs before the
@@ -556,6 +578,37 @@ Result<uint64_t> CatalogService::SpillTenant(const std::string& name) {
   }
   CFDPROP_ASSIGN_OR_RETURN(TenantHandle tenant, ResolveCatalog(name));
   return Spill(*tenant, /*from_policy=*/false, /*min_dirty=*/0);
+}
+
+Status CatalogService::DrainTenant(const std::string& name,
+                                   std::chrono::milliseconds deadline) {
+  CFDPROP_ASSIGN_OR_RETURN(TenantHandle tenant, ResolveCatalog(name));
+  // Both gauges only move under queue_mu_, and the dispatcher releases
+  // the running slot (then notifies) only after the reply is delivered —
+  // so "queued + running == 0" here means every submitted batch has
+  // answered its caller, not merely left the queue.
+  auto drained = [&] {
+    return tenant->admission_queued.load(std::memory_order_relaxed) +
+               tenant->admission_running.load(std::memory_order_relaxed) ==
+           0;
+  };
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (deadline.count() <= 0) {
+    queue_cv_.wait(lock, drained);
+    return Status::OK();
+  }
+  if (!queue_cv_.wait_for(lock, deadline, drained)) {
+    return Status::DeadlineExceeded("tenant '" + name +
+                                    "' still has batches in service after " +
+                                    std::to_string(deadline.count()) + "ms");
+  }
+  return Status::OK();
+}
+
+Result<SerializedSnapshot> CatalogService::ExportTenantSnapshot(
+    const std::string& name) {
+  CFDPROP_ASSIGN_OR_RETURN(TenantHandle tenant, ResolveCatalog(name));
+  return tenant->engine_->SerializeSnapshot();
 }
 
 void CatalogService::PolicyLoop() {

@@ -54,12 +54,14 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/engine/engine.h"
 #include "src/obs/metrics.h"
+#include "src/service/batch_result.h"
 
 namespace cfdprop {
 
@@ -203,15 +205,18 @@ class Tenant {
 
 using TenantHandle = std::shared_ptr<Tenant>;
 
-/// One completed batch, delivered through the future or callback.
-struct BatchReply {
+/// One completed batch, delivered through the future or callback. The
+/// payload is the BatchResult shape the wire protocol also speaks
+/// (results[i] answers requests[i] of the submitted batch); `status` is
+/// always OK here — rejections surface synchronously from SubmitBatch —
+/// but lets a CoverBackend fold sync rejections and replies into one
+/// slot without a conversion.
+struct BatchReply : BatchResult {
   std::string tenant;
   /// Per-tenant submission sequence number (0-based): replies to one
   /// tenant can be re-ordered by the dispatcher pool, the sequence says
   /// which submit each reply answers.
   uint64_t sequence = 0;
-  /// results[i] answers requests[i] of the submitted batch.
-  std::vector<Result<EngineResult>> results;
 };
 
 /// Per-tenant rollup inside ServiceStatsSnapshot.
@@ -273,6 +278,18 @@ class CatalogService {
   Result<TenantHandle> OpenCatalog(const std::string& name, Catalog catalog,
                                    std::vector<std::vector<CFD>> sigmas = {});
 
+  /// OpenCatalog, but warm-started from snapshot bytes shipped in
+  /// memory (the receiving side of a tenant migration) instead of this
+  /// service's snapshot directory. A rejected/corrupt snapshot is not
+  /// an error — the tenant starts cold, exactly like a failed file
+  /// warm-start; the per-line outcome is readable from the engine's
+  /// restored=/rejected= counters. Unlike the file path, the restored
+  /// cache counts as *dirty* against the tenant's own snapshot file, so
+  /// the next spill persists the migrated covers locally.
+  Result<TenantHandle> OpenCatalogFromSnapshot(
+      const std::string& name, Catalog catalog,
+      std::vector<std::vector<CFD>> sigmas, std::string_view snapshot);
+
   /// Closes a tenant: flushes its cache to the snapshot directory (when
   /// configured), then removes it from the registry and rebalances the
   /// remaining tenants' budgets. A failed flush fails the drop — the
@@ -322,6 +339,21 @@ class CatalogService {
   /// Fails when no snapshot directory is configured.
   Result<uint64_t> SpillTenant(const std::string& name);
 
+  /// Blocks until the tenant has no batches in the service (queued +
+  /// running == 0) — the quiesce step of a migration. The caller is
+  /// responsible for holding new submissions off (the router marks the
+  /// tenant migrating first); DrainTenant only waits out what is
+  /// already in. `deadline` <= 0 waits forever; otherwise typed
+  /// DeadlineExceeded when the tenant is still busy at the deadline.
+  Status DrainTenant(const std::string& name,
+                     std::chrono::milliseconds deadline);
+
+  /// The tenant's cover cache serialized to snapshot bytes in memory
+  /// (.ccsnap wire format, checksum included) — what a migration ships
+  /// to the target shard. Thread-safe against serving; for a settled
+  /// byte image, DrainTenant first.
+  Result<SerializedSnapshot> ExportTenantSnapshot(const std::string& name);
+
   /// Per-tenant and service-level counters.
   ServiceStatsSnapshot Stats() const;
 
@@ -355,6 +387,13 @@ class CatalogService {
   };
 
   std::string SnapshotPath(const std::string& name) const;
+  /// The shared body of OpenCatalog/OpenCatalogFromSnapshot: `warm`
+  /// non-null = warm-start from those bytes (migration), null = from
+  /// the snapshot directory's file when one is configured.
+  Result<TenantHandle> OpenCatalogInternal(const std::string& name,
+                                           Catalog catalog,
+                                           std::vector<std::vector<CFD>> sigmas,
+                                           const std::string_view* warm);
   /// The single definition of the per-tenant budget split (every site —
   /// engine construction, rebalance, the newcomer's recorded budget —
   /// must agree or cache_budget() drifts from real capacity).

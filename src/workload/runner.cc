@@ -1,9 +1,10 @@
 #include "src/workload/runner.h"
 
+#include <sys/stat.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -11,7 +12,9 @@
 #include <vector>
 
 #include "src/cfd/cfd.h"
-#include "src/net/cover_client.h"
+#include "src/engine/snapshot.h"
+#include "src/net/cover_backend.h"
+#include "src/net/cover_router.h"
 #include "src/net/cover_server.h"
 #include "src/obs/metrics.h"
 #include "src/service/catalog_service.h"
@@ -24,17 +27,6 @@ namespace {
 using gen::WorkloadOp;
 using gen::WorkloadPlan;
 
-using ViewsMap = std::map<std::string, SPCUView>;
-
-/// Per-tenant runner state. The views map is what batches resolve names
-/// against; a reopen swaps in the regenerated spec's map (same bytes —
-/// BuildTenantSpec is deterministic — but a fresh ValuePool).
-struct TenantRuntime {
-  std::string name;
-  std::mutex mu;
-  std::shared_ptr<const ViewsMap> views;
-};
-
 /// Counters shared by every worker; folded into the report at the end.
 struct Totals {
   std::atomic<uint64_t> requests{0};
@@ -44,6 +36,32 @@ struct Totals {
   std::atomic<uint64_t> churn_ops{0};
   std::atomic<uint64_t> reopens{0};
   std::atomic<uint64_t> restored{0};
+  /// Wrapping sum of served cover fingerprints — commutative, so the
+  /// aggregate is independent of thread interleaving.
+  std::atomic<uint64_t> cover_fp{0};
+};
+
+/// Everything the chosen path stands up. One service/server on inproc
+/// and tcp; router_shards of each plus the router on routed. Members
+/// are declared in dependency order (services before the servers that
+/// wrap them, router last) so teardown reverses it safely.
+struct PathRuntime {
+  std::vector<std::unique_ptr<CatalogService>> services;
+  std::vector<std::unique_ptr<net::CoverServer>> servers;
+  std::unique_ptr<net::InProcBackend> inproc;
+  std::unique_ptr<net::CoverRouter> router;
+
+  /// The shard owning `tenant`: the router's placement on routed, 0
+  /// everywhere else.
+  size_t ShardFor(const std::string& tenant) const {
+    return router ? router->ShardFor(tenant) : 0;
+  }
+  CatalogService& ServiceFor(const std::string& tenant) {
+    return *services[ShardFor(tenant)];
+  }
+  net::CoverServer& ServerFor(const std::string& tenant) {
+    return *servers[ShardFor(tenant)];
+  }
 };
 
 /// Spins until `tenant` has no queued or running batches. Admission
@@ -67,14 +85,10 @@ void WaitTenantDrained(CatalogService& service, const std::string& tenant) {
 class Worker {
  public:
   Worker(const WorkloadPlan& plan, const RunnerOptions& options,
-         CatalogService& service, net::CoverServer* server,
-         std::vector<std::unique_ptr<TenantRuntime>>& tenants,
-         Totals& totals, obs::Histogram& latency)
+         PathRuntime& rt, Totals& totals, obs::Histogram& latency)
       : plan_(plan),
         options_(options),
-        service_(service),
-        server_(server),
-        tenants_(tenants),
+        rt_(rt),
         totals_(totals),
         latency_(latency),
         // Pool-independent (wildcards only), so one instance serves
@@ -84,16 +98,29 @@ class Worker {
   /// Runs one client script. Serving errors are counted; only transport
   /// setup (connect) is fatal.
   Status Run(size_t client) {
-    if (options_.over_tcp) {
-      net::CoverClientOptions copts;
-      copts.port = server_->port();
-      copts.connect_timeout = std::chrono::milliseconds(10000);
-      copts.io_timeout = options_.io_timeout;
-      client_ = std::make_unique<net::CoverClient>(copts);
-      CFDPROP_RETURN_NOT_OK(client_->Connect());
+    // The path injection: which CoverBackend this worker talks to. The
+    // shared backends (inproc, router) are thread-safe; the tcp path
+    // gives every worker its own single-conversation RemoteBackend.
+    switch (options_.path) {
+      case RunnerPath::kInproc:
+        backend_ = rt_.inproc.get();
+        break;
+      case RunnerPath::kRouted:
+        backend_ = rt_.router.get();
+        break;
+      case RunnerPath::kTcp: {
+        net::CoverClientOptions copts;
+        copts.port = rt_.servers[0]->port();
+        copts.connect_timeout = std::chrono::milliseconds(10000);
+        copts.io_timeout = options_.io_timeout;
+        remote_ = std::make_unique<net::RemoteBackend>(copts);
+        CFDPROP_RETURN_NOT_OK(remote_->Connect());
+        backend_ = remote_.get();
+        break;
+      }
     }
     for (const WorkloadOp& op : plan_.scripts[client]) {
-      TenantRuntime& tenant = *tenants_[op.tenant];
+      const std::string tenant = plan_.TenantName(op.tenant);
       switch (op.type) {
         case WorkloadOp::Type::kBatch:
           RunBatches(tenant, op.batches, nullptr);
@@ -104,7 +131,7 @@ class Worker {
           // pinned scripts mean nobody else touches this tenant; mixed
           // bursts race with other clients' batches by design, so their
           // pattern is reported but not asserted anywhere.
-          WaitTenantDrained(service_, tenant.name);
+          WaitTenantDrained(rt_.ServiceFor(tenant), tenant);
           RunBatches(tenant, op.batches, &pattern_);
           break;
         }
@@ -113,7 +140,7 @@ class Worker {
           RunChurn(tenant, op.type == WorkloadOp::Type::kChurnAdd);
           break;
         case WorkloadOp::Type::kSpill: {
-          auto spilled = service_.SpillTenant(tenant.name);
+          auto spilled = rt_.ServiceFor(tenant).SpillTenant(tenant);
           if (!spilled.ok()) {
             totals_.errors.fetch_add(1, std::memory_order_relaxed);
           }
@@ -132,8 +159,9 @@ class Worker {
  private:
   /// Submits every batch in one admission decision (a single batch is
   /// just a burst of one) and waits for all replies. With `pattern` set,
-  /// appends one 'A'/'R'/'E' per batch.
-  void RunBatches(TenantRuntime& tenant,
+  /// appends one 'A'/'R'/'E' per batch. One code path for every
+  /// backend — the decode pool only matters on the wire paths.
+  void RunBatches(const std::string& tenant,
                   const std::vector<std::vector<std::string>>& batches,
                   std::string* pattern) {
     size_t n = 0;
@@ -141,10 +169,46 @@ class Worker {
     totals_.requests.fetch_add(n, std::memory_order_relaxed);
     totals_.batches.fetch_add(batches.size(), std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
-    if (options_.over_tcp) {
-      RunBatchesTcp(tenant, batches, pattern);
+    auto replies = backend_->SubmitBatches(tenant, batches, scratch_.pool());
+    if (!replies.ok()) {
+      // The whole call failed (tenant mid-reopen, transport hiccup):
+      // every slot is an error.
+      totals_.errors.fetch_add(batches.size(), std::memory_order_relaxed);
+      if (pattern) pattern->append(batches.size(), 'E');
     } else {
-      RunBatchesInproc(tenant, batches, pattern);
+      // The content hash needs the pool the covers' constants are
+      // interned in: the wire paths decoded into this worker's scratch
+      // pool, while inproc results live in the tenant's own pool — pin
+      // the tenant so that pool outlives the hashing. (A reopen racing
+      // us can make the pin miss; those churny scenarios are never
+      // fingerprint-compared, so skipping the fold there is fine.)
+      const ValuePool* pool = &scratch_.pool();
+      TenantHandle pin;
+      if (options_.path == RunnerPath::kInproc) {
+        auto handle = rt_.ServiceFor(tenant).ResolveCatalog(tenant);
+        if (handle.ok()) {
+          pin = std::move(handle).value();
+          pool = &pin->engine().catalog().pool();
+        } else {
+          pool = nullptr;
+        }
+      }
+      for (const BatchResult& batch : *replies) {
+        CountResult(batch.status, pattern);
+        if (!batch.status.ok()) continue;
+        for (const Result<EngineResult>& r : batch.results) {
+          if (r.ok()) {
+            totals_.covers.fetch_add(1, std::memory_order_relaxed);
+            if (pool != nullptr && r->cover != nullptr) {
+              totals_.cover_fp.fetch_add(
+                  FingerprintSigmaSet(*pool, r->cover->cover),
+                  std::memory_order_relaxed);
+            }
+          } else {
+            totals_.errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
     }
     latency_.Record(std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - t0)
@@ -162,79 +226,8 @@ class Worker {
     if (pattern) pattern->push_back(letter);
   }
 
-  void RunBatchesInproc(TenantRuntime& tenant,
-                        const std::vector<std::vector<std::string>>& batches,
-                        std::string* pattern) {
-    std::shared_ptr<const ViewsMap> views;
-    {
-      std::lock_guard<std::mutex> lock(tenant.mu);
-      views = tenant.views;
-    }
-    std::vector<std::vector<Engine::Request>> requests;
-    requests.reserve(batches.size());
-    for (const auto& names : batches) {
-      std::vector<Engine::Request> batch;
-      batch.reserve(names.size());
-      for (const std::string& name : names) {
-        auto it = views->find(name);
-        if (it == views->end()) continue;  // plans only name known views
-        batch.push_back({it->second, /*sigma_id=*/0});
-      }
-      requests.push_back(std::move(batch));
-    }
-    auto submitted = service_.SubmitBatches(tenant.name, std::move(requests));
-    // Collect futures only after every slot's admission is known — the
-    // pattern reflects the one-lock decision, not completion order.
-    for (auto& slot : submitted) {
-      CountResult(slot.ok() ? Status::OK() : slot.status(), pattern);
-    }
-    for (auto& slot : submitted) {
-      if (!slot.ok()) continue;
-      BatchReply reply = slot.value().get();
-      for (const Result<EngineResult>& r : reply.results) {
-        if (r.ok()) {
-          totals_.covers.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          totals_.errors.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-    }
-  }
-
-  void RunBatchesTcp(TenantRuntime& tenant,
-                     const std::vector<std::vector<std::string>>& batches,
-                     std::string* pattern) {
-    // RoundTrip drops the connection on failure; reconnect so one
-    // transport hiccup doesn't starve the rest of the script.
-    if (!client_->connected()) {
-      if (Status c = client_->Connect(); !c.ok()) {
-        totals_.errors.fetch_add(batches.size(), std::memory_order_relaxed);
-        if (pattern) pattern->append(batches.size(), 'E');
-        return;
-      }
-    }
-    auto replies =
-        client_->SubmitBatches(tenant.name, batches, scratch_.pool());
-    if (!replies.ok()) {
-      totals_.errors.fetch_add(batches.size(), std::memory_order_relaxed);
-      if (pattern) pattern->append(batches.size(), 'E');
-      return;
-    }
-    for (const net::WireBatchResult& batch : *replies) {
-      CountResult(batch.status, pattern);
-      if (!batch.status.ok()) continue;
-      for (const Result<EngineResult>& r : batch.results) {
-        if (r.ok()) {
-          totals_.covers.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          totals_.errors.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-    }
-  }
-
-  void RunChurn(TenantRuntime& tenant, bool add) {
-    auto handle = service_.ResolveCatalog(tenant.name);
+  void RunChurn(const std::string& tenant, bool add) {
+    auto handle = rt_.ServiceFor(tenant).ResolveCatalog(tenant);
     if (!handle.ok()) {
       totals_.errors.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -251,57 +244,70 @@ class Worker {
 
   /// Drop + re-open from a regenerated (byte-identical) spec. With a
   /// snapshot_dir configured the drop flushes and the open warm-starts,
-  /// so the reopened tenant serves its old covers as hits.
-  void RunReopen(TenantRuntime& tenant, size_t tenant_index) {
+  /// so the reopened tenant serves its old covers as hits. The drop
+  /// travels through the path under test; the re-open is in-process on
+  /// the owning shard's server — generated specs have no text form for
+  /// the wire to carry.
+  void RunReopen(const std::string& tenant, size_t tenant_index) {
     Spec spec = gen::BuildTenantSpec(plan_, tenant_index);
-    auto views = std::make_shared<const ViewsMap>(spec.views);
+    Status dropped = backend_->DropCatalog(tenant);
+    if (!dropped.ok()) {
+      totals_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
     uint64_t restored = 0;
-    if (options_.over_tcp) {
-      Status dropped = client_->DropCatalog(tenant.name);
-      if (!dropped.ok()) {
-        totals_.errors.fetch_add(1, std::memory_order_relaxed);
-      }
-      auto opened = server_->OpenParsedSpec(tenant.name, std::move(spec));
+    if (options_.path == RunnerPath::kInproc) {
+      auto opened = rt_.inproc->OpenParsedSpec(tenant, std::move(spec));
       if (!opened.ok()) {
         totals_.errors.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       restored = opened->restored;
     } else {
-      Status dropped = service_.DropCatalog(tenant.name);
-      if (!dropped.ok()) {
-        totals_.errors.fetch_add(1, std::memory_order_relaxed);
-      }
-      std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
-      Catalog catalog = std::move(spec.catalog);
-      auto handle = service_.OpenCatalog(tenant.name, std::move(catalog),
-                                         std::move(sigmas));
-      if (!handle.ok()) {
+      auto opened =
+          rt_.ServerFor(tenant).OpenParsedSpec(tenant, std::move(spec));
+      if (!opened.ok()) {
         totals_.errors.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      restored = (*handle)->engine().Stats().cache.restored;
+      restored = opened->restored;
     }
     totals_.reopens.fetch_add(1, std::memory_order_relaxed);
     totals_.restored.fetch_add(restored, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(tenant.mu);
-    tenant.views = std::move(views);
   }
 
   const WorkloadPlan& plan_;
   const RunnerOptions& options_;
-  CatalogService& service_;
-  net::CoverServer* server_;
-  std::vector<std::unique_ptr<TenantRuntime>>& tenants_;
+  PathRuntime& rt_;
   Totals& totals_;
   obs::Histogram& latency_;
   CFD churn_cfd_;
-  std::unique_ptr<net::CoverClient> client_;
-  Catalog scratch_;  // tcp decode pool
+  net::CoverBackend* backend_ = nullptr;
+  std::unique_ptr<net::RemoteBackend> remote_;  // tcp path only
+  Catalog scratch_;  // wire decode pool
   std::string pattern_;
 };
 
 }  // namespace
+
+const char* RunnerPathName(RunnerPath path) {
+  switch (path) {
+    case RunnerPath::kInproc:
+      return "inproc";
+    case RunnerPath::kTcp:
+      return "tcp";
+    case RunnerPath::kRouted:
+      return "routed";
+  }
+  return "unknown";
+}
+
+Result<RunnerPath> ParseRunnerPath(const std::string& name) {
+  if (name == "inproc") return RunnerPath::kInproc;
+  if (name == "tcp") return RunnerPath::kTcp;
+  if (name == "routed") return RunnerPath::kRouted;
+  return Status::InvalidArgument("unknown path '" + name +
+                                 "' (inproc|tcp|routed)");
+}
 
 std::string WorkloadReport::ToString() const {
   char buf[512];
@@ -316,7 +322,16 @@ std::string WorkloadReport::ToString() const {
       static_cast<unsigned long long>(admitted),
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(errors));
-  return buf;
+  std::string out = buf;
+  if (migrations > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " migrations=%llu (%.1f/s, restored=%llu)",
+                  static_cast<unsigned long long>(migrations),
+                  migrations_per_sec,
+                  static_cast<unsigned long long>(migrated_lines));
+    out += buf;
+  }
+  return out;
 }
 
 Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
@@ -327,44 +342,72 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
         " spills snapshots; the runner needs a snapshot_dir");
   }
 
-  ServiceOptions sopts;
-  sopts.dispatcher_threads =
-      options.dispatcher_threads
-          ? options.dispatcher_threads
-          : std::max<size_t>(2, plan.options.tenants);
-  sopts.admission.max_inflight_batches = plan.max_inflight;
-  sopts.admission.max_queued_batches = plan.max_queue;
-  sopts.global_cache_budget =
-      std::max<size_t>(4096, 1024 * plan.options.tenants);
-  sopts.engine.num_threads = std::max<size_t>(1, options.engine_threads);
-  sopts.snapshot_dir = options.snapshot_dir;
-  CatalogService service(sopts);
+  const size_t shards = options.path == RunnerPath::kRouted
+                            ? std::max<size_t>(2, options.router_shards)
+                            : 1;
 
-  std::unique_ptr<net::CoverServer> server;
-  if (options.over_tcp) {
-    net::CoverServerOptions nopts;
-    nopts.io_timeout = options.io_timeout;
-    server = std::make_unique<net::CoverServer>(service, nopts);
-    CFDPROP_RETURN_NOT_OK(server->Start());
+  PathRuntime rt;
+  for (size_t s = 0; s < shards; ++s) {
+    ServiceOptions sopts;
+    sopts.dispatcher_threads =
+        options.dispatcher_threads
+            ? options.dispatcher_threads
+            : std::max<size_t>(2, plan.options.tenants);
+    sopts.admission.max_inflight_batches = plan.max_inflight;
+    sopts.admission.max_queued_batches = plan.max_queue;
+    sopts.global_cache_budget =
+        std::max<size_t>(4096, 1024 * plan.options.tenants);
+    sopts.engine.num_threads = std::max<size_t>(1, options.engine_threads);
+    sopts.snapshot_dir = options.snapshot_dir;
+    if (shards > 1 && !options.snapshot_dir.empty()) {
+      // Per-shard spill directories: after a migration both the source
+      // (pre-drop flush) and the target would otherwise fight over one
+      // <tenant>.ccsnap file.
+      const std::string dir =
+          options.snapshot_dir + "/shard" + std::to_string(s);
+      ::mkdir(dir.c_str(), 0755);  // may already exist
+      sopts.snapshot_dir = dir;
+    }
+    rt.services.push_back(std::make_unique<CatalogService>(sopts));
   }
 
-  std::vector<std::unique_ptr<TenantRuntime>> tenants;
+  if (options.path != RunnerPath::kInproc) {
+    for (auto& service : rt.services) {
+      net::CoverServerOptions nopts;
+      nopts.io_timeout = options.io_timeout;
+      auto server = std::make_unique<net::CoverServer>(*service, nopts);
+      CFDPROP_RETURN_NOT_OK(server->Start());
+      rt.servers.push_back(std::move(server));
+    }
+  }
+  if (options.path == RunnerPath::kInproc) {
+    rt.inproc = std::make_unique<net::InProcBackend>(*rt.services[0]);
+  }
+  if (options.path == RunnerPath::kRouted) {
+    net::CoverRouterOptions ropts;
+    for (auto& server : rt.servers) {
+      net::CoverClientOptions copts;
+      copts.port = server->port();
+      copts.connect_timeout = std::chrono::milliseconds(10000);
+      copts.io_timeout = options.io_timeout;
+      ropts.shards.push_back(copts);
+    }
+    rt.router = std::make_unique<net::CoverRouter>(std::move(ropts));
+  }
+
+  // Open every tenant on its owning shard (the ring decides on routed;
+  // shard 0 otherwise). In process on every path: the specs are
+  // generated, so there is no text to ship over the wire.
   for (size_t t = 0; t < plan.options.tenants; ++t) {
+    const std::string name = plan.TenantName(t);
     Spec spec = gen::BuildTenantSpec(plan, t);
-    auto runtime = std::make_unique<TenantRuntime>();
-    runtime->name = plan.TenantName(t);
-    runtime->views = std::make_shared<const ViewsMap>(spec.views);
-    if (options.over_tcp) {
-      auto opened = server->OpenParsedSpec(runtime->name, std::move(spec));
+    if (options.path == RunnerPath::kInproc) {
+      auto opened = rt.inproc->OpenParsedSpec(name, std::move(spec));
       CFDPROP_RETURN_NOT_OK(opened.status());
     } else {
-      std::vector<std::vector<CFD>> sigmas = {spec.source_cfds};
-      Catalog catalog = std::move(spec.catalog);
-      auto handle = service.OpenCatalog(runtime->name, std::move(catalog),
-                                        std::move(sigmas));
-      CFDPROP_RETURN_NOT_OK(handle.status());
+      auto opened = rt.ServerFor(name).OpenParsedSpec(name, std::move(spec));
+      CFDPROP_RETURN_NOT_OK(opened.status());
     }
-    tenants.push_back(std::move(runtime));
   }
 
   Totals totals;
@@ -373,9 +416,8 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(clients);
   for (size_t c = 0; c < clients; ++c) {
-    workers.push_back(std::make_unique<Worker>(plan, options, service,
-                                               server.get(), tenants, totals,
-                                               latency));
+    workers.push_back(
+        std::make_unique<Worker>(plan, options, rt, totals, latency));
   }
 
   std::vector<Status> worker_status(clients);
@@ -396,7 +438,7 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
 
   WorkloadReport report;
   report.workload = gen::WorkloadKindName(plan.options.kind);
-  report.path = options.over_tcp ? "tcp" : "inproc";
+  report.path = RunnerPathName(options.path);
   report.seed = plan.options.seed;
   report.stream_fingerprint = gen::FingerprintScripts(plan);
   report.requests = totals.requests.load();
@@ -406,6 +448,7 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
   report.churn_ops = totals.churn_ops.load();
   report.reopens = totals.reopens.load();
   report.restored_lines = totals.restored.load();
+  report.cover_fingerprint = totals.cover_fp.load();
   report.elapsed_s = elapsed;
   report.covers_per_sec =
       elapsed > 0 ? static_cast<double>(report.covers_served) / elapsed : 0;
@@ -415,13 +458,13 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
   report.p99_us = snap.Quantile(0.99);
   for (const auto& w : workers) report.admit_pattern += w->pattern();
 
-  // Admission totals and hit rate through the path under test: the
-  // stats *frame* on tcp (so the determinism suite compares what a real
-  // remote client would see), Stats() in process.
-  uint64_t hits = 0, misses = 0;
-  if (options.over_tcp) {
+  // Admission totals through the path under test: the stats wire frame
+  // on tcp, the router's cross-shard aggregate on routed, Stats() in
+  // process — so the determinism suite compares what a real remote
+  // client would see.
+  if (options.path == RunnerPath::kTcp) {
     net::CoverClientOptions copts;
-    copts.port = server->port();
+    copts.port = rt.servers[0]->port();
     copts.connect_timeout = std::chrono::milliseconds(10000);
     net::CoverClient stats_client(copts);
     CFDPROP_RETURN_NOT_OK(stats_client.Connect());
@@ -431,28 +474,75 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
       report.admitted += t.admitted;
       report.rejected += t.admission_rejected;
     }
+  } else if (options.path == RunnerPath::kRouted) {
+    CFDPROP_ASSIGN_OR_RETURN(net::WireServiceStats wire, rt.router->Stats());
+    for (const net::WireTenantStats& t : wire.tenants) {
+      report.admitted += t.admitted;
+      report.rejected += t.admission_rejected;
+    }
   } else {
-    const ServiceStatsSnapshot stats = service.Stats();
+    const ServiceStatsSnapshot stats = rt.services[0]->Stats();
     for (const TenantStatsSnapshot& t : stats.tenants) {
       report.admitted += t.admitted;
       report.rejected += t.admission_rejected;
     }
   }
   {
-    // Hit rate always from the in-process snapshot (the wire stats ship
-    // the engine line as rendered text, not numbers).
-    const ServiceStatsSnapshot stats = service.Stats();
-    for (const TenantStatsSnapshot& t : stats.tenants) {
-      hits += t.engine.cache.hits;
-      misses += t.engine.cache.misses;
+    // Hit rate always from the in-process snapshots (the wire stats
+    // ship the engine line as rendered text, not numbers).
+    uint64_t hits = 0, misses = 0;
+    for (auto& service : rt.services) {
+      const ServiceStatsSnapshot stats = service->Stats();
+      for (const TenantStatsSnapshot& t : stats.tenants) {
+        hits += t.engine.cache.hits;
+        misses += t.engine.cache.misses;
+      }
     }
+    report.hit_rate_pct =
+        hits + misses > 0 ? 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(hits + misses)
+                          : 0;
   }
-  report.hit_rate_pct =
-      hits + misses > 0
-          ? 100.0 * static_cast<double>(hits) / static_cast<double>(hits + misses)
-          : 0;
 
-  if (server) server->Stop();
+  // Routed epilogue, after every counter above is read (a migration
+  // drops the source copy, which would erase its admission history):
+  // live-migrate every tenant one shard clockwise through the router's
+  // machinery — drain + snapshot fetch over the wire, in-process
+  // warm-start on the target (generated specs have no text), route
+  // flip, source drop — and report the throughput.
+  if (options.path == RunnerPath::kRouted) {
+    const auto m0 = std::chrono::steady_clock::now();
+    for (size_t t = 0; t < plan.options.tenants; ++t) {
+      const std::string name = plan.TenantName(t);
+      const size_t src = rt.router->ShardFor(name);
+      const size_t dst = (src + 1) % shards;
+      if (!rt.router->BeginMigration(name).ok()) continue;
+      auto snapshot = rt.router->FetchSnapshotFrom(src, name);
+      if (!snapshot.ok()) {
+        rt.router->AbortMigration(name);
+        continue;
+      }
+      Spec spec = gen::BuildTenantSpec(plan, t);
+      auto opened = rt.servers[dst]->OpenParsedSpecFromSnapshot(
+          name, std::move(spec), *snapshot);
+      if (!opened.ok()) {
+        rt.router->AbortMigration(name);
+        continue;
+      }
+      CFDPROP_RETURN_NOT_OK(rt.router->CompleteMigration(name, dst));
+      (void)rt.router->DropCatalogOn(src, name);  // route is flipped
+      report.migrations++;
+      report.migrated_lines += opened->restored;
+    }
+    const double m_elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - m0)
+                                 .count();
+    report.migrations_per_sec =
+        m_elapsed > 0 ? static_cast<double>(report.migrations) / m_elapsed
+                      : 0;
+  }
+
+  for (auto& server : rt.servers) server->Stop();
   return report;
 }
 

@@ -1,18 +1,34 @@
-// Executes a gen::WorkloadPlan over either serving path and measures
-// it: `inproc` drives CatalogService::SubmitBatch(es) directly, `tcp`
-// stands up a loopback CoverServer and gives every client thread its
-// own CoverClient — the full wire round trip (encode, checksum, socket,
-// decode, re-intern) on exactly the same request stream. One worker
-// thread per client script; per-op latency lands in an obs::Histogram
-// (log buckets, linear interpolation within a bucket) from which the
-// report's p50/p95/p99 are read.
+// Executes a gen::WorkloadPlan over any serving path and measures it.
+// Workers program against the CoverBackend interface (src/net) — the
+// path choice is an injection, not a branch:
+//
+//   * inproc — one shared InProcBackend over a CatalogService: name
+//     resolution + future folding in process, no sockets;
+//   * tcp    — a loopback CoverServer; every client thread gets its own
+//     RemoteBackend (the full wire round trip: encode, checksum,
+//     socket, decode, re-intern — with reconnect-and-reopen on drops);
+//   * routed — `router_shards` loopback CoverServers behind one shared
+//     CoverRouter: consistent-hash placement, per-shard services with
+//     their own snapshot subdirectories. After the serving phase (and
+//     after its counters are read) the runner live-migrates every
+//     tenant one shard clockwise and reports the migration rate.
+//
+// One worker thread per client script; per-op latency lands in an
+// obs::Histogram (log buckets, linear interpolation within a bucket)
+// from which the report's p50/p95/p99 are read.
 //
 // Admission bookkeeping: burst ops append one letter per batch to the
 // report's admit pattern — 'A' admitted, 'R' rejected
 // (ResourceExhausted), 'E' any other error — and the admitted/rejected
 // totals are read back from the service stats *through the path under
-// test* (the stats wire frame on tcp), so the determinism suite can
-// assert the two paths agree about every decision.
+// test* (the stats wire frame on tcp, the router's cross-shard
+// aggregate on routed), so the determinism suite can assert every path
+// agrees about every decision. The report's cover_fingerprint is the
+// wrapping sum of a pool-independent content hash of every served
+// cover's CFDs (FingerprintSigmaSet) — order-independent, so two paths
+// serving the same cover *bytes* report the same value no matter how
+// their threads interleaved, and a path serving a wrong-but-cached
+// cover cannot hide behind its request key.
 
 #ifndef CFDPROP_WORKLOAD_RUNNER_H_
 #define CFDPROP_WORKLOAD_RUNNER_H_
@@ -27,23 +43,36 @@
 namespace cfdprop {
 namespace workload {
 
+/// Which CoverBackend the workers are handed.
+enum class RunnerPath {
+  kInproc,  // InProcBackend over one CatalogService
+  kTcp,     // RemoteBackend over one loopback CoverServer
+  kRouted,  // CoverRouter over router_shards loopback CoverServers
+};
+
+/// "inproc" | "tcp" | "routed" — the --path spellings.
+const char* RunnerPathName(RunnerPath path);
+Result<RunnerPath> ParseRunnerPath(const std::string& name);
+
 struct RunnerOptions {
-  /// false = in-process CatalogService; true = loopback TCP.
-  bool over_tcp = false;
+  RunnerPath path = RunnerPath::kInproc;
   /// Engine worker threads per tenant (1 on the pinned-CPU CI).
   size_t engine_threads = 1;
   /// 0 = one dispatcher per tenant (min 2).
   size_t dispatcher_threads = 0;
   /// Directory for snapshot spills; required when the plan spills
-  /// (snapshot-restart, tenant-churn). Must exist.
+  /// (snapshot-restart, tenant-churn). Must exist. The routed path
+  /// creates one subdirectory per shard under it.
   std::string snapshot_dir;
-  /// Socket deadline armed on both ends of the tcp path (0 = blocking).
+  /// Socket deadline armed on both ends of the wire paths (0 = blocking).
   std::chrono::milliseconds io_timeout{0};
+  /// Shards behind the router (routed path only; min 2).
+  size_t router_shards = 3;
 };
 
 struct WorkloadReport {
   std::string workload;
-  std::string path;  // "inproc" | "tcp"
+  std::string path;  // RunnerPathName of the path run
   uint64_t seed = 0;
   /// The plan's request-stream fingerprint (gen::FingerprintScripts).
   uint64_t stream_fingerprint = 0;
@@ -56,12 +85,25 @@ struct WorkloadReport {
   uint64_t reopens = 0;
   uint64_t restored_lines = 0;  // warm-start restores across reopens
 
+  /// Wrapping sum of the pool-independent content hash
+  /// (FingerprintSigmaSet) of every OK cover served. Scenario + seed
+  /// determine it for churn-free plans, so equal values across paths
+  /// mean the paths served byte-identical covers.
+  uint64_t cover_fingerprint = 0;
+
   /// Admission totals as reported by the path under test (stats frame
-  /// on tcp, Stats() in process).
+  /// on tcp, router aggregate on routed, Stats() in process).
   uint64_t admitted = 0;
   uint64_t rejected = 0;
   /// Concatenated per-burst patterns in client order ('A'/'R'/'E').
   std::string admit_pattern;
+
+  /// Routed path only: live migrations performed after the serving
+  /// phase (every tenant, one shard clockwise) and their rate.
+  uint64_t migrations = 0;
+  double migrations_per_sec = 0;
+  /// Snapshot lines the migrations restored on their target shards.
+  uint64_t migrated_lines = 0;
 
   double elapsed_s = 0;
   double covers_per_sec = 0;

@@ -341,13 +341,16 @@ TEST(CoverServerTest, TypedErrorsAndShutdownHandshake) {
   CoverClient client(options);
   ASSERT_TRUE(client.Connect().ok());
 
-  // Unparsable spec text → InvalidArgument; duplicate tenant → the
-  // registry's InvalidArgument; unknown tenant → NotFound; unknown view
-  // → per-batch NotFound. All typed, all through the wire.
+  // Unparsable spec text → InvalidArgument; re-open with identical text
+  // → idempotent success (the reconnect contract); re-open with
+  // *different* text → InvalidArgument; unknown tenant → NotFound;
+  // unknown view → per-batch NotFound. All typed, all through the wire.
   auto bad_spec = client.OpenCatalog("xx", "relation ???");
   ASSERT_FALSE(bad_spec.ok());
   EXPECT_EQ(bad_spec.status().code(), StatusCode::kInvalidArgument);
-  auto dup = client.OpenCatalog("eu", kSpecText);
+  auto reopen = client.OpenCatalog("eu", kSpecText);
+  EXPECT_TRUE(reopen.ok()) << reopen.status().ToString();
+  auto dup = client.OpenCatalog("eu", std::string(kSpecText) + "\n# changed");
   ASSERT_FALSE(dup.ok());
   EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
 

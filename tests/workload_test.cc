@@ -6,8 +6,11 @@
 //     reopened tenant's warm start line up with its spilled snapshot.
 //  2. Path equivalence — burst-reject produces the *same* admit/reject
 //     pattern and admission totals whether the stream is served through
-//     the in-process CatalogService or the TCP wire (the tcp totals are
-//     read back through the stats frame, as a remote client would).
+//     the in-process CatalogService, the TCP wire, or the 3-shard
+//     routed tier (the wire paths' totals are read back through the
+//     stats frame / router aggregate, as a remote client would), and
+//     churn-free scenarios serve byte-identical covers on every path
+//     (the order-independent cover_fingerprint compares equal).
 
 #include "src/gen/workload.h"
 
@@ -34,7 +37,10 @@ using gen::WorkloadKindName;
 using gen::WorkloadOp;
 using gen::WorkloadOptions;
 using gen::WorkloadPlan;
+using workload::ParseRunnerPath;
 using workload::RunnerOptions;
+using workload::RunnerPath;
+using workload::RunnerPathName;
 using workload::RunWorkload;
 using workload::WorkloadReport;
 
@@ -109,7 +115,17 @@ TEST(WorkloadPlanTest, PinnedScenariosClampClientsAndSetCaps) {
   EXPECT_EQ(uncapped.max_queue, 0u);
 }
 
-TEST(WorkloadRunnerTest, BurstRejectPatternIsIdenticalOnBothPaths) {
+TEST(WorkloadRunnerTest, PathNamesRoundTrip) {
+  for (RunnerPath path : {RunnerPath::kInproc, RunnerPath::kTcp,
+                          RunnerPath::kRouted}) {
+    auto parsed = ParseRunnerPath(RunnerPathName(path));
+    ASSERT_TRUE(parsed.ok()) << RunnerPathName(path);
+    EXPECT_EQ(*parsed, path);
+  }
+  EXPECT_FALSE(ParseRunnerPath("udp").ok());
+}
+
+TEST(WorkloadRunnerTest, BurstRejectPatternIsIdenticalOnEveryPath) {
   WorkloadOptions options;
   options.kind = WorkloadKind::kBurstReject;
   options.rounds = 3;
@@ -118,32 +134,83 @@ TEST(WorkloadRunnerTest, BurstRejectPatternIsIdenticalOnBothPaths) {
   RunnerOptions inproc;
   auto a = RunWorkload(plan, inproc);
   ASSERT_TRUE(a.ok()) << a.status();
-
-  RunnerOptions tcp;
-  tcp.over_tcp = true;
-  auto b = RunWorkload(plan, tcp);
-  ASSERT_TRUE(b.ok()) << b.status();
-
-  // Same stream (by construction), same decisions (the promise).
-  EXPECT_EQ(a->stream_fingerprint, b->stream_fingerprint);
-  EXPECT_EQ(a->admit_pattern, b->admit_pattern);
-  EXPECT_EQ(a->admitted, b->admitted);
-  EXPECT_EQ(a->rejected, b->rejected);
   EXPECT_GT(a->rejected, 0u) << "caps tight enough to actually reject";
   EXPECT_GT(a->admitted, 0u);
   EXPECT_EQ(a->errors, 0u);
-  EXPECT_EQ(b->errors, 0u);
   EXPECT_EQ(a->admit_pattern.find('E'), std::string::npos)
       << a->admit_pattern;
-  // The pattern accounts for every burst slot, and the wire-reported
-  // totals agree with the letters.
-  size_t admits = 0, rejects = 0;
-  for (char ch : b->admit_pattern) (ch == 'A' ? admits : rejects)++;
-  EXPECT_EQ(admits, b->admitted);
-  EXPECT_EQ(rejects, b->rejected);
+
+  for (RunnerPath path : {RunnerPath::kTcp, RunnerPath::kRouted}) {
+    RunnerOptions run;
+    run.path = path;
+    auto b = RunWorkload(plan, run);
+    ASSERT_TRUE(b.ok()) << RunnerPathName(path) << ": " << b.status();
+    // Same stream (by construction), same decisions, same covers (the
+    // promise) — whether the batches cross one socket or a router.
+    EXPECT_EQ(a->stream_fingerprint, b->stream_fingerprint);
+    EXPECT_EQ(a->admit_pattern, b->admit_pattern) << RunnerPathName(path);
+    EXPECT_EQ(a->admitted, b->admitted) << RunnerPathName(path);
+    EXPECT_EQ(a->rejected, b->rejected) << RunnerPathName(path);
+    EXPECT_EQ(a->cover_fingerprint, b->cover_fingerprint)
+        << RunnerPathName(path) << ": served covers must be identical";
+    EXPECT_EQ(b->errors, 0u) << RunnerPathName(path);
+    // The pattern accounts for every burst slot, and the path-reported
+    // totals agree with the letters.
+    size_t admits = 0, rejects = 0;
+    for (char ch : b->admit_pattern) (ch == 'A' ? admits : rejects)++;
+    EXPECT_EQ(admits, b->admitted);
+    EXPECT_EQ(rejects, b->rejected);
+  }
 }
 
-TEST(WorkloadRunnerTest, SnapshotRestartWarmStartsOnBothPaths) {
+TEST(WorkloadRunnerTest, EveryScenarioServesIdenticalCoversRouted) {
+  // Churn-free scenarios are cover-deterministic: the same request
+  // stream must produce the same cover bytes whether it is served in
+  // process or sharded across the routed tier. (Churn scenarios race
+  // Σ generations with serving by design, so their cover sets are
+  // legitimately timing-dependent — the migration tests pin those down
+  // with the two-legal-generations check instead.)
+  const std::string dir = ::testing::TempDir() + "cfdprop_workload_routed";
+  ASSERT_TRUE(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
+  for (WorkloadKind kind :
+       {WorkloadKind::kHitHeavy, WorkloadKind::kUnionHeavy,
+        WorkloadKind::kSnapshotRestart}) {
+    WorkloadOptions options;
+    options.kind = kind;
+    options.rounds = 2;
+    const WorkloadPlan plan = BuildWorkloadPlan(options);
+
+    WorkloadReport reference;
+    for (RunnerPath path : {RunnerPath::kInproc, RunnerPath::kRouted}) {
+      RunnerOptions run;
+      run.path = path;
+      if (plan.needs_snapshots) {
+        run.snapshot_dir = dir + "/" + WorkloadKindName(kind) + "-" +
+                           RunnerPathName(path);
+        ASSERT_TRUE(::mkdir(run.snapshot_dir.c_str(), 0755) == 0 ||
+                    errno == EEXIST);
+      }
+      auto report = RunWorkload(plan, run);
+      ASSERT_TRUE(report.ok())
+          << WorkloadKindName(kind) << " [" << RunnerPathName(path)
+          << "]: " << report.status();
+      EXPECT_EQ(report->errors, 0u) << report->ToString();
+      EXPECT_GT(report->covers_served, 0u);
+      if (path == RunnerPath::kInproc) {
+        reference = std::move(report).value();
+        continue;
+      }
+      EXPECT_EQ(reference.covers_served, report->covers_served)
+          << WorkloadKindName(kind);
+      EXPECT_EQ(reference.cover_fingerprint, report->cover_fingerprint)
+          << WorkloadKindName(kind) << ": routed covers must be identical";
+      // The routed epilogue live-migrated every tenant once.
+      EXPECT_EQ(report->migrations, plan.options.tenants);
+    }
+  }
+}
+
+TEST(WorkloadRunnerTest, SnapshotRestartWarmStartsOnEveryPath) {
   const std::string dir = ::testing::TempDir() + "cfdprop_workload_snap";
   ASSERT_TRUE(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
 
@@ -159,18 +226,19 @@ TEST(WorkloadRunnerTest, SnapshotRestartWarmStartsOnBothPaths) {
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
 
-  for (bool over_tcp : {false, true}) {
+  for (RunnerPath path : {RunnerPath::kInproc, RunnerPath::kTcp,
+                          RunnerPath::kRouted}) {
     RunnerOptions run;
-    run.over_tcp = over_tcp;
-    run.snapshot_dir = dir + (over_tcp ? "/tcp" : "/inproc");
+    run.path = path;
+    run.snapshot_dir = dir + "/" + RunnerPathName(path);
     ASSERT_TRUE(::mkdir(run.snapshot_dir.c_str(), 0755) == 0 ||
                 errno == EEXIST);
     auto report = RunWorkload(plan, run);
-    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_TRUE(report.ok()) << RunnerPathName(path) << ": "
+                             << report.status();
     EXPECT_EQ(report->reopens, plan.options.tenants);
     EXPECT_GT(report->restored_lines, 0u)
-        << (over_tcp ? "tcp" : "inproc")
-        << ": reopen should restore from the spill";
+        << RunnerPathName(path) << ": reopen should restore from the spill";
     EXPECT_EQ(report->errors, 0u);
     EXPECT_GT(report->covers_served, 0u);
   }

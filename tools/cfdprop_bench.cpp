@@ -1,29 +1,34 @@
 // cfdprop_bench: the scenario workload harness (a cbench for cover
-// serving). One driver binary, seven seeded workloads, two serving
+// serving). One driver binary, seven seeded workloads, three serving
 // paths:
 //
-//   cfdprop_bench [--workload NAME|all] [--path inproc|tcp|both]
+//   cfdprop_bench [--workload NAME|all]
+//                 [--path inproc|tcp|routed|both|all]
 //                 [--tenants N] [--clients N] [--rounds N] [--seed N]
 //                 [--batch N] [--burst N] [--max-inflight N]
 //                 [--max-queue N] [--cfds N] [--views N] [--threads N]
-//                 [--dispatchers N] [--io-timeout MS]
+//                 [--dispatchers N] [--shards N] [--io-timeout MS]
 //                 [--snapshot-dir DIR] [--json PATH] [--quiet]
 //
 // Workloads: hit-heavy, churn-heavy, union-heavy, tenant-churn,
-// burst-reject, snapshot-restart, mixed (src/gen/workload.h). Each run
-// prints one summary line — covers/s plus p50/p95/p99 batch latency
-// (obs::Histogram percentiles) — and, with --json, every report lands
-// in a machine-readable file the CI diffs against BENCH_workloads.json.
+// burst-reject, snapshot-restart, mixed (src/gen/workload.h). Paths:
+// inproc (CatalogService direct), tcp (one loopback CoverServer),
+// routed (--shards loopback CoverServers behind a CoverRouter — the
+// routed runs additionally live-migrate every tenant once and report
+// the migration rate). `both` = inproc + tcp (the historical pair),
+// `all` adds routed. Each run prints one summary line — covers/s plus
+// p50/p95/p99 batch latency (obs::Histogram percentiles) — and, with
+// --json, every report lands in a machine-readable file the CI diffs
+// against BENCH_workloads.json.
 //
 // Determinism: the same --seed produces byte-identical request streams
 // (the JSON carries the stream fingerprint), and burst-reject's
-// admit/reject pattern is identical on both paths — asserted by
+// admit/reject pattern is identical on every path — asserted by
 // tests/workload_test.cc and re-checked by the CI cbench job.
 //
 // Spilling workloads (snapshot-restart, tenant-churn) write snapshots
 // under --snapshot-dir (default ./cbench_snapshots), in a per-run
-// subdirectory so the inproc and tcp runs never warm-start from each
-// other's files.
+// subdirectory so no path warm-starts from another's files.
 //
 // Exit status: 0 when every selected run completed, 1 on usage or
 // setup errors.
@@ -50,19 +55,22 @@ using cfdprop::gen::WorkloadKind;
 using cfdprop::gen::WorkloadKindName;
 using cfdprop::gen::WorkloadOptions;
 using cfdprop::gen::WorkloadPlan;
+using cfdprop::workload::ParseRunnerPath;
 using cfdprop::workload::RunnerOptions;
+using cfdprop::workload::RunnerPath;
+using cfdprop::workload::RunnerPathName;
 using cfdprop::workload::RunWorkload;
 using cfdprop::workload::WorkloadReport;
 
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--workload NAME|all] [--path inproc|tcp|both]\n"
+      "usage: %s [--workload NAME|all] [--path inproc|tcp|routed|both|all]\n"
       "          [--tenants N] [--clients N] [--rounds N] [--seed N]\n"
       "          [--batch N] [--burst N] [--max-inflight N] [--max-queue N]\n"
       "          [--cfds N] [--views N] [--threads N] [--dispatchers N]\n"
-      "          [--io-timeout MS] [--snapshot-dir DIR] [--json PATH]\n"
-      "          [--quiet]\n"
+      "          [--shards N] [--io-timeout MS] [--snapshot-dir DIR]\n"
+      "          [--json PATH] [--quiet]\n"
       "workloads: hit-heavy churn-heavy union-heavy tenant-churn\n"
       "           burst-reject snapshot-restart mixed\n",
       argv0);
@@ -111,6 +119,9 @@ void AppendJsonReport(std::string& out, const WorkloadReport& r) {
       "     \"admitted\": %llu, \"rejected\": %llu, \"churn_ops\": %llu,"
       " \"reopens\": %llu, \"restored_lines\": %llu,\n"
       "     \"hit_rate_pct\": %.2f, \"elapsed_s\": %.4f,\n"
+      "     \"migrations\": %llu, \"migrations_per_sec\": %.1f,"
+      " \"migrated_lines\": %llu,\n"
+      "     \"cover_fingerprint\": \"%llu\",\n"
       "     \"stream_fingerprint\": \"%llu\", \"admit_pattern\": \"%s\"}",
       r.workload.c_str(), r.path.c_str(),
       static_cast<unsigned long long>(r.seed), r.covers_per_sec, r.p50_us,
@@ -123,7 +134,11 @@ void AppendJsonReport(std::string& out, const WorkloadReport& r) {
       static_cast<unsigned long long>(r.churn_ops),
       static_cast<unsigned long long>(r.reopens),
       static_cast<unsigned long long>(r.restored_lines), r.hit_rate_pct,
-      r.elapsed_s, static_cast<unsigned long long>(r.stream_fingerprint),
+      r.elapsed_s, static_cast<unsigned long long>(r.migrations),
+      r.migrations_per_sec,
+      static_cast<unsigned long long>(r.migrated_lines),
+      static_cast<unsigned long long>(r.cover_fingerprint),
+      static_cast<unsigned long long>(r.stream_fingerprint),
       r.admit_pattern.c_str());
   out += buf;
 }
@@ -169,6 +184,7 @@ int main(int argc, char** argv) {
                int_arg("--views", &base.num_views) ||
                int_arg("--threads", &runner.engine_threads) ||
                int_arg("--dispatchers", &runner.dispatcher_threads) ||
+               int_arg("--shards", &runner.router_shards) ||
                int_arg("--io-timeout", &io_timeout_ms)) {
       continue;
     } else if (int_arg("--max-inflight", &max_inflight)) {
@@ -194,16 +210,20 @@ int main(int argc, char** argv) {
     }
     kinds.push_back(*kind);
   }
-  std::vector<bool> tcp_modes;
-  if (path_arg == "inproc") {
-    tcp_modes = {false};
-  } else if (path_arg == "tcp") {
-    tcp_modes = {true};
-  } else if (path_arg == "both") {
-    tcp_modes = {false, true};
+  std::vector<RunnerPath> paths;
+  if (path_arg == "both") {
+    // The historical inproc+tcp pair; `all` adds the routed tier.
+    paths = {RunnerPath::kInproc, RunnerPath::kTcp};
+  } else if (path_arg == "all") {
+    paths = {RunnerPath::kInproc, RunnerPath::kTcp, RunnerPath::kRouted};
   } else {
-    std::fprintf(stderr, "error: --path wants inproc, tcp or both\n");
-    return 1;
+    auto parsed = ParseRunnerPath(path_arg);
+    if (!parsed.ok()) {
+      std::fprintf(stderr,
+                   "error: --path wants inproc, tcp, routed, both or all\n");
+      return 1;
+    }
+    paths = {*parsed};
   }
 
   std::vector<WorkloadReport> reports;
@@ -211,22 +231,23 @@ int main(int argc, char** argv) {
     WorkloadOptions options = base;
     options.kind = kind;
     const WorkloadPlan plan = BuildWorkloadPlan(options);
-    for (bool over_tcp : tcp_modes) {
+    for (RunnerPath path : paths) {
       RunnerOptions run = runner;
-      run.over_tcp = over_tcp;
-      if (plan.needs_snapshots) {
-        // Per-(workload, path) subdirectory: the tcp run must not
-        // warm-start from the inproc run's snapshot files.
+      run.path = path;
+      if (plan.needs_snapshots || path == RunnerPath::kRouted) {
+        // Per-(workload, path) subdirectory: one path must not
+        // warm-start from another's snapshot files. Routed runs always
+        // get one — their migration epilogue spills on the source drop.
         if (!EnsureDir(snapshot_dir)) return 1;
         run.snapshot_dir = snapshot_dir + "/" +
-                           std::string(WorkloadKindName(kind)) +
-                           (over_tcp ? "-tcp" : "-inproc");
+                           std::string(WorkloadKindName(kind)) + "-" +
+                           RunnerPathName(path);
         if (!EnsureDir(run.snapshot_dir)) return 1;
       }
       auto report = RunWorkload(plan, run);
       if (!report.ok()) {
         std::fprintf(stderr, "error: %s [%s]: %s\n", WorkloadKindName(kind),
-                     over_tcp ? "tcp" : "inproc",
+                     RunnerPathName(path),
                      report.status().ToString().c_str());
         return 1;
       }

@@ -85,6 +85,30 @@
 //                                    DeadlineExceeded (0 = no deadline);
 //                                    --shutdown stops the server.
 //
+//   cfdprop_cli route --backend HOST:PORT [--backend HOST:PORT ...]
+//               [--tenant NAME=SPEC ...] [--rounds K] [--vnodes N]
+//               [--connect-timeout MS] [--io-timeout MS]
+//               [--migrate TENANT[=SHARD] ...] [--quiet]
+//               [--stats] [--metrics] [--shutdown]
+//                                    routing-tier mode: a CoverRouter
+//                                    (src/net/cover_router.h) consistent-
+//                                    hashes tenants across the given
+//                                    backends (each a `listen` server)
+//                                    and serves exactly like client mode
+//                                    — covers print byte-identically, so
+//                                    scripts can diff a routed cluster
+//                                    against one fat server. --migrate
+//                                    drains, snapshots and moves a
+//                                    tenant to SHARD (default: the next
+//                                    shard clockwise), printing the warm
+//                                    start's restored=/rejected= line,
+//                                    then re-serves and re-prints that
+//                                    tenant's covers; --stats prints the
+//                                    cross-shard aggregate; --metrics
+//                                    concatenates every shard's
+//                                    exposition; --shutdown stops every
+//                                    backend.
+//
 //   cfdprop_cli serve --tenant NAME=SPEC [--tenant NAME=SPEC ...]
 //               [--rounds K] [--threads N] [--dispatchers N]
 //               [--budget N] [--snapshot-dir DIR] [--interval-ms N]
@@ -129,6 +153,7 @@
 #include "src/data/validate.h"
 #include "src/engine/engine.h"
 #include "src/net/cover_client.h"
+#include "src/net/cover_router.h"
 #include "src/net/cover_server.h"
 #include "src/parser/parser.h"
 #include "src/propagation/emptiness.h"
@@ -1199,6 +1224,291 @@ int RunClient(int argc, char** argv) {
   return rc;
 }
 
+// ---------------------------------------------------------------------
+// route mode: a CoverRouter over several listen servers
+// ---------------------------------------------------------------------
+
+int RunRoute(int argc, char** argv) {
+  auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s route --backend HOST:PORT [--backend ...]"
+                 " [--tenant NAME=SPEC ...] [--rounds K] [--vnodes N]"
+                 " [--connect-timeout MS] [--io-timeout MS]"
+                 " [--migrate TENANT[=SHARD] ...] [--quiet]"
+                 " [--stats] [--metrics] [--shutdown]\n",
+                 argv[0]);
+    return 1;
+  };
+
+  std::vector<std::pair<std::string, std::string>> tenant_args;
+  std::vector<std::pair<std::string, uint16_t>> backends;
+  // tenant -> explicit target shard; SIZE_MAX = next shard clockwise.
+  std::vector<std::pair<std::string, size_t>> migrations;
+  size_t rounds = 2, vnodes = 0;
+  size_t connect_timeout_ms = 0, io_timeout_ms = 0;
+  bool quiet = false, want_stats = false, want_metrics = false;
+  bool want_shutdown = false;
+  for (int i = 2; i < argc; ++i) {
+    auto int_arg = [&](const char* flag, size_t* out) {
+      return ParseSizeFlag(argc, argv, &i, flag, out);
+    };
+    if (!std::strcmp(argv[i], "--backend")) {
+      if (i + 1 >= argc) return usage();
+      std::string arg = argv[++i];
+      size_t colon = arg.rfind(':');
+      unsigned long port_value = 0;
+      if (colon != std::string::npos && colon != 0) {
+        char* end = nullptr;
+        const char* text = arg.c_str() + colon + 1;
+        port_value = std::strtoul(text, &end, 10);
+        if (*text == '\0' || end == text || *end != '\0') port_value = 0;
+      }
+      if (port_value == 0 || port_value > 65535) {
+        std::fprintf(stderr,
+                     "error: --backend needs HOST:PORT, got '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+      backends.emplace_back(arg.substr(0, colon),
+                            static_cast<uint16_t>(port_value));
+    } else if (!std::strcmp(argv[i], "--tenant")) {
+      if (i + 1 >= argc) return usage();
+      std::string arg = argv[++i];
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+        std::fprintf(stderr, "error: --tenant needs NAME=SPEC, got '%s'\n",
+                     arg.c_str());
+        return 1;
+      }
+      tenant_args.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (!std::strcmp(argv[i], "--migrate")) {
+      if (i + 1 >= argc) return usage();
+      std::string arg = argv[++i];
+      size_t target = SIZE_MAX;
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        if (eq == 0 || eq + 1 >= arg.size()) {
+          std::fprintf(stderr,
+                       "error: --migrate needs TENANT[=SHARD], got '%s'\n",
+                       arg.c_str());
+          return 1;
+        }
+        char* end = nullptr;
+        const char* text = arg.c_str() + eq + 1;
+        unsigned long value = std::strtoul(text, &end, 10);
+        if (end == text || *end != '\0') {
+          std::fprintf(stderr,
+                       "error: --migrate shard must be a number, got '%s'\n",
+                       text);
+          return 1;
+        }
+        target = static_cast<size_t>(value);
+        arg = arg.substr(0, eq);
+      }
+      migrations.emplace_back(std::move(arg), target);
+    } else if (int_arg("--rounds", &rounds) || int_arg("--vnodes", &vnodes) ||
+               int_arg("--connect-timeout", &connect_timeout_ms) ||
+               int_arg("--io-timeout", &io_timeout_ms)) {
+      continue;
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else if (!std::strcmp(argv[i], "--stats")) {
+      want_stats = true;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      want_metrics = true;
+    } else if (!std::strcmp(argv[i], "--shutdown")) {
+      want_shutdown = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (backends.empty()) return usage();
+  if (tenant_args.empty() && migrations.empty() && !want_stats &&
+      !want_metrics && !want_shutdown) {
+    return usage();
+  }
+
+  net::CoverRouterOptions router_options;
+  for (auto& [host, port] : backends) {
+    net::CoverClientOptions copts;
+    copts.host = host;
+    copts.port = port;
+    copts.connect_timeout = std::chrono::milliseconds(connect_timeout_ms);
+    copts.io_timeout = std::chrono::milliseconds(io_timeout_ms);
+    router_options.shards.push_back(std::move(copts));
+  }
+  if (vnodes > 0) router_options.virtual_nodes = vnodes;
+  net::CoverRouter router(std::move(router_options));
+
+  // Each tenant's spec is also parsed locally, exactly as in client
+  // mode: the serving round, view shapes for names, and a decode pool.
+  struct RoutedTenant {
+    std::string name;
+    std::string path;
+    Spec spec;
+    std::vector<std::string> round;
+  };
+  std::vector<RoutedTenant> tenants;
+  tenants.reserve(tenant_args.size());
+  int rc = 0;
+  if (!tenant_args.empty()) std::printf("== tenants ==\n");
+  for (auto& [name, path] : tenant_args) {
+    auto text = ReadFileText(path);
+    if (!text.ok()) return Fail(text.status());
+    auto spec = ParseSpec(*text);
+    if (!spec.ok()) return Fail(spec.status());
+    RoutedTenant t;
+    t.name = name;
+    t.path = path;
+    t.spec = std::move(spec).value();
+    t.round = t.spec.ServingRound();
+    auto opened = router.OpenCatalog(name, *text);
+    if (!opened.ok()) return Fail(opened.status());
+    std::printf("tenant %s: opened %s via shard %zu budget=%llu "
+                "restored=%llu rejected=%llu\n",
+                name.c_str(), path.c_str(), router.ShardFor(name),
+                static_cast<unsigned long long>(opened->cache_budget),
+                static_cast<unsigned long long>(opened->restored),
+                static_cast<unsigned long long>(opened->rejected));
+    tenants.push_back(std::move(t));
+  }
+
+  // Identical to client mode's cover printing, so `route` output diffs
+  // byte-for-byte against `client` talking to one fat server.
+  auto print_covers = [&](RoutedTenant& t,
+                          const std::vector<Result<EngineResult>>& results) {
+    for (size_t i = 0; i < t.round.size() && i < results.size(); ++i) {
+      const Result<EngineResult>& r = results[i];
+      if (!r.ok()) continue;
+      const std::string& view_name = t.round[i];
+      std::string union_info;
+      if (r->disjunct_count > 1) {
+        union_info = ", union " + std::to_string(r->disjunct_hits) + "/" +
+                     std::to_string(r->disjunct_count) + " disjunct hits";
+      }
+      std::printf("view %s/%s (%zu CFDs%s%s%s, fp=%016llx):\n",
+                  t.name.c_str(), view_name.c_str(), r->cover->cover.size(),
+                  r->cover->always_empty ? ", ALWAYS EMPTY" : "",
+                  r->cover->truncated ? ", TRUNCATED" : "",
+                  union_info.c_str(),
+                  static_cast<unsigned long long>(r->fingerprint));
+      if (quiet) continue;
+      const SPCUView& view = t.spec.views.at(view_name);
+      for (const CFD& c : r->cover->cover) {
+        std::printf("  %s\n",
+                    FormatCFD(c, t.spec.catalog.pool(), view_name,
+                              ViewAttrNames(view))
+                        .c_str());
+      }
+    }
+  };
+
+  auto serve_tenant = [&](RoutedTenant& t, size_t round_idx,
+                          bool print) {
+    auto reply = router.SubmitBatch(t.name, t.round, t.spec.catalog.pool());
+    if (!reply.ok() || !reply->status.ok()) {
+      const Status& s = reply.ok() ? reply->status : reply.status();
+      std::fprintf(stderr, "error: tenant %s round %zu: %s\n",
+                   t.name.c_str(), round_idx, s.ToString().c_str());
+      rc = 1;
+      return static_cast<size_t>(0);
+    }
+    for (size_t i = 0; i < reply->results.size(); ++i) {
+      if (!reply->results[i].ok()) {
+        std::fprintf(stderr, "error: tenant %s request %zu: %s\n",
+                     t.name.c_str(), i,
+                     reply->results[i].status().ToString().c_str());
+        rc = 1;
+      }
+    }
+    if (print) print_covers(t, reply->results);
+    return reply->results.size();
+  };
+
+  size_t total_requests = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t k = 0; k < rounds; ++k) {
+    for (RoutedTenant& t : tenants) {
+      total_requests += serve_tenant(t, k, k == 0);
+    }
+  }
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  if (!tenants.empty() && rounds > 0) {
+    std::printf("== routed rounds ==\n  %zu requests in %.2f ms (%.0f "
+                "covers/sec, %zu tenants, %zu shards, %zu rounds)\n",
+                total_requests, elapsed_ms,
+                elapsed_ms > 0 ? 1000.0 * total_requests / elapsed_ms : 0.0,
+                tenants.size(), router.num_shards(), rounds);
+  }
+
+  // Live migrations: drain -> snapshot -> warm-start on the target ->
+  // flip the route, then re-serve the tenant so its post-move covers
+  // print (the diff target for byte-identity across the move).
+  for (auto& [name, explicit_target] : migrations) {
+    const size_t from = router.ShardFor(name);
+    const size_t target = explicit_target == SIZE_MAX
+                              ? (from + 1) % router.num_shards()
+                              : explicit_target;
+    auto report = router.MigrateTenant(name, target);
+    if (!report.ok()) {
+      rc = Fail(report.status());
+      continue;
+    }
+    std::printf("migrate tenant %s: shard %zu -> %zu snapshot_bytes=%zu "
+                "restored=%llu rejected=%llu\n",
+                name.c_str(), report->from, report->to,
+                report->snapshot_bytes,
+                static_cast<unsigned long long>(report->restored),
+                static_cast<unsigned long long>(report->rejected));
+    for (RoutedTenant& t : tenants) {
+      if (t.name == name) serve_tenant(t, rounds, /*print=*/true);
+    }
+  }
+
+  if (want_stats) {
+    auto stats = router.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("== service stats (routed, %zu shards) ==\n",
+                router.num_shards());
+    for (const net::WireTenantStats& t : stats->tenants) {
+      std::printf("tenant %s net: %s\n", t.name.c_str(),
+                  t.engine_text.c_str());
+      std::printf("tenant %s admission: admitted=%llu rejected=%llu "
+                  "queued=%llu running=%llu\n",
+                  t.name.c_str(),
+                  static_cast<unsigned long long>(t.admitted),
+                  static_cast<unsigned long long>(t.admission_rejected),
+                  static_cast<unsigned long long>(t.queued),
+                  static_cast<unsigned long long>(t.running));
+    }
+    std::printf("service: tenants=%zu budget=%llu submitted=%llu "
+                "completed=%llu rejected=%llu\n",
+                stats->tenants.size(),
+                static_cast<unsigned long long>(stats->global_cache_budget),
+                static_cast<unsigned long long>(stats->batches_submitted),
+                static_cast<unsigned long long>(stats->batches_completed),
+                static_cast<unsigned long long>(stats->batches_rejected));
+  }
+
+  if (want_metrics) {
+    auto metrics = router.Metrics();
+    if (!metrics.ok()) return Fail(metrics.status());
+    std::printf("== metrics (routed) ==\n");
+    std::fwrite(metrics->data(), 1, metrics->size(), stdout);
+    if (!metrics->empty() && metrics->back() != '\n') std::printf("\n");
+  }
+
+  if (want_shutdown) {
+    Status down = router.ShutdownAll();
+    if (!down.ok()) return Fail(down);
+    std::printf("shutdown sent to %zu shards\n", router.num_shards());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1213,6 +1523,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && !std::strcmp(argv[1], "client")) {
     return RunClient(argc, argv);
+  }
+  if (argc >= 2 && !std::strcmp(argv[1], "route")) {
+    return RunRoute(argc, argv);
   }
   if (argc < 2) {
     std::fprintf(stderr,
