@@ -24,6 +24,7 @@
 #include "src/gen/generators.h"
 #include "src/net/cover_client.h"
 #include "src/net/cover_server.h"
+#include "src/obs/trace.h"
 #include "src/parser/parser.h"
 #include "src/service/catalog_service.h"
 
@@ -202,6 +203,68 @@ BENCHMARK(BM_MetricsOverhead)
     ->ArgNames({"metrics"})
     ->Args({0})
     ->Args({1})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Tracing tax on the same 95%-hit serving path, three arms: no tracer
+/// installed (tracer:0, the baseline), a tracer installed with
+/// sampling off (tracer:1 — the "tracing disabled" arm the ISSUE-10
+/// <2% covers_per_sec budget gates: one StartTrace fetch_add and a
+/// branch per batch, never a clock read), and 1/1 sampling (tracer:2 —
+/// every batch reads the clock twice and records its compute span).
+void BM_TraceOverhead(benchmark::State& state) {
+  EngineWorkload w = MakeEngineWorkload({});
+  std::vector<Engine::Request> stream = MakeStream(w, UniqueForHitPct(95));
+
+  const int arm = static_cast<int>(state.range(0));
+  obs::ObsOptions topts;
+  topts.trace_sample_shift = arm == 2 ? 0 : -1;
+  topts.trace_seed = 42;
+  obs::Tracer tracer(topts);
+  std::unique_ptr<obs::ScopedProcessTracer> scoped;
+  if (arm != 0) scoped = std::make_unique<obs::ScopedProcessTracer>(&tracer);
+
+  EngineOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 4 * kStreamLen;
+  options.cover.rbr.on_budget = RBROptions::OnBudget::kTruncate;
+  Engine engine(std::move(w.catalog), options);
+  auto sigma_id = engine.RegisterSigma(std::move(w.sigma));
+  if (!sigma_id.ok()) {
+    state.SkipWithError(sigma_id.status().ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.ClearCache();
+    state.ResumeTiming();
+    obs::TraceContext ctx;
+    if (arm != 0) ctx = tracer.StartTrace();
+    auto results = engine.PropagateBatch(stream, ctx);
+    for (auto& r : results) {
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kStreamLen));
+  EngineStatsSnapshot stats = engine.Stats();
+  state.counters["hit_rate_pct"] = 100.0 * stats.cache.HitRate();
+  // Audits which arm ran: iterations (sampling on) or zero.
+  state.counters["spans"] = static_cast<double>(tracer.spans_recorded());
+  state.counters["covers_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kStreamLen,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceOverhead)
+    ->ArgNames({"tracer"})
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

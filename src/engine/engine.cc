@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "src/cfd/mincover.h"
@@ -403,6 +404,33 @@ std::vector<Result<EngineResult>> Engine::PropagateBatch(
   std::vector<Result<EngineResult>> results;
   results.reserve(requests.size());
   for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+std::vector<Result<EngineResult>> Engine::PropagateBatch(
+    const std::vector<Request>& requests, const obs::TraceContext& trace) {
+  obs::Tracer* tracer =
+      trace.sampled ? obs::ProcessTracer() : nullptr;
+  if (tracer == nullptr) return PropagateBatch(requests);
+  const uint64_t start_us = tracer->NowUs();
+  std::vector<Result<EngineResult>> results = PropagateBatch(requests);
+  const uint64_t dur_us = tracer->NowUs() - start_us;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (const auto& r : results) {
+    if (!r.ok()) continue;
+    if (r->cache_hit) {
+      ++hits;
+    } else {
+      ++misses;
+    }
+  }
+  char annot[32];
+  std::snprintf(annot, sizeof(annot), "hits=%llu misses=%llu",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+  tracer->Record(trace, tracer->NewSpanId(), trace.parent_span_id, "compute",
+                 start_us, dur_us, /*tenant=*/"", /*shard=*/-1, annot);
   return results;
 }
 

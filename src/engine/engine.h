@@ -55,6 +55,7 @@
 #include "src/engine/cover_cache.h"
 #include "src/engine/fingerprint.h"
 #include "src/engine/stats.h"
+#include "src/obs/trace.h"
 #include "src/schema/schema.h"
 
 namespace cfdprop {
@@ -180,6 +181,14 @@ class Engine {
   /// views.
   std::vector<Result<EngineResult>> PropagateBatch(
       const std::vector<Request>& requests);
+
+  /// Same, recording a "compute" span against `trace` (sampled, with a
+  /// process tracer installed — see src/obs/trace.h) annotated with the
+  /// batch's cache hit/miss split. The untraced overload costs no
+  /// tracing work at all; this one costs one branch when the context is
+  /// unsampled.
+  std::vector<Result<EngineResult>> PropagateBatch(
+      const std::vector<Request>& requests, const obs::TraceContext& trace);
 
   /// Engine + cache counters.
   EngineStatsSnapshot Stats() const;

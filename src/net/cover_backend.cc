@@ -95,9 +95,32 @@ Result<std::vector<BatchResult>> InProcBackend::SubmitBatches(
     to_submit.push_back(std::move(requests));
   }
 
+  // This backend is the trace edge for the in-process path: the
+  // "request" span covers submit through the last future resolution —
+  // the same window the wire path's "rpc" span covers.
+  obs::Tracer* tracer = obs::ProcessTracer();
+  obs::TraceContext trace;
+  obs::TraceContext child;
+  uint64_t span_id = 0;
+  uint64_t start_us = 0;
+  bool timed = false;
+  if (tracer != nullptr) {
+    trace = tracer->StartTrace();
+    timed = trace.sampled || tracer->slow_enabled();
+    if (timed) {
+      span_id = tracer->NewSpanId();
+      start_us = tracer->NowUs();
+    }
+    if (trace.sampled) {
+      child.trace_id = trace.trace_id;
+      child.parent_span_id = span_id;
+      child.sampled = true;
+    }
+  }
+
   // One SubmitBatches call: the burst's admission is decided atomically,
   // so the admit/reject pattern matches the wire path byte for byte.
-  auto submitted = service_.SubmitBatches(tenant, std::move(to_submit));
+  auto submitted = service_.SubmitBatches(tenant, std::move(to_submit), child);
   for (size_t k = 0; k < submitted.size(); ++k) {
     BatchResult& out = outcomes[submit_slot[k]];
     if (!submitted[k].ok()) {
@@ -105,6 +128,10 @@ Result<std::vector<BatchResult>> InProcBackend::SubmitBatches(
       continue;
     }
     out.results = submitted[k].value().get().results;
+  }
+  if (timed) {
+    tracer->RecordEdge(trace, span_id, "request", start_us,
+                       tracer->NowUs() - start_us, tenant);
   }
   return outcomes;
 }
@@ -178,6 +205,19 @@ Result<std::vector<BatchResult>> RemoteBackend::SubmitBatches(
     const std::vector<std::vector<std::string>>& batches, ValuePool& pool) {
   CFDPROP_RETURN_NOT_OK(EnsureConnected());
   return client_.SubmitBatches(tenant, batches, pool);
+}
+
+Result<std::vector<BatchResult>> RemoteBackend::SubmitBatches(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool,
+    const obs::TraceContext& trace) {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.SubmitBatches(tenant, batches, pool, trace);
+}
+
+Result<std::vector<obs::SpanRecord>> RemoteBackend::TraceDump() {
+  CFDPROP_RETURN_NOT_OK(EnsureConnected());
+  return client_.TraceDump();
 }
 
 Result<WireServiceStats> RemoteBackend::Stats() {

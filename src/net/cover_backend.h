@@ -141,9 +141,19 @@ class RemoteBackend : public CoverBackend {
       const std::vector<std::vector<std::string>>& batches,
       ValuePool& pool) override;
 
+  /// Submit under a caller-started trace (the router's edge) — the rpc
+  /// span parents to `trace.parent_span_id`.
+  Result<std::vector<BatchResult>> SubmitBatches(
+      const std::string& tenant,
+      const std::vector<std::vector<std::string>>& batches, ValuePool& pool,
+      const obs::TraceContext& trace);
+
   Result<WireServiceStats> Stats() override;
   Result<std::string> Metrics() override;
   Status DropCatalog(const std::string& tenant) override;
+
+  /// Reads the shard process's span rings back (see CoverClient).
+  Result<std::vector<obs::SpanRecord>> TraceDump();
 
   /// Migration steps, forwarded to the shard with the same
   /// reconnect-and-reopen discipline as every other call.

@@ -191,15 +191,64 @@ Result<WireBatchResult> CoverClient::SubmitBatch(
 Result<std::vector<WireBatchResult>> CoverClient::SubmitBatches(
     const std::string& tenant,
     const std::vector<std::vector<std::string>>& batches, ValuePool& pool) {
+  obs::Tracer* tracer = obs::ProcessTracer();
+  if (tracer == nullptr) {
+    return SubmitBatchesTraced(tenant, batches, pool, {}, /*edge=*/false);
+  }
+  // No caller-started trace: this client IS the edge.
+  return SubmitBatchesTraced(tenant, batches, pool, tracer->StartTrace(),
+                             /*edge=*/true);
+}
+
+Result<std::vector<WireBatchResult>> CoverClient::SubmitBatches(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool,
+    const obs::TraceContext& trace) {
+  return SubmitBatchesTraced(tenant, batches, pool, trace, /*edge=*/false);
+}
+
+Result<std::vector<WireBatchResult>> CoverClient::SubmitBatchesTraced(
+    const std::string& tenant,
+    const std::vector<std::vector<std::string>>& batches, ValuePool& pool,
+    const obs::TraceContext& trace, bool edge) {
+  obs::Tracer* tracer = obs::ProcessTracer();
+  uint64_t span_id = 0;
+  uint64_t start_us = 0;
+  const bool traced = tracer != nullptr && trace.trace_id != 0;
+  const bool timed =
+      traced && (trace.sampled || (edge && tracer->slow_enabled()));
   SubmitBatchRequest request;
   request.tenant = tenant;
   request.batches = batches;
-  CFDPROP_ASSIGN_OR_RETURN(
-      std::string payload,
+  if (traced && trace.sampled) {
+    // The rpc span id crosses the wire as the parent of every span the
+    // server records for this request.
+    span_id = tracer->NewSpanId();
+    request.trace.trace_id = trace.trace_id;
+    request.trace.parent_span_id = span_id;
+    request.trace.sampled = true;
+  }
+  if (timed) {
+    if (span_id == 0) span_id = tracer->NewSpanId();
+    start_us = tracer->NowUs();
+  }
+  auto finish = [&] {
+    if (!timed) return;
+    const uint64_t dur_us = tracer->NowUs() - start_us;
+    if (edge) {
+      tracer->RecordEdge(trace, span_id, "rpc", start_us, dur_us, tenant);
+    } else if (trace.sampled) {
+      tracer->Record(trace, span_id, trace.parent_span_id, "rpc", start_us,
+                     dur_us, tenant);
+    }
+  };
+  auto payload =
       RoundTrip(FrameType::kSubmitBatch, EncodeSubmitBatchRequest(request),
-                FrameType::kSubmitBatchReply));
+                FrameType::kSubmitBatchReply);
+  finish();
+  CFDPROP_RETURN_NOT_OK(payload.status());
   CFDPROP_ASSIGN_OR_RETURN(std::vector<WireBatchResult> decoded,
-                           DecodeSubmitBatchReply(payload, pool));
+                           DecodeSubmitBatchReply(*payload, pool));
   if (decoded.size() != batches.size()) {
     return Status::Internal(
         "server answered " + std::to_string(decoded.size()) +
@@ -220,6 +269,13 @@ Result<std::string> CoverClient::Metrics() {
       std::string payload,
       RoundTrip(FrameType::kMetrics, "", FrameType::kMetricsReply));
   return DecodeMetricsReply(payload);
+}
+
+Result<std::vector<obs::SpanRecord>> CoverClient::TraceDump() {
+  CFDPROP_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(FrameType::kTraceDump, "", FrameType::kTraceDumpReply));
+  return DecodeTraceDumpReply(payload);
 }
 
 Result<std::string> CoverClient::FetchSnapshot(const std::string& tenant) {

@@ -83,15 +83,30 @@ class CoverClient {
   /// Pipelined burst: all batches travel in one frame and their
   /// admission is decided atomically server-side, so slot i's
   /// admit/reject outcome is deterministic. slot i answers batches[i].
+  /// With a process tracer installed this overload is the trace edge:
+  /// it starts a new trace, records the rpc span and applies slow-
+  /// request capture to the round trip.
   Result<std::vector<WireBatchResult>> SubmitBatches(
       const std::string& tenant,
       const std::vector<std::vector<std::string>>& batches, ValuePool& pool);
+
+  /// Same, under a caller-started trace (the router's edge): the rpc
+  /// span parents to `trace.parent_span_id` and the slow-capture
+  /// decision stays with the caller.
+  Result<std::vector<WireBatchResult>> SubmitBatches(
+      const std::string& tenant,
+      const std::vector<std::vector<std::string>>& batches, ValuePool& pool,
+      const obs::TraceContext& trace);
 
   Result<WireServiceStats> Stats();
 
   /// Scrapes the server's metrics: the full Prometheus-style text
   /// exposition (src/obs), every layer in one fetch.
   Result<std::string> Metrics();
+
+  /// Reads the server process's span rings back (main + slow), in ring
+  /// append order — the raw material for a stitched cross-process tree.
+  Result<std::vector<obs::SpanRecord>> TraceDump();
 
   /// Migration, step 1: the server drains the tenant's in-service
   /// batches, then ships its cover cache as .ccsnap snapshot bytes.
@@ -114,6 +129,13 @@ class CoverClient {
   /// Sends one frame, reads one reply, checks the reply type.
   Result<std::string> RoundTrip(FrameType request, std::string_view payload,
                                 FrameType expected_reply);
+
+  /// Shared submit body; `edge` marks this client as the trace's edge
+  /// (slow capture applies to the round trip here, not at a caller).
+  Result<std::vector<WireBatchResult>> SubmitBatchesTraced(
+      const std::string& tenant,
+      const std::vector<std::vector<std::string>>& batches, ValuePool& pool,
+      const obs::TraceContext& trace, bool edge);
 
   CoverClientOptions options_;
   int fd_ = -1;

@@ -1,6 +1,7 @@
 #include "src/net/cover_router.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace cfdprop {
 namespace net {
@@ -28,6 +29,14 @@ uint64_t Fnv1a(std::string_view bytes) {
 }  // namespace
 
 CoverRouter::CoverRouter(CoverRouterOptions options) {
+  migrations_total_ = metrics_.GetCounter(
+      "cfdprop_router_migrations_total", "Completed tenant migrations");
+  batches_routed_ = metrics_.GetCounter(
+      "cfdprop_router_batches_routed_total",
+      "Batches forwarded to a shard by the router");
+  submits_bounced_ = metrics_.GetCounter(
+      "cfdprop_router_submits_bounced_total",
+      "Submit calls refused with kUnavailable during a migration");
   shards_.reserve(options.shards.size());
   for (CoverClientOptions& shard : options.shards) {
     shards_.push_back(std::make_unique<Shard>(std::move(shard)));
@@ -87,15 +96,47 @@ Result<std::vector<BatchResult>> CoverRouter::SubmitBatches(
       // Fail fast, typed: the tenant is mid-flight between shards and
       // neither copy is authoritative. The caller retries after the
       // route flip — that retry is the "zero failed submits" contract.
+      submits_bounced_->Increment();
       return Status::Unavailable("tenant '" + tenant +
                                  "' is migrating; retry");
     }
     auto it = overrides_.find(tenant);
     shard = it != overrides_.end() ? it->second : RingShardFor(tenant);
   }
-  return WithShard(shard, [&](RemoteBackend& backend) {
-    return backend.SubmitBatches(tenant, batches, pool);
+  batches_routed_->Add(batches.size());
+  // With a process tracer installed the router is the trace edge: the
+  // "route" span encloses the whole routed round trip, the shard
+  // client's rpc span parents to it, and slow-request capture applies
+  // here — the routed request's true end-to-end latency.
+  obs::Tracer* tracer = obs::ProcessTracer();
+  if (tracer == nullptr) {
+    return WithShard(shard, [&](RemoteBackend& backend) {
+      return backend.SubmitBatches(tenant, batches, pool);
+    });
+  }
+  const obs::TraceContext trace = tracer->StartTrace();
+  const bool timed = trace.sampled || tracer->slow_enabled();
+  uint64_t span_id = 0;
+  uint64_t start_us = 0;
+  obs::TraceContext child;
+  if (timed) {
+    span_id = tracer->NewSpanId();
+    start_us = tracer->NowUs();
+  }
+  if (trace.sampled) {
+    child.trace_id = trace.trace_id;
+    child.parent_span_id = span_id;
+    child.sampled = true;
+  }
+  auto result = WithShard(shard, [&](RemoteBackend& backend) {
+    return backend.SubmitBatches(tenant, batches, pool, child);
   });
+  if (timed) {
+    tracer->RecordEdge(trace, span_id, "route", start_us,
+                       tracer->NowUs() - start_us, tenant,
+                       static_cast<int32_t>(shard));
+  }
+  return result;
 }
 
 Result<WireServiceStats> CoverRouter::Stats() {
@@ -122,16 +163,92 @@ Result<WireServiceStats> CoverRouter::Stats() {
 }
 
 Result<std::string> CoverRouter::Metrics() {
-  std::string joined;
+  // Merge the shard scrapes into ONE family set: a family appearing on
+  // several shards renders a single # HELP/# TYPE header (first shard's
+  // text wins — they are the same build) and every shard's series under
+  // it, each with `shard="N"` injected as its first label. Unlike the
+  // old "# --- shard N ---" concatenation this parses as a single
+  // scrape (obs::ParseMetricsText) and never repeats a family name.
+  struct Family {
+    std::string help;   // the full "# HELP ..." line
+    std::string type;   // the full "# TYPE ..." line
+    std::vector<std::string> series;  // shard-labeled, shards in order
+  };
+  std::vector<std::string> family_order;
+  std::map<std::string, Family> families;
   for (size_t shard = 0; shard < shards_.size(); ++shard) {
     auto text = WithShard(shard, [](RemoteBackend& backend) {
       return backend.Metrics();
     });
     if (!text.ok()) return text.status();
-    joined += "# --- shard " + std::to_string(shard) + " ---\n";
-    joined += *text;
+    const std::string shard_label = "shard=\"" + std::to_string(shard) + "\"";
+    std::string current;  // family the series lines below belong to
+    size_t pos = 0;
+    while (pos < text->size()) {
+      size_t eol = text->find('\n', pos);
+      if (eol == std::string::npos) eol = text->size();
+      std::string_view line(text->data() + pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        // "# HELP <name> ..." / "# TYPE <name> ...": open the family.
+        std::string_view rest = line.substr(1);
+        while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+        const bool is_help = rest.rfind("HELP ", 0) == 0;
+        const bool is_type = rest.rfind("TYPE ", 0) == 0;
+        if (!is_help && !is_type) continue;  // free-form comment: drop
+        rest.remove_prefix(5);
+        const size_t name_end = rest.find(' ');
+        const std::string name(rest.substr(0, name_end));
+        current = name;
+        Family& f = families[name];
+        if (f.help.empty() && f.type.empty()) family_order.push_back(name);
+        if (is_help && f.help.empty()) f.help = std::string(line);
+        if (is_type && f.type.empty()) f.type = std::string(line);
+        continue;
+      }
+      // A series line: `name value` or `name{labels} value`. Inject the
+      // shard label first so every shard's series stay distinct.
+      const size_t brace = line.find('{');
+      const size_t space = line.find(' ');
+      std::string labeled;
+      if (brace != std::string_view::npos && brace < space) {
+        labeled = std::string(line.substr(0, brace + 1)) + shard_label +
+                  (line[brace + 1] == '}' ? "" : ",") +
+                  std::string(line.substr(brace + 1));
+      } else {
+        labeled = std::string(line.substr(0, space)) + "{" + shard_label +
+                  "}" + std::string(line.substr(space));
+      }
+      families[current].series.push_back(std::move(labeled));
+    }
   }
-  return joined;
+  std::string merged;
+  for (const std::string& name : family_order) {
+    const Family& f = families[name];
+    if (!f.help.empty()) merged += f.help + "\n";
+    if (!f.type.empty()) merged += f.type + "\n";
+    for (const std::string& s : f.series) merged += s + "\n";
+  }
+  // The router tier's own counters close the scrape, unlabeled — they
+  // belong to this process, not to any shard.
+  merged += metrics_.RenderText();
+  return merged;
+}
+
+Result<std::vector<obs::SpanRecord>> CoverRouter::TraceDumpFrom(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " out of range");
+  }
+  auto spans = WithShard(shard, [](RemoteBackend& backend) {
+    return backend.TraceDump();
+  });
+  if (!spans.ok()) return spans.status();
+  for (obs::SpanRecord& span : *spans) {
+    if (span.shard < 0) span.shard = static_cast<int32_t>(shard);
+  }
+  return spans;
 }
 
 Status CoverRouter::DropCatalog(const std::string& tenant) {
@@ -228,6 +345,19 @@ Result<MigrationReport> CoverRouter::MigrateTenant(const std::string& tenant,
                                    std::to_string(target_shard) +
                                    " out of range");
   }
+  // A migration is its own trace (it is not any request's work): the
+  // "migrate" span covers drain + ship + warm-start + flip.
+  obs::Tracer* tracer = obs::ProcessTracer();
+  obs::TraceContext mtrace;
+  uint64_t mspan = 0;
+  uint64_t mstart = 0;
+  if (tracer != nullptr) {
+    mtrace = tracer->StartTrace();
+    if (mtrace.sampled) {
+      mspan = tracer->NewSpanId();
+      mstart = tracer->NowUs();
+    }
+  }
   size_t source_shard;
   std::string spec_text;
   {
@@ -274,6 +404,15 @@ Result<MigrationReport> CoverRouter::MigrateTenant(const std::string& tenant,
   // 4. Retire the source copy. Best-effort: the route no longer points
   //    there, so a failed drop leaks a cold replica, not correctness.
   (void)DropCatalogOn(source_shard, tenant);
+  migrations_total_->Increment();
+  if (tracer != nullptr && mtrace.sampled) {
+    char annot[32];
+    std::snprintf(annot, sizeof(annot), "from=%zu to=%zu", source_shard,
+                  target_shard);
+    tracer->Record(mtrace, mspan, mtrace.parent_span_id, "migrate", mstart,
+                   tracer->NowUs() - mstart, tenant,
+                   static_cast<int32_t>(target_shard), annot);
+  }
   MigrationReport report;
   report.from = source_shard;
   report.to = target_shard;

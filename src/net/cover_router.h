@@ -90,9 +90,20 @@ class CoverRouter : public CoverBackend {
   /// report them).
   Result<WireServiceStats> Stats() override;
 
-  /// Every shard's full text exposition, joined with
-  /// "# --- shard N ---" separators.
+  /// One merged exposition: every shard's families are folded into a
+  /// single family set with a `shard="N"` label injected as each
+  /// series' first label (family help/type text comes from the first
+  /// shard that exposes it; per-shard series order is preserved, shards
+  /// in index order), followed by the router's own registry
+  /// (cfdprop_router_* counters, no shard label — they belong to this
+  /// tier). The output parses with obs::ParseMetricsText like any
+  /// single server's scrape.
   Result<std::string> Metrics() override;
+
+  /// One shard's span rings (see RemoteBackend::TraceDump), each record
+  /// stamped with the shard index it came from — the raw material the
+  /// route CLI stitches into cross-shard trees.
+  Result<std::vector<obs::SpanRecord>> TraceDumpFrom(size_t shard);
 
   Status DropCatalog(const std::string& tenant) override;
 
@@ -158,6 +169,13 @@ class CoverRouter : public CoverBackend {
   std::vector<std::unique_ptr<Shard>> shards_;
   /// (point, shard), sorted by point. Immutable after construction.
   std::vector<std::pair<uint64_t, size_t>> ring_;
+
+  /// The router tier's own counters, rendered after the merged shard
+  /// families in Metrics().
+  obs::MetricsRegistry metrics_;
+  obs::Counter* migrations_total_ = nullptr;   // completed MigrateTenant calls
+  obs::Counter* batches_routed_ = nullptr;     // batches forwarded to a shard
+  obs::Counter* submits_bounced_ = nullptr;    // submits refused mid-migration
 
   mutable std::mutex route_mu_;
   /// Tenants moved off their ring placement. Guarded by route_mu_.

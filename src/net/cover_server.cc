@@ -203,6 +203,9 @@ void CoverServer::AcceptLoop() {
 void CoverServer::ServeConnection(Connection* conn) {
   const int fd = conn->fd;
   for (;;) {
+    // One pointer load per frame; with no tracer installed this path is
+    // byte-identical to the untraced build.
+    obs::Tracer* tracer = obs::ProcessTracer();
     double decode_us = 0;
     auto frame = ReadFrame(fd, &decode_us);
     if (!frame.ok()) {
@@ -219,15 +222,36 @@ void CoverServer::ServeConnection(Connection* conn) {
       break;
     }
     if (decode_stage_) decode_stage_->Record(decode_us);
+    // Stamped only when a tracer is installed: the decode span's end is
+    // "now", its start is now - decode_us (ReadFrame timed the parse).
+    std::chrono::steady_clock::time_point read_end{};
+    if (tracer != nullptr) read_end = std::chrono::steady_clock::now();
     frames_served_.fetch_add(1, std::memory_order_relaxed);
     std::string reply;
-    const bool keep = HandleFrame(frame->first, frame->second, &reply);
+    FrameTrace ftrace;
+    const bool keep = HandleFrame(frame->first, frame->second, &reply,
+                                  &ftrace);
+    const bool span_frame = tracer != nullptr && ftrace.ctx.sampled;
+    if (span_frame) {
+      const uint64_t dur = static_cast<uint64_t>(decode_us);
+      tracer->Record(ftrace.ctx, tracer->NewSpanId(),
+                     ftrace.ctx.parent_span_id, "decode",
+                     obs::Tracer::ToUs(read_end) - dur, dur, ftrace.tenant);
+    }
     const auto write_start = std::chrono::steady_clock::now();
     Status written = WriteAll(fd, reply);
-    if (write_stage_) {
-      write_stage_->Record(std::chrono::duration<double, std::micro>(
-                               std::chrono::steady_clock::now() - write_start)
-                               .count());
+    if (write_stage_ || span_frame) {
+      const auto write_end = std::chrono::steady_clock::now();
+      const double write_us = std::chrono::duration<double, std::micro>(
+                                  write_end - write_start)
+                                  .count();
+      if (write_stage_) write_stage_->Record(write_us);
+      if (span_frame) {
+        tracer->Record(ftrace.ctx, tracer->NewSpanId(),
+                       ftrace.ctx.parent_span_id, "write",
+                       obs::Tracer::ToUs(write_start),
+                       static_cast<uint64_t>(write_us), ftrace.tenant);
+      }
     }
     // A shutdown request is honored only after its confirmation reply
     // reached the socket — firing it earlier would let the owner's
@@ -255,12 +279,16 @@ void CoverServer::ServeConnection(Connection* conn) {
 }
 
 bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
-                              std::string* reply) {
+                              std::string* reply, FrameTrace* trace) {
   // Every reply payload begins with a Status, so an over-bound payload
   // (a burst whose covers exceed the 16 MiB frame limit) degrades to a
   // typed status-only reply instead of a frame the peer must reject as
   // corrupt.
-  auto frame = [this](FrameType reply_type, std::string reply_payload) {
+  //
+  // `trace` is filled by HandleSubmitBatch while the frame() argument
+  // evaluates, so by the time the lambda body runs the encode span can
+  // be recorded against the request's in-band trace.
+  auto frame = [this, trace](FrameType reply_type, std::string reply_payload) {
     if (reply_payload.size() > kMaxFramePayload) {
       reply_payload = EncodeStatusReply(Status::ResourceExhausted(
           "reply payload of " + std::to_string(reply_payload.size()) +
@@ -270,12 +298,22 @@ bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
     // The encode stage is the reply *frame* assembly (header + copy +
     // whole-frame checksum); the payload encoding inside the handlers
     // is accounted to the handler's own stages.
+    obs::Tracer* tracer =
+        trace->ctx.sampled ? obs::ProcessTracer() : nullptr;
     const auto encode_start = std::chrono::steady_clock::now();
     std::string encoded = EncodeFrame(reply_type, reply_payload);
-    if (encode_stage_) {
-      encode_stage_->Record(std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - encode_start)
-                                .count());
+    if (encode_stage_ || tracer != nullptr) {
+      const auto encode_end = std::chrono::steady_clock::now();
+      const double encode_us = std::chrono::duration<double, std::micro>(
+                                   encode_end - encode_start)
+                                   .count();
+      if (encode_stage_) encode_stage_->Record(encode_us);
+      if (tracer != nullptr) {
+        tracer->Record(trace->ctx, tracer->NewSpanId(),
+                       trace->ctx.parent_span_id, "encode",
+                       obs::Tracer::ToUs(encode_start),
+                       static_cast<uint64_t>(encode_us), trace->tenant);
+      }
     }
     return encoded;
   };
@@ -286,13 +324,16 @@ bool CoverServer::HandleFrame(FrameType type, std::string_view payload,
       return true;
     case FrameType::kSubmitBatch:
       *reply = frame(FrameType::kSubmitBatchReply,
-                     HandleSubmitBatch(payload));
+                     HandleSubmitBatch(payload, trace));
       return true;
     case FrameType::kStats:
       *reply = frame(FrameType::kStatsReply, HandleStats());
       return true;
     case FrameType::kMetrics:
       *reply = frame(FrameType::kMetricsReply, HandleMetrics());
+      return true;
+    case FrameType::kTraceDump:
+      *reply = frame(FrameType::kTraceDumpReply, HandleTraceDump(payload));
       return true;
     case FrameType::kDropCatalog:
       *reply = frame(FrameType::kDropCatalogReply,
@@ -423,10 +464,33 @@ Result<OpenCatalogReplyInfo> CoverServer::OpenParsedSpecInternal(
   return info;
 }
 
-std::string CoverServer::HandleSubmitBatch(std::string_view payload) {
+std::string CoverServer::HandleSubmitBatch(std::string_view payload,
+                                           FrameTrace* trace) {
   auto request = DecodeSubmitBatchRequest(payload);
   if (!request.ok()) {
     return EncodeSubmitBatchReply(request.status(), {}, EmptyPool());
+  }
+  trace->ctx = request->trace;
+  trace->tenant = request->tenant;
+  // A submit arriving with no in-band trace makes this server the edge:
+  // `listen --trace-dump` / `--slow-threshold-us` then observe plain
+  // clients too, not only tracing-aware ones. The edge ctx keeps
+  // parent 0 (the "request" span is the root); the context handed
+  // downstream parents everything under that span.
+  obs::Tracer* edge_tracer = nullptr;
+  uint64_t edge_span = 0, edge_start = 0;
+  obs::TraceContext edge_ctx;
+  if (request->trace.trace_id == 0) {
+    if (obs::Tracer* tracer = obs::ProcessTracer()) {
+      edge_ctx = tracer->StartTrace();
+      if (edge_ctx.sampled || tracer->slow_enabled()) {
+        edge_tracer = tracer;
+        edge_span = tracer->NewSpanId();
+        edge_start = tracer->NowUs();
+      }
+      trace->ctx = edge_ctx;
+      trace->ctx.parent_span_id = edge_span;
+    }
   }
   auto handle = service_.ResolveCatalog(request->tenant);
   if (!handle.ok()) {
@@ -474,9 +538,11 @@ std::string CoverServer::HandleSubmitBatch(std::string_view payload) {
 
   // One SubmitBatches call for the whole frame: admission for every
   // batch is decided under one lock, which is what makes a pipelined
-  // burst's admit/reject pattern deterministic.
-  auto submitted =
-      service_.SubmitBatches(request->tenant, std::move(to_submit));
+  // burst's admit/reject pattern deterministic. The in-band trace rides
+  // along so the service's stage spans join the request's tree.
+  auto submitted = service_.SubmitBatches(request->tenant,
+                                          std::move(to_submit),
+                                          trace->ctx);
   for (size_t k = 0; k < submitted.size(); ++k) {
     WireBatchResult& out = outcomes[submit_slot[k]];
     if (!submitted[k].ok()) {
@@ -484,6 +550,11 @@ std::string CoverServer::HandleSubmitBatch(std::string_view payload) {
       continue;
     }
     out.results = submitted[k].value().get().results;
+  }
+  if (edge_tracer != nullptr) {
+    edge_tracer->RecordEdge(edge_ctx, edge_span, "request", edge_start,
+                            edge_tracer->NowUs() - edge_start,
+                            request->tenant);
   }
   return EncodeSubmitBatchReply(Status::OK(), outcomes,
                                 handle.value()->engine().catalog().pool());
@@ -516,6 +587,18 @@ std::string CoverServer::HandleMetrics() {
   // The render walks the service's registry, which includes this
   // server's net-counter collector — so one scrape covers every layer.
   return EncodeMetricsReply(Status::OK(), service_.RenderMetricsText());
+}
+
+std::string CoverServer::HandleTraceDump(std::string_view payload) {
+  Status decoded = DecodeTraceDumpRequest(payload);
+  if (!decoded.ok()) return EncodeTraceDumpReply(decoded, {});
+  // No tracer installed = nothing recorded: an empty OK dump, so a
+  // plain server and a traced one speak the same frame.
+  std::vector<obs::SpanRecord> spans;
+  if (obs::Tracer* tracer = obs::ProcessTracer()) {
+    spans = tracer->Snapshot();
+  }
+  return EncodeTraceDumpReply(Status::OK(), spans);
 }
 
 std::string CoverServer::HandleDropCatalog(std::string_view payload) {

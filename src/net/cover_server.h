@@ -151,20 +151,30 @@ class CoverServer {
     std::atomic<bool> done{false};
   };
 
+  /// The trace context a frame carried in-band (submit-batch only),
+  /// surfaced to ServeConnection so the connection-level decode/encode/
+  /// write spans can be recorded against the request's trace.
+  struct FrameTrace {
+    obs::TraceContext ctx;
+    std::string tenant;
+  };
+
   void AcceptLoop();
   /// Joins and closes every finished connection. Caller holds conns_mu_.
   void ReapFinishedLocked();
   void ServeConnection(Connection* conn);
   /// Dispatches one decoded frame; fills `reply` with the complete
-  /// encoded reply frame. Returns false when the connection should
-  /// close afterwards (shutdown frame).
+  /// encoded reply frame and `trace` with the frame's in-band trace
+  /// context (if any). Returns false when the connection should close
+  /// afterwards (shutdown frame).
   bool HandleFrame(FrameType type, std::string_view payload,
-                   std::string* reply);
+                   std::string* reply, FrameTrace* trace);
   std::string HandleOpenCatalog(std::string_view payload);
-  std::string HandleSubmitBatch(std::string_view payload);
+  std::string HandleSubmitBatch(std::string_view payload, FrameTrace* trace);
   std::string HandleStats();
   std::string HandleDropCatalog(std::string_view payload);
   std::string HandleMetrics();
+  std::string HandleTraceDump(std::string_view payload);
   std::string HandleFetchSnapshot(std::string_view payload);
   std::string HandleOpenFromSnapshot(std::string_view payload);
   /// Shared body of the OpenSpec*/OpenParsedSpec* variants: `warm`

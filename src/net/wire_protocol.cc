@@ -26,7 +26,7 @@ Status Malformed(const std::string& what) {
 bool KnownFrameType(uint8_t t) {
   const uint8_t base = t & ~kReplyBit;
   return base >= static_cast<uint8_t>(FrameType::kOpenCatalog) &&
-         base <= static_cast<uint8_t>(FrameType::kOpenFromSnapshot);
+         base <= static_cast<uint8_t>(FrameType::kTraceDump);
 }
 
 /// Strings travel as u32 length + raw bytes; the length is checked
@@ -216,6 +216,15 @@ std::string EncodeSubmitBatchRequest(const SubmitBatchRequest& request) {
     wire::PutU64(out, batch.size());
     for (const std::string& view : batch) PutString(out, view);
   }
+  // Optional trace block (v4): presence flag, then the ids. Untraced
+  // traffic (trace_id == 0) costs the flag byte only.
+  if (request.trace.trace_id != 0) {
+    wire::PutU8(out, request.trace.sampled ? 2 : 1);
+    wire::PutU64(out, request.trace.trace_id);
+    wire::PutU64(out, request.trace.parent_span_id);
+  } else {
+    wire::PutU8(out, 0);
+  }
   return out;
 }
 
@@ -246,6 +255,18 @@ Result<SubmitBatchRequest> DecodeSubmitBatchRequest(
       views.push_back(std::move(view));
     }
     request.batches.push_back(std::move(views));
+  }
+  uint8_t trace_flag = 0;
+  if (!wire::GetU8(payload, &pos, &trace_flag) || trace_flag > 2) {
+    return Malformed("submit-batch trace block truncated");
+  }
+  if (trace_flag != 0) {
+    if (!wire::GetU64(payload, &pos, &request.trace.trace_id) ||
+        !wire::GetU64(payload, &pos, &request.trace.parent_span_id) ||
+        request.trace.trace_id == 0) {
+      return Malformed("submit-batch trace block truncated");
+    }
+    request.trace.sampled = trace_flag == 2;
   }
   if (pos != payload.size()) {
     return Malformed("trailing bytes after submit-batch request");
@@ -553,6 +574,114 @@ Result<std::string> DecodeMetricsReply(std::string_view payload) {
     return Malformed("metrics reply truncated");
   }
   return text;
+}
+
+Status DecodeTraceDumpRequest(std::string_view payload) {
+  if (!payload.empty()) {
+    return Malformed("trace-dump request carries unexpected payload");
+  }
+  return Status::OK();
+}
+
+std::string EncodeTraceDumpReply(const Status& status,
+                                 const std::vector<obs::SpanRecord>& spans) {
+  // String table in first-use order over names, tenants and annotations
+  // (the snapshot discipline): equal span sets encode to equal bytes.
+  std::unordered_map<std::string_view, uint32_t> string_slot;
+  std::vector<std::string_view> table;
+  auto string_index = [&](std::string_view s) {
+    auto [it, inserted] =
+        string_slot.emplace(s, static_cast<uint32_t>(table.size()));
+    if (inserted) table.push_back(s);
+    return it->second;
+  };
+
+  std::string body;
+  wire::PutU64(body, spans.size());
+  for (const obs::SpanRecord& span : spans) {
+    wire::PutU64(body, span.trace_id);
+    wire::PutU64(body, span.span_id);
+    wire::PutU64(body, span.parent_id);
+    wire::PutU64(body, span.start_us);
+    wire::PutU64(body, span.dur_us);
+    wire::PutU32(body, static_cast<uint32_t>(span.shard));
+    wire::PutU8(body, span.slow ? 1 : 0);
+    wire::PutU32(body, string_index(span.name));
+    wire::PutU32(body, string_index(span.tenant));
+    wire::PutU32(body, string_index(span.annot));
+  }
+
+  std::string out;
+  EncodeStatus(out, status);
+  wire::PutU64(out, table.size());
+  for (std::string_view s : table) PutString(out, s);
+  out.append(body);
+  return out;
+}
+
+Result<std::vector<obs::SpanRecord>> DecodeTraceDumpReply(
+    std::string_view payload) {
+  size_t pos = 0;
+  Status status;
+  CFDPROP_RETURN_NOT_OK(DecodeStatusAt(payload, &pos, &status));
+  CFDPROP_RETURN_NOT_OK(status);
+
+  uint64_t num_strings = 0;
+  if (!wire::GetU64(payload, &pos, &num_strings) ||
+      num_strings > (payload.size() - pos)) {
+    return Malformed("trace-dump string table truncated");
+  }
+  std::vector<std::string_view> table;
+  table.reserve(num_strings);
+  for (uint64_t i = 0; i < num_strings; ++i) {
+    uint32_t len = 0;
+    std::string_view s;
+    if (!wire::GetU32(payload, &pos, &len) ||
+        !wire::GetBytes(payload, &pos, len, &s)) {
+      return Malformed("trace-dump string table truncated");
+    }
+    table.push_back(s);
+  }
+  auto string_at = [&](uint32_t index, std::string* out) {
+    if (index >= table.size()) return false;
+    out->assign(table[index]);
+    return true;
+  };
+
+  uint64_t num_spans = 0;
+  if (!wire::GetU64(payload, &pos, &num_spans) ||
+      num_spans > (payload.size() - pos)) {
+    return Malformed("trace-dump span table truncated");
+  }
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(num_spans);
+  for (uint64_t i = 0; i < num_spans; ++i) {
+    obs::SpanRecord span;
+    uint32_t shard = 0, name_i = 0, tenant_i = 0, annot_i = 0;
+    uint8_t slow = 0;
+    if (!wire::GetU64(payload, &pos, &span.trace_id) ||
+        !wire::GetU64(payload, &pos, &span.span_id) ||
+        !wire::GetU64(payload, &pos, &span.parent_id) ||
+        !wire::GetU64(payload, &pos, &span.start_us) ||
+        !wire::GetU64(payload, &pos, &span.dur_us) ||
+        !wire::GetU32(payload, &pos, &shard) ||
+        !wire::GetU8(payload, &pos, &slow) || slow > 1 ||
+        !wire::GetU32(payload, &pos, &name_i) ||
+        !wire::GetU32(payload, &pos, &tenant_i) ||
+        !wire::GetU32(payload, &pos, &annot_i) ||
+        !string_at(name_i, &span.name) ||
+        !string_at(tenant_i, &span.tenant) ||
+        !string_at(annot_i, &span.annot)) {
+      return Malformed("trace-dump span " + std::to_string(i) + " truncated");
+    }
+    span.shard = static_cast<int32_t>(shard);
+    span.slow = slow != 0;
+    spans.push_back(std::move(span));
+  }
+  if (pos != payload.size()) {
+    return Malformed("trailing bytes after trace-dump spans");
+  }
+  return spans;
 }
 
 }  // namespace net

@@ -49,6 +49,7 @@
 #include "src/base/status.h"
 #include "src/base/value.h"
 #include "src/engine/engine.h"
+#include "src/obs/trace.h"
 #include "src/service/batch_result.h"
 
 namespace cfdprop {
@@ -60,7 +61,10 @@ inline constexpr char kWireMagic[4] = {'C', 'F', 'D', 'W'};
 /// connection, so the version gate keeps the refusal explicit.
 /// v3: added the migration frames (kFetchSnapshot / kOpenFromSnapshot)
 /// and the kUnavailable status code a router returns mid-route-flip.
-inline constexpr uint32_t kWireVersion = 3;
+/// v4: submit-batch requests carry an optional trace block (trace id +
+/// parent span id + sampled flag) and the TRACE_DUMP frame reads a
+/// process's span rings back.
+inline constexpr uint32_t kWireVersion = 4;
 
 /// magic + version + type + payload length.
 inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 1 + 4;
@@ -88,6 +92,9 @@ enum class FrameType : uint8_t {
   /// Migration, step 2: open a tenant from spec text *plus* snapshot
   /// bytes, warm-starting its cache on the target shard.
   kOpenFromSnapshot = 8,
+  /// Trace dump: empty request payload; the reply carries the server
+  /// process's span rings (main + slow) in the string-table encoding.
+  kTraceDump = 9,
 
   kOpenCatalogReply = kOpenCatalog | kReplyBit,
   kSubmitBatchReply = kSubmitBatch | kReplyBit,
@@ -97,6 +104,7 @@ enum class FrameType : uint8_t {
   kMetricsReply = kMetrics | kReplyBit,
   kFetchSnapshotReply = kFetchSnapshot | kReplyBit,
   kOpenFromSnapshotReply = kOpenFromSnapshot | kReplyBit,
+  kTraceDumpReply = kTraceDump | kReplyBit,
 };
 
 struct FrameHeader {
@@ -146,6 +154,11 @@ struct SubmitBatchRequest {
   /// admit/reject pattern is deterministic); each batch is a list of
   /// view names from the tenant's spec, served in order.
   std::vector<std::vector<std::string>> batches;
+  /// Optional trace block (v4): a zero trace_id encodes as "absent" —
+  /// one flag byte — so untraced traffic pays one byte, not the ids.
+  /// `parent_span_id` is the client's rpc span, which every server-side
+  /// span of this request parents to.
+  obs::TraceContext trace;
 };
 
 /// One batch's outcome: the admission/resolution status, and — when
@@ -243,6 +256,17 @@ Result<WireServiceStats> DecodeStatsReply(std::string_view payload);
 /// any other reply.
 std::string EncodeMetricsReply(const Status& status, std::string_view text);
 Result<std::string> DecodeMetricsReply(std::string_view payload);
+
+// TRACE_DUMP: empty request payload; the reply carries every published
+// span of the server's rings. Span names/tenants/annotations travel as
+// indices into a first-use-ordered string table (the snapshot format's
+// discipline — equal span sets encode to equal bytes, which is what the
+// deterministic-dump test diffs).
+Status DecodeTraceDumpRequest(std::string_view payload);
+std::string EncodeTraceDumpReply(const Status& status,
+                                 const std::vector<obs::SpanRecord>& spans);
+Result<std::vector<obs::SpanRecord>> DecodeTraceDumpReply(
+    std::string_view payload);
 
 }  // namespace net
 }  // namespace cfdprop

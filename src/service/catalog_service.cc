@@ -355,6 +355,15 @@ Status CatalogService::EnqueueLocked(Job job) {
     tenant.stages_.admission->Record(
         MicrosBetween(job.submit_start, job.admitted_at));
   }
+  if (job.trace.sampled) {
+    if (obs::Tracer* tracer = obs::ProcessTracer()) {
+      tracer->Record(job.trace, tracer->NewSpanId(), job.trace.parent_span_id,
+                     "admission", obs::Tracer::ToUs(job.submit_start),
+                     static_cast<uint64_t>(
+                         MicrosBetween(job.submit_start, job.admitted_at)),
+                     tenant.name());
+    }
+  }
   queues_[tenant.name()].push_back(std::move(job));
   ++total_queued_;
   batches_submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -383,7 +392,8 @@ Result<std::future<BatchReply>> CatalogService::SubmitBatch(
 
 std::vector<Result<std::future<BatchReply>>> CatalogService::SubmitBatches(
     const std::string& tenant,
-    std::vector<std::vector<Engine::Request>> batches) {
+    std::vector<std::vector<Engine::Request>> batches,
+    const obs::TraceContext& trace) {
   std::vector<Result<std::future<BatchReply>>> out;
   out.reserve(batches.size());
   auto resolved = ResolveCatalog(tenant);
@@ -402,6 +412,7 @@ std::vector<Result<std::future<BatchReply>>> CatalogService::SubmitBatches(
       Job job;
       job.submit_start = std::chrono::steady_clock::now();
       job.tenant = *resolved;
+      job.trace = trace;
       job.requests = std::move(requests);
       std::future<BatchReply> future = job.promise.get_future();
       Status enq = EnqueueLocked(std::move(job));
@@ -486,6 +497,19 @@ void CatalogService::DispatcherLoop() {
     if (stages.queue_wait) {
       stages.queue_wait->Record(MicrosBetween(job.admitted_at, popped_at));
     }
+    // Stage spans ride the exact stamps the histograms read — a sampled
+    // job adds span-ring appends but zero extra clock calls here.
+    obs::Tracer* tracer = job.trace.sampled ? obs::ProcessTracer() : nullptr;
+    auto span = [&](const char* name,
+                    std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+      if (tracer == nullptr) return;
+      tracer->Record(job.trace, tracer->NewSpanId(), job.trace.parent_span_id,
+                     name, obs::Tracer::ToUs(from),
+                     static_cast<uint64_t>(MicrosBetween(from, to)),
+                     job.tenant->name());
+    };
+    span("queue_wait", job.admitted_at, popped_at);
     BatchReply reply;
     reply.tenant = job.tenant->name();
     reply.sequence = job.sequence;
@@ -493,11 +517,13 @@ void CatalogService::DispatcherLoop() {
     if (stages.dispatch) {
       stages.dispatch->Record(MicrosBetween(popped_at, propagate_start));
     }
+    span("dispatch", popped_at, propagate_start);
     // PropagateBatch already converts per-request exceptions to Status;
     // this guard is for anything outside that contract — one tenant's
     // failure must never std::terminate the whole service.
     try {
-      reply.results = job.tenant->engine_->PropagateBatch(job.requests);
+      reply.results =
+          job.tenant->engine_->PropagateBatch(job.requests, job.trace);
     } catch (...) {
       reply.results.clear();
       for (size_t i = 0; i < job.requests.size(); ++i) {
@@ -509,6 +535,7 @@ void CatalogService::DispatcherLoop() {
     if (stages.propagate) {
       stages.propagate->Record(MicrosBetween(propagate_start, propagate_end));
     }
+    span("propagate", propagate_start, propagate_end);
     batches_completed_.fetch_add(1, std::memory_order_relaxed);
     if (!job.callback) {
       job.promise.set_value(std::move(reply));
@@ -521,9 +548,12 @@ void CatalogService::DispatcherLoop() {
       } catch (...) {
       }
     }
-    if (stages.reply) {
-      stages.reply->Record(
-          MicrosBetween(propagate_end, std::chrono::steady_clock::now()));
+    if (stages.reply || tracer != nullptr) {
+      const auto reply_end = std::chrono::steady_clock::now();
+      if (stages.reply) {
+        stages.reply->Record(MicrosBetween(propagate_end, reply_end));
+      }
+      span("reply", propagate_end, reply_end);
     }
     // Release the running slot only after the reply is delivered (a
     // batch "in flight" admission-wise is one whose caller hasn't heard
@@ -819,6 +849,12 @@ std::vector<obs::MetricFamilySamples> CatalogService::CollectFamilies() const {
          "Global cover-cache entry budget")
       .samples.push_back(
           {{}, static_cast<double>(s.global_cache_budget), std::nullopt});
+  // Tracing health (span/drop/slow counters) joins the same scrape when
+  // a process tracer is installed, so one METRICS fetch answers "is the
+  // ring overflowing" without a TRACE_DUMP.
+  if (obs::Tracer* tracer = obs::ProcessTracer()) {
+    for (auto& f : tracer->CollectFamilies()) out.push_back(std::move(f));
+  }
   return out;
 }
 

@@ -61,6 +61,7 @@
 #include "src/base/status.h"
 #include "src/engine/engine.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/batch_result.h"
 
 namespace cfdprop {
@@ -322,10 +323,16 @@ class CatalogService {
   /// dispatcher timing. slot i answers batches[i]: either a future (the
   /// batch was admitted and will resolve) or the synchronous rejection
   /// Status. This is what the network front end maps a multi-batch
-  /// submit frame onto.
+  /// submit frame onto. `trace` (when sampled, with a process tracer
+  /// installed) attaches the request's trace context to every batch:
+  /// the five stage spans (admission/queue_wait/dispatch/propagate/
+  /// reply) are recorded against it, parented to
+  /// `trace.parent_span_id`, reusing the exact stamps the stage
+  /// histograms read — tracing adds no clock calls of its own.
   std::vector<Result<std::future<BatchReply>>> SubmitBatches(
       const std::string& tenant,
-      std::vector<std::vector<Engine::Request>> batches);
+      std::vector<std::vector<Engine::Request>> batches,
+      const obs::TraceContext& trace = {});
 
   /// Callback overload: `done` runs on a dispatcher thread when the
   /// batch completes. It must not block for long (it occupies the
@@ -384,6 +391,10 @@ class CatalogService {
     /// entered the service, and when admission accepted the batch.
     std::chrono::steady_clock::time_point submit_start{};
     std::chrono::steady_clock::time_point admitted_at{};
+    /// Trace context from the submit edge; when sampled, the dispatcher
+    /// records the stage spans against it (same stamps as the
+    /// histograms).
+    obs::TraceContext trace;
   };
 
   std::string SnapshotPath(const std::string& name) const;

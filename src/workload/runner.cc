@@ -2,9 +2,11 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -17,6 +19,7 @@
 #include "src/net/cover_router.h"
 #include "src/net/cover_server.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/service/catalog_service.h"
 
 namespace cfdprop {
@@ -346,6 +349,21 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
                             ? std::max<size_t>(2, options.router_shards)
                             : 1;
 
+  // Tracing is opt-in: with both knobs negative no tracer is installed
+  // and every instrumentation site in the run costs one atomic load.
+  // Declared before the runtime so teardown (which may still record
+  // spans from dispatcher tails) finishes before the uninstall.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::ScopedProcessTracer> scoped_tracer;
+  if (options.trace_sample_shift >= 0 || options.slow_threshold_us >= 0) {
+    obs::ObsOptions topts;
+    topts.trace_sample_shift = options.trace_sample_shift;
+    topts.slow_threshold_us = options.slow_threshold_us;
+    topts.trace_seed = options.trace_seed;
+    tracer = std::make_unique<obs::Tracer>(topts);
+    scoped_tracer = std::make_unique<obs::ScopedProcessTracer>(tracer.get());
+  }
+
   PathRuntime rt;
   for (size_t s = 0; s < shards; ++s) {
     ServiceOptions sopts;
@@ -540,6 +558,40 @@ Result<WorkloadReport> RunWorkload(const gen::WorkloadPlan& plan,
     report.migrations_per_sec =
         m_elapsed > 0 ? static_cast<double>(report.migrations) / m_elapsed
                       : 0;
+  }
+
+  // Per-stage latency breakdown from the tracer's rings: every sampled
+  // span of the run (all layers live in this process on every path, so
+  // one snapshot sees the whole tree), grouped by span name, quantiles
+  // over the raw durations (nearest rank — these are exact samples, not
+  // histogram buckets).
+  if (tracer != nullptr) {
+    report.spans_recorded = tracer->spans_recorded();
+    report.spans_dropped = tracer->spans_dropped();
+    report.slow_requests = tracer->slow_requests();
+    std::map<std::string, std::vector<double>> by_stage;
+    for (const obs::SpanRecord& span : tracer->Snapshot()) {
+      // Slow-ring copies would double-count the sampled population;
+      // the quantiles describe the unbiased sample only.
+      if (span.slow) continue;
+      by_stage[span.name].push_back(static_cast<double>(span.dur_us));
+    }
+    auto rank = [](const std::vector<double>& sorted, double q) {
+      size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+      if (idx >= sorted.size()) idx = sorted.size() - 1;
+      return sorted[idx];
+    };
+    for (auto& entry : by_stage) {
+      std::vector<double>& durs = entry.second;
+      std::sort(durs.begin(), durs.end());
+      WorkloadReport::StageLatency stage;
+      stage.stage = entry.first;
+      stage.spans = durs.size();
+      stage.p50_us = rank(durs, 0.50);
+      stage.p95_us = rank(durs, 0.95);
+      stage.p99_us = rank(durs, 0.99);
+      report.stages.push_back(std::move(stage));
+    }
   }
 
   for (auto& server : rt.servers) server->Stop();

@@ -36,6 +36,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/gen/workload.h"
@@ -68,6 +69,16 @@ struct RunnerOptions {
   std::chrono::milliseconds io_timeout{0};
   /// Shards behind the router (routed path only; min 2).
   size_t router_shards = 3;
+
+  /// Tracing (src/obs/trace.h): sample 1/2^k requests at the edge.
+  /// Negative (the default) installs no tracer at all — the run is
+  /// byte-identical to a build without tracing.
+  int trace_sample_shift = -1;
+  /// Slow-request capture threshold in microseconds; negative = off. A
+  /// non-negative threshold installs the tracer even with sampling off.
+  int64_t slow_threshold_us = -1;
+  /// Seed for the tracer's id streams (deterministic dumps).
+  uint64_t trace_seed = 0;
 };
 
 struct WorkloadReport {
@@ -111,6 +122,23 @@ struct WorkloadReport {
   double p95_us = 0;
   double p99_us = 0;
   double hit_rate_pct = 0;
+
+  /// Per-stage latency over the run's sampled spans (tracing on only):
+  /// one row per span name (rpc/route/decode/admission/...), sorted by
+  /// name, quantiles over the raw sampled durations — the bench's
+  /// --json per-stage breakdown.
+  struct StageLatency {
+    std::string stage;
+    uint64_t spans = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+  };
+  std::vector<StageLatency> stages;
+  /// Tracer health over the run (tracing on only).
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  uint64_t slow_requests = 0;
 
   std::string ToString() const;
 };

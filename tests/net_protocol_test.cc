@@ -197,6 +197,144 @@ TEST(WireProtocolTest, RequestCodecsRoundTrip) {
   EXPECT_EQ(failed.status().code(), StatusCode::kUnsupported);
 }
 
+TEST(WireProtocolTest, TraceBlockRoundTripsThroughSubmitRequests) {
+  SubmitBatchRequest request;
+  request.tenant = "eu";
+  request.batches = {{"ByRegion"}};
+
+  // Absent (trace_id == 0): the block is one flag byte and decodes back
+  // to an empty context.
+  {
+    const std::string bytes = EncodeSubmitBatchRequest(request);
+    auto decoded = DecodeSubmitBatchRequest(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->trace.trace_id, 0u);
+    EXPECT_EQ(decoded->trace.parent_span_id, 0u);
+    EXPECT_FALSE(decoded->trace.sampled);
+
+    // Present-unsampled costs exactly the two ids over the flag byte.
+    SubmitBatchRequest traced = request;
+    traced.trace.trace_id = 0x1111222233334444ull;
+    EXPECT_EQ(EncodeSubmitBatchRequest(traced).size(), bytes.size() + 16);
+  }
+
+  // Present, unsampled and sampled: ids and the flag survive the trip.
+  for (bool sampled : {false, true}) {
+    request.trace.trace_id = 0xa1b2c3d4e5f60718ull;
+    request.trace.parent_span_id = 0x1122334455667788ull;
+    request.trace.sampled = sampled;
+    auto decoded = DecodeSubmitBatchRequest(EncodeSubmitBatchRequest(request));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->trace.trace_id, request.trace.trace_id);
+    EXPECT_EQ(decoded->trace.parent_span_id, request.trace.parent_span_id);
+    EXPECT_EQ(decoded->trace.sampled, sampled);
+    EXPECT_EQ(decoded->batches, request.batches);
+  }
+}
+
+TEST(WireProtocolTest, TraceBlockCorruptionBattery) {
+  SubmitBatchRequest request;
+  request.tenant = "eu";
+  request.batches = {{"ByRegion"}};
+  request.trace.trace_id = 0xa1b2c3d4e5f60718ull;
+  request.trace.parent_span_id = 0x1122334455667788ull;
+  request.trace.sampled = true;
+  const std::string bytes = EncodeSubmitBatchRequest(request);
+
+  // Truncation at every byte of the trace block (flag + 2 x u64 at the
+  // payload tail) must surface as a clean Malformed status.
+  for (size_t cut = bytes.size() - 17; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeSubmitBatchRequest(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+
+  // An unknown flag value is refused.
+  {
+    std::string t = bytes;
+    t[bytes.size() - 17] = 3;
+    EXPECT_FALSE(DecodeSubmitBatchRequest(t).ok());
+  }
+
+  // flag=present with a zero trace id is contradictory (zero means "no
+  // trace") and refused rather than smuggled through.
+  {
+    std::string t = bytes;
+    for (size_t i = bytes.size() - 16; i < bytes.size() - 8; ++i) t[i] = 0;
+    EXPECT_FALSE(DecodeSubmitBatchRequest(t).ok());
+  }
+
+  // Trailing garbage after a complete trace block is refused.
+  EXPECT_FALSE(DecodeSubmitBatchRequest(bytes + '\0').ok());
+}
+
+TEST(WireProtocolTest, TraceDumpRoundTrip) {
+  // The request must be empty; anything else is malformed.
+  EXPECT_TRUE(DecodeTraceDumpRequest("").ok());
+  EXPECT_FALSE(DecodeTraceDumpRequest("x").ok());
+
+  std::vector<obs::SpanRecord> spans;
+  for (int i = 0; i < 3; ++i) {
+    obs::SpanRecord span;
+    span.trace_id = 0x1000 + static_cast<uint64_t>(i / 2);
+    span.span_id = 0x2000 + static_cast<uint64_t>(i);
+    span.parent_id = i == 0 ? 0 : 0x2000;
+    span.start_us = 100 + static_cast<uint64_t>(i);
+    span.dur_us = 50;
+    span.name = i == 0 ? "rpc" : "compute";  // repeats share a table slot
+    span.tenant = "eu";
+    span.annot = i == 2 ? "hits=4,misses=1" : "";
+    span.shard = i;
+    span.slow = i == 1;
+    spans.push_back(span);
+  }
+
+  const std::string payload = EncodeTraceDumpReply(Status::OK(), spans);
+  auto decoded = DecodeTraceDumpReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].trace_id, spans[i].trace_id) << i;
+    EXPECT_EQ((*decoded)[i].span_id, spans[i].span_id) << i;
+    EXPECT_EQ((*decoded)[i].parent_id, spans[i].parent_id) << i;
+    EXPECT_EQ((*decoded)[i].start_us, spans[i].start_us) << i;
+    EXPECT_EQ((*decoded)[i].dur_us, spans[i].dur_us) << i;
+    EXPECT_EQ((*decoded)[i].name, spans[i].name) << i;
+    EXPECT_EQ((*decoded)[i].tenant, spans[i].tenant) << i;
+    EXPECT_EQ((*decoded)[i].annot, spans[i].annot) << i;
+    EXPECT_EQ((*decoded)[i].shard, spans[i].shard) << i;
+    EXPECT_EQ((*decoded)[i].slow, spans[i].slow) << i;
+  }
+
+  // Determinism: equal span sets encode to equal bytes (the string
+  // table is first-use ordered, not hash ordered).
+  EXPECT_EQ(payload, EncodeTraceDumpReply(Status::OK(), spans));
+
+  // An empty dump is a legal reply.
+  auto empty = DecodeTraceDumpReply(EncodeTraceDumpReply(Status::OK(), {}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  // A non-OK reply decodes to its typed status.
+  auto failed = DecodeTraceDumpReply(
+      EncodeTraceDumpReply(Status::Unavailable("draining"), {}));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+
+  // Truncation sweep: every prefix is refused cleanly.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeTraceDumpReply(payload.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+
+  // A span whose string index points past the table is refused (the
+  // last 4 payload bytes are span 2's annot index).
+  {
+    std::string t = payload;
+    t[t.size() - 4] = '\x7f';
+    EXPECT_FALSE(DecodeTraceDumpReply(t).ok());
+  }
+}
+
 TEST(WireProtocolTest, SubmitReplyCoversRemapAcrossPools) {
   // Server side: a cover whose CFDs carry pattern constants.
   Catalog server_cat;

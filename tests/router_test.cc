@@ -18,6 +18,7 @@
 #include "src/cfd/cfd.h"
 #include "src/engine/snapshot.h"
 #include "src/net/cover_backend.h"
+#include "src/obs/exporter.h"
 #include "src/net/cover_client.h"
 #include "src/net/cover_server.h"
 #include "src/parser/parser.h"
@@ -251,11 +252,32 @@ TEST(CoverRouterTest, LiveMigrationKeepsCoversByteIdenticalAndWarm) {
   ASSERT_EQ(stats->tenants.size(), 1u);
   EXPECT_EQ(stats->tenants[0].name, "eu");
 
-  // Metrics concatenate every shard's exposition.
+  // Metrics merge every shard's families into one scrape: a shard's
+  // series are distinguished by the injected shard="N" label, family
+  // headers appear once, and the whole output round-trips through the
+  // exposition parser like any single server's scrape.
   auto metrics = router.Metrics();
   ASSERT_TRUE(metrics.ok());
-  EXPECT_NE(metrics->find("# --- shard 0 ---"), std::string::npos);
-  EXPECT_NE(metrics->find("# --- shard 2 ---"), std::string::npos);
+  EXPECT_EQ(metrics->find("# --- shard"), std::string::npos);
+  auto parsed = obs::ParseMetricsText(*metrics);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The migrated tenant's serving counters live on its new shard.
+  const std::string to_str = std::to_string(dst);
+  EXPECT_TRUE(parsed->Has("cfdprop_requests_total{shard=\"" + to_str +
+                          "\",tenant=\"eu\"}"));
+  // Every shard exposes the service-level scalar exactly once, shard-
+  // labeled; the family header is not repeated per shard.
+  for (size_t shard = 0; shard < router.num_shards(); ++shard) {
+    EXPECT_TRUE(parsed->Has("cfdprop_tenants{shard=\"" +
+                            std::to_string(shard) + "\"}"));
+  }
+  const std::string type_header = "# TYPE cfdprop_tenants gauge";
+  const size_t first = metrics->find(type_header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(metrics->find(type_header, first + 1), std::string::npos);
+  // The router's own tier counters close the scrape, unlabeled.
+  EXPECT_EQ(parsed->Value("cfdprop_router_migrations_total"), 1.0);
+  EXPECT_GE(parsed->Value("cfdprop_router_batches_routed_total"), 1.0);
 }
 
 TEST(CoverRouterTest, MigrationUnderChurnServesOnlyLegalGenerations) {

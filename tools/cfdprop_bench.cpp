@@ -9,6 +9,7 @@
 //                 [--max-queue N] [--cfds N] [--views N] [--threads N]
 //                 [--dispatchers N] [--shards N] [--io-timeout MS]
 //                 [--snapshot-dir DIR] [--json PATH] [--quiet]
+//                 [--trace-shift K] [--slow-threshold-us N] [--trace-seed N]
 //
 // Workloads: hit-heavy, churn-heavy, union-heavy, tenant-churn,
 // burst-reject, snapshot-restart, mixed (src/gen/workload.h). Paths:
@@ -20,6 +21,14 @@
 // p50/p95/p99 batch latency (obs::Histogram percentiles) — and, with
 // --json, every report lands in a machine-readable file the CI diffs
 // against BENCH_workloads.json.
+//
+// Tracing: --trace-shift K installs the runner's process tracer at 1
+// in 2^K sampling (see src/obs/trace.h); the per-stage latency
+// breakdown it yields — p50/p95/p99 per span name (rpc, route, decode,
+// admission, queue_wait, dispatch, propagate, compute, ...) — is
+// printed under each summary line and lands in the --json report as a
+// "stages" array. --slow-threshold-us arms slow-request capture (the
+// report carries the count).
 //
 // Determinism: the same --seed produces byte-identical request streams
 // (the JSON carries the stream fingerprint), and burst-reject's
@@ -71,6 +80,7 @@ int Usage(const char* argv0) {
       "          [--cfds N] [--views N] [--threads N] [--dispatchers N]\n"
       "          [--shards N] [--io-timeout MS] [--snapshot-dir DIR]\n"
       "          [--json PATH] [--quiet]\n"
+      "          [--trace-shift K] [--slow-threshold-us N] [--trace-seed N]\n"
       "workloads: hit-heavy churn-heavy union-heavy tenant-churn\n"
       "           burst-reject snapshot-restart mixed\n",
       argv0);
@@ -122,7 +132,7 @@ void AppendJsonReport(std::string& out, const WorkloadReport& r) {
       "     \"migrations\": %llu, \"migrations_per_sec\": %.1f,"
       " \"migrated_lines\": %llu,\n"
       "     \"cover_fingerprint\": \"%llu\",\n"
-      "     \"stream_fingerprint\": \"%llu\", \"admit_pattern\": \"%s\"}",
+      "     \"stream_fingerprint\": \"%llu\", \"admit_pattern\": \"%s\"",
       r.workload.c_str(), r.path.c_str(),
       static_cast<unsigned long long>(r.seed), r.covers_per_sec, r.p50_us,
       r.p95_us, r.p99_us, static_cast<unsigned long long>(r.requests),
@@ -141,6 +151,28 @@ void AppendJsonReport(std::string& out, const WorkloadReport& r) {
       static_cast<unsigned long long>(r.stream_fingerprint),
       r.admit_pattern.c_str());
   out += buf;
+  // Tracing on: the per-stage latency breakdown and tracer health.
+  if (!r.stages.empty() || r.spans_recorded > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n     \"spans_recorded\": %llu, \"spans_dropped\": %llu,"
+                  " \"slow_requests\": %llu,\n     \"stages\": [",
+                  static_cast<unsigned long long>(r.spans_recorded),
+                  static_cast<unsigned long long>(r.spans_dropped),
+                  static_cast<unsigned long long>(r.slow_requests));
+    out += buf;
+    for (size_t i = 0; i < r.stages.size(); ++i) {
+      const WorkloadReport::StageLatency& s = r.stages[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n       {\"stage\": \"%s\", \"spans\": %llu,"
+                    " \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}",
+                    i ? "," : "", s.stage.c_str(),
+                    static_cast<unsigned long long>(s.spans), s.p50_us,
+                    s.p95_us, s.p99_us);
+      out += buf;
+    }
+    out += r.stages.empty() ? "]" : "\n     ]";
+  }
+  out += "}";
 }
 
 }  // namespace
@@ -153,6 +185,8 @@ int main(int argc, char** argv) {
   WorkloadOptions base;
   RunnerOptions runner;
   size_t seed = base.seed, io_timeout_ms = 0;
+  size_t trace_shift = 0, slow_threshold_us = 0, trace_seed = 0;
+  bool trace_set = false, slow_set = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -185,8 +219,13 @@ int main(int argc, char** argv) {
                int_arg("--threads", &runner.engine_threads) ||
                int_arg("--dispatchers", &runner.dispatcher_threads) ||
                int_arg("--shards", &runner.router_shards) ||
-               int_arg("--io-timeout", &io_timeout_ms)) {
+               int_arg("--io-timeout", &io_timeout_ms) ||
+               int_arg("--trace-seed", &trace_seed)) {
       continue;
+    } else if (int_arg("--trace-shift", &trace_shift)) {
+      trace_set = true;
+    } else if (int_arg("--slow-threshold-us", &slow_threshold_us)) {
+      slow_set = true;
     } else if (int_arg("--max-inflight", &max_inflight)) {
       base.max_inflight = max_inflight;
     } else if (int_arg("--max-queue", &max_queue)) {
@@ -198,6 +237,11 @@ int main(int argc, char** argv) {
   }
   base.seed = seed;
   runner.io_timeout = std::chrono::milliseconds(io_timeout_ms);
+  if (trace_set) runner.trace_sample_shift = static_cast<int>(trace_shift);
+  if (slow_set) {
+    runner.slow_threshold_us = static_cast<int64_t>(slow_threshold_us);
+  }
+  runner.trace_seed = trace_seed;
 
   std::vector<WorkloadKind> kinds;
   if (workload_arg == "all") {
@@ -252,6 +296,19 @@ int main(int argc, char** argv) {
         return 1;
       }
       if (!quiet) std::printf("%s\n", report->ToString().c_str());
+      if (!quiet && !report->stages.empty()) {
+        for (const WorkloadReport::StageLatency& s : report->stages) {
+          std::printf(
+              "  stage %-10s spans=%-7llu p50=%.0fus p95=%.0fus p99=%.0fus\n",
+              s.stage.c_str(), static_cast<unsigned long long>(s.spans),
+              s.p50_us, s.p95_us, s.p99_us);
+        }
+        std::printf(
+            "  trace: recorded=%llu dropped=%llu slow=%llu\n",
+            static_cast<unsigned long long>(report->spans_recorded),
+            static_cast<unsigned long long>(report->spans_dropped),
+            static_cast<unsigned long long>(report->slow_requests));
+      }
       std::fflush(stdout);
       reports.push_back(std::move(report).value());
     }

@@ -42,6 +42,8 @@
 //               [--max-inflight N] [--max-queue N] [--io-timeout MS]
 //               [--snapshot-dir DIR]
 //               [--interval-ms N] [--dirty N] [--metrics-dump PATH]
+//               [--trace-dump PATH] [--trace-shift K]
+//               [--slow-threshold-us N] [--trace-seed N]
 //                                    network server mode: a CoverServer
 //                                    (src/net/) in front of the same
 //                                    CatalogService as `serve`. Tenants
@@ -58,12 +60,23 @@
 //                                    a wedged connection thread;
 //                                    --metrics-dump writes the final
 //                                    metrics exposition (src/obs) to a
-//                                    file on shutdown.
+//                                    file on shutdown. --trace-dump
+//                                    installs the process tracer
+//                                    (src/obs/trace.h) and writes the
+//                                    stitched span trees to a file on
+//                                    shutdown — sampling everything
+//                                    unless --trace-shift K narrows it
+//                                    to 1 in 2^K; --slow-threshold-us
+//                                    arms slow-request capture (the
+//                                    slow trees print on shutdown,
+//                                    sampled or not); --trace-seed
+//                                    makes the span ids — and thus the
+//                                    dump bytes — deterministic.
 //
 //   cfdprop_cli client [--host H] [--port N] --tenant NAME=SPEC [...]
 //               [--rounds K] [--burst N] [--connect-timeout MS]
 //               [--io-timeout MS] [--no-open] [--quiet]
-//               [--stats] [--metrics] [--shutdown]
+//               [--stats] [--metrics] [--trace] [--shutdown]
 //                                    network client mode: opens each
 //                                    --tenant on the server (spec text
 //                                    travels over the wire; --no-open
@@ -83,13 +96,18 @@
 //                                    each socket send/recv, both in ms,
 //                                    both surfacing typed
 //                                    DeadlineExceeded (0 = no deadline);
+//                                    --trace samples every request at
+//                                    this edge, fetches the server's
+//                                    span rings afterwards (the
+//                                    TRACE_DUMP frame) and prints the
+//                                    stitched cross-process span trees;
 //                                    --shutdown stops the server.
 //
 //   cfdprop_cli route --backend HOST:PORT [--backend HOST:PORT ...]
 //               [--tenant NAME=SPEC ...] [--rounds K] [--vnodes N]
 //               [--connect-timeout MS] [--io-timeout MS]
 //               [--migrate TENANT[=SHARD] ...] [--quiet]
-//               [--stats] [--metrics] [--shutdown]
+//               [--stats] [--metrics] [--trace] [--shutdown]
 //                                    routing-tier mode: a CoverRouter
 //                                    (src/net/cover_router.h) consistent-
 //                                    hashes tenants across the given
@@ -105,9 +123,14 @@
 //                                    then re-serves and re-prints that
 //                                    tenant's covers; --stats prints the
 //                                    cross-shard aggregate; --metrics
-//                                    concatenates every shard's
-//                                    exposition; --shutdown stops every
-//                                    backend.
+//                                    merges every shard's exposition
+//                                    into one scrape (shard="N"
+//                                    labels); --trace samples every
+//                                    request at the router edge,
+//                                    fetches every shard's span rings
+//                                    afterwards and prints the stitched
+//                                    cross-shard span trees; --shutdown
+//                                    stops every backend.
 //
 //   cfdprop_cli serve --tenant NAME=SPEC [--tenant NAME=SPEC ...]
 //               [--rounds K] [--threads N] [--dispatchers N]
@@ -155,6 +178,7 @@
 #include "src/net/cover_client.h"
 #include "src/net/cover_router.h"
 #include "src/net/cover_server.h"
+#include "src/obs/trace.h"
 #include "src/parser/parser.h"
 #include "src/propagation/emptiness.h"
 #include "src/propagation/propagation.h"
@@ -842,7 +866,9 @@ int RunListen(int argc, char** argv) {
                  " [--budget N] [--max-inflight N] [--max-queue N]"
                  " [--io-timeout MS]"
                  " [--snapshot-dir DIR] [--interval-ms N] [--dirty N]"
-                 " [--metrics-dump PATH]\n",
+                 " [--metrics-dump PATH] [--trace-dump PATH]"
+                 " [--trace-shift K] [--slow-threshold-us N]"
+                 " [--trace-seed N]\n",
                  argv[0]);
     return 1;
   };
@@ -853,8 +879,9 @@ int RunListen(int argc, char** argv) {
   net::CoverServerOptions server_options;
   size_t port = 0, interval_ms = 0, dirty = 1;
   size_t max_inflight = 0, max_queue = 0, io_timeout_ms = 0;
-  bool dispatchers_set = false;
-  std::string metrics_dump;
+  size_t trace_shift = 0, trace_seed = 0, slow_threshold_us = 0;
+  bool dispatchers_set = false, trace_shift_set = false, slow_set = false;
+  std::string metrics_dump, trace_dump;
   for (int i = 2; i < argc; ++i) {
     auto int_arg = [&](const char* flag, size_t* out) {
       return ParseSizeFlag(argc, argv, &i, flag, out);
@@ -878,8 +905,15 @@ int RunListen(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--metrics-dump")) {
       if (i + 1 >= argc) return usage();
       metrics_dump = argv[++i];
+    } else if (!std::strcmp(argv[i], "--trace-dump")) {
+      if (i + 1 >= argc) return usage();
+      trace_dump = argv[++i];
     } else if (int_arg("--dispatchers", &options.dispatcher_threads)) {
       dispatchers_set = true;
+    } else if (int_arg("--trace-shift", &trace_shift)) {
+      trace_shift_set = true;
+    } else if (int_arg("--slow-threshold-us", &slow_threshold_us)) {
+      slow_set = true;
     } else if (int_arg("--port", &port) ||
                int_arg("--threads", &options.engine.num_threads) ||
                int_arg("--budget", &options.global_cache_budget) ||
@@ -887,6 +921,7 @@ int RunListen(int argc, char** argv) {
                int_arg("--max-queue", &max_queue) ||
                int_arg("--io-timeout", &io_timeout_ms) ||
                int_arg("--interval-ms", &interval_ms) ||
+               int_arg("--trace-seed", &trace_seed) ||
                int_arg("--dirty", &dirty)) {
       continue;
     } else {
@@ -910,6 +945,27 @@ int RunListen(int argc, char** argv) {
   options.admission.max_queued_batches = max_queue;
   if (!dispatchers_set && options.dispatcher_threads < tenant_args.size()) {
     options.dispatcher_threads = tenant_args.size();
+  }
+
+  // Tracing arms before the service exists so every dispatcher thread
+  // sees the tracer from its first frame — and the scope outlives the
+  // service (declared first, destroyed last), so dispatcher tails can
+  // still record while tearing down. --trace-dump alone samples every
+  // request (shift 0): the CI greps exact span counts out of the dump.
+  // --slow-threshold-us alone keeps sampling off and captures only the
+  // slow ring.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::ScopedProcessTracer> scoped_tracer;
+  if (!trace_dump.empty() || trace_shift_set || slow_set) {
+    obs::ObsOptions topts;
+    topts.trace_sample_shift = trace_shift_set
+                                   ? static_cast<int>(trace_shift)
+                                   : (!trace_dump.empty() ? 0 : -1);
+    topts.slow_threshold_us =
+        slow_set ? static_cast<int64_t>(slow_threshold_us) : -1;
+    topts.trace_seed = trace_seed;
+    tracer = std::make_unique<obs::Tracer>(topts);
+    scoped_tracer = std::make_unique<obs::ScopedProcessTracer>(tracer.get());
   }
 
   CatalogService service(options);
@@ -976,6 +1032,34 @@ int RunListen(int argc, char** argv) {
     }
     std::printf("metrics dumped to %s\n", metrics_dump.c_str());
   }
+  if (tracer != nullptr) {
+    // The dump file carries the sampled trees (main ring) only; the
+    // slow ring — which duplicates any sampled slow root — gets its own
+    // section below, so a slow-but-sampled request isn't double-printed
+    // inside one tree.
+    std::vector<obs::SpanRecord> sampled, slow;
+    for (obs::SpanRecord& s : tracer->Snapshot()) {
+      (s.slow ? slow : sampled).push_back(std::move(s));
+    }
+    if (!trace_dump.empty()) {
+      Status dumped = WriteFileText(trace_dump, obs::FormatSpanTrees(sampled));
+      if (!dumped.ok()) {
+        server.Stop();
+        return Fail(dumped);
+      }
+      std::printf("trace dumped to %s (spans=%llu dropped=%llu slow=%llu)\n",
+                  trace_dump.c_str(),
+                  static_cast<unsigned long long>(tracer->spans_recorded()),
+                  static_cast<unsigned long long>(tracer->spans_dropped()),
+                  static_cast<unsigned long long>(tracer->slow_requests()));
+    }
+    if (tracer->slow_enabled()) {
+      std::printf("== slow requests (threshold=%lldus, captured=%llu) ==\n%s",
+                  static_cast<long long>(tracer->slow_threshold_us()),
+                  static_cast<unsigned long long>(tracer->slow_requests()),
+                  obs::FormatSpanTrees(slow).c_str());
+    }
+  }
   server.Stop();
   return 0;
 }
@@ -987,7 +1071,7 @@ int RunClient(int argc, char** argv) {
                  " --tenant NAME=SPEC [...] [--rounds K] [--burst N]"
                  " [--connect-timeout MS] [--io-timeout MS]"
                  " [--no-open] [--quiet] [--stats] [--metrics]"
-                 " [--shutdown]\n",
+                 " [--trace] [--shutdown]\n",
                  argv[0]);
     return 1;
   };
@@ -997,7 +1081,7 @@ int RunClient(int argc, char** argv) {
   size_t port = 0, rounds = 2, burst = 0;
   size_t connect_timeout_ms = 0, client_io_timeout_ms = 0;
   bool quiet = false, open_tenants = true, want_stats = false;
-  bool want_metrics = false, want_shutdown = false;
+  bool want_metrics = false, want_shutdown = false, want_trace = false;
   for (int i = 2; i < argc; ++i) {
     auto int_arg = [&](const char* flag, size_t* out) {
       return ParseSizeFlag(argc, argv, &i, flag, out);
@@ -1028,6 +1112,8 @@ int RunClient(int argc, char** argv) {
       want_stats = true;
     } else if (!std::strcmp(argv[i], "--metrics")) {
       want_metrics = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      want_trace = true;
     } else if (!std::strcmp(argv[i], "--shutdown")) {
       want_shutdown = true;
     } else {
@@ -1047,6 +1133,18 @@ int RunClient(int argc, char** argv) {
   client_options.connect_timeout =
       std::chrono::milliseconds(connect_timeout_ms);
   client_options.io_timeout = std::chrono::milliseconds(client_io_timeout_ms);
+
+  // --trace makes this client a trace edge that samples every request
+  // (shift 0): each SubmitBatches starts a trace, records the rpc span
+  // locally and ships the context in-band for the server's spans.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::ScopedProcessTracer> scoped_tracer;
+  if (want_trace) {
+    obs::ObsOptions topts;
+    topts.trace_sample_shift = 0;
+    tracer = std::make_unique<obs::Tracer>(topts);
+    scoped_tracer = std::make_unique<obs::ScopedProcessTracer>(tracer.get());
+  }
 
   net::CoverClient client(client_options);
   Status connected = client.Connect();
@@ -1216,6 +1314,18 @@ int RunClient(int argc, char** argv) {
     if (!metrics->empty() && metrics->back() != '\n') std::printf("\n");
   }
 
+  // Stitched trees: this edge's rpc spans plus the server process's
+  // rings (the TRACE_DUMP frame) — one tree per request, spanning both
+  // processes via the in-band trace ids.
+  if (want_trace) {
+    auto remote = client.TraceDump();
+    if (!remote.ok()) return Fail(remote.status());
+    std::vector<obs::SpanRecord> spans = tracer->Snapshot();
+    spans.insert(spans.end(), remote->begin(), remote->end());
+    std::printf("== trace (stitched, %zu spans) ==\n%s", spans.size(),
+                obs::FormatSpanTrees(spans).c_str());
+  }
+
   if (want_shutdown) {
     Status down = client.Shutdown();
     if (!down.ok()) return Fail(down);
@@ -1235,7 +1345,7 @@ int RunRoute(int argc, char** argv) {
                  " [--tenant NAME=SPEC ...] [--rounds K] [--vnodes N]"
                  " [--connect-timeout MS] [--io-timeout MS]"
                  " [--migrate TENANT[=SHARD] ...] [--quiet]"
-                 " [--stats] [--metrics] [--shutdown]\n",
+                 " [--stats] [--metrics] [--trace] [--shutdown]\n",
                  argv[0]);
     return 1;
   };
@@ -1247,7 +1357,7 @@ int RunRoute(int argc, char** argv) {
   size_t rounds = 2, vnodes = 0;
   size_t connect_timeout_ms = 0, io_timeout_ms = 0;
   bool quiet = false, want_stats = false, want_metrics = false;
-  bool want_shutdown = false;
+  bool want_shutdown = false, want_trace = false;
   for (int i = 2; i < argc; ++i) {
     auto int_arg = [&](const char* flag, size_t* out) {
       return ParseSizeFlag(argc, argv, &i, flag, out);
@@ -1316,6 +1426,8 @@ int RunRoute(int argc, char** argv) {
       want_stats = true;
     } else if (!std::strcmp(argv[i], "--metrics")) {
       want_metrics = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      want_trace = true;
     } else if (!std::strcmp(argv[i], "--shutdown")) {
       want_shutdown = true;
     } else {
@@ -1339,6 +1451,18 @@ int RunRoute(int argc, char** argv) {
     router_options.shards.push_back(std::move(copts));
   }
   if (vnodes > 0) router_options.virtual_nodes = vnodes;
+
+  // --trace makes the router the trace edge, sampling every request:
+  // its route spans record here, the rpc/server spans on each shard.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::ScopedProcessTracer> scoped_tracer;
+  if (want_trace) {
+    obs::ObsOptions topts;
+    topts.trace_sample_shift = 0;
+    tracer = std::make_unique<obs::Tracer>(topts);
+    scoped_tracer = std::make_unique<obs::ScopedProcessTracer>(tracer.get());
+  }
+
   net::CoverRouter router(std::move(router_options));
 
   // Each tenant's spec is also parsed locally, exactly as in client
@@ -1499,6 +1623,21 @@ int RunRoute(int argc, char** argv) {
     std::printf("== metrics (routed) ==\n");
     std::fwrite(metrics->data(), 1, metrics->size(), stdout);
     if (!metrics->empty() && metrics->back() != '\n') std::printf("\n");
+  }
+
+  // Stitched cross-shard trees: the router edge's route spans (and the
+  // per-shard rpc spans, recorded in this process) plus every shard
+  // server's rings, each record stamped with its shard index.
+  if (want_trace) {
+    std::vector<obs::SpanRecord> spans = tracer->Snapshot();
+    for (size_t s = 0; s < router.num_shards(); ++s) {
+      auto remote = router.TraceDumpFrom(s);
+      if (!remote.ok()) return Fail(remote.status());
+      spans.insert(spans.end(), remote->begin(), remote->end());
+    }
+    std::printf("== trace (stitched, %zu shards, %zu spans) ==\n%s",
+                router.num_shards(), spans.size(),
+                obs::FormatSpanTrees(spans).c_str());
   }
 
   if (want_shutdown) {
